@@ -1,0 +1,77 @@
+// Ablation — the EC model's colouring constant.
+//
+// The EC model (Section 2.1) assumes a proper edge colouring with O(Δ)
+// colours; the constant directly multiplies the colour-sweep algorithms'
+// round counts. We compare greedy (≤ 2Δ−1 colours) with Misra–Gries
+// (≤ Δ+1, Vizing's bound) and report the resulting SeqColorPacking rounds:
+// the upper-bound side of the Theorem 1 bracket tightens from ~2Δ to Δ+1,
+// while the certified lower bound stays Δ−1 — the gap closes to O(1).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/graph/misra_gries.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace {
+
+using namespace ldlb;
+
+int packing_rounds(const Multigraph& colored) {
+  int k = colors_used(colored);
+  SeqColorPacking alg{k};
+  RunResult r = run_ec(colored, alg, k + 1);
+  LDLB_ENSURE(check_maximal(colored, r.matching).ok);
+  return r.rounds;
+}
+
+void report() {
+  bench::section("Ablation: colouring constant vs packing rounds");
+  bench::Table table{{"delta", "greedy_colours", "greedy_rounds",
+                      "vizing_colours", "vizing_rounds", "lower_bound"},
+                     15};
+  table.print_header();
+  Rng rng{151};
+  for (int delta : {4, 8, 16, 24}) {
+    Multigraph g = make_random_regular(48, delta, rng);
+    Multigraph greedy = greedy_edge_coloring(g);
+    Multigraph vizing = misra_gries_coloring(g);
+    table.print_row(delta, colors_used(greedy), packing_rounds(greedy),
+                    colors_used(vizing), packing_rounds(vizing), delta - 1);
+  }
+  std::cout << "\nMisra-Gries narrows the upper bound to Δ+1 rounds against\n"
+               "the certified Δ-1 lower bound: the Θ(Δ) complexity of\n"
+               "Theorem 1 is pinned down to within two rounds.\n";
+}
+
+void BM_GreedyColoring(benchmark::State& state) {
+  Rng rng{152};
+  Multigraph g = make_random_regular(static_cast<NodeId>(state.range(0)), 8,
+                                     rng);
+  for (auto _ : state) {
+    Multigraph c = greedy_edge_coloring(g);
+    benchmark::DoNotOptimize(c.edge_count());
+  }
+}
+BENCHMARK(BM_GreedyColoring)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MisraGries(benchmark::State& state) {
+  Rng rng{153};
+  Multigraph g = make_random_regular(static_cast<NodeId>(state.range(0)), 8,
+                                     rng);
+  for (auto _ : state) {
+    Multigraph c = misra_gries_coloring(g);
+    benchmark::DoNotOptimize(c.edge_count());
+  }
+}
+BENCHMARK(BM_MisraGries)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LDLB_BENCH_MAIN(report)

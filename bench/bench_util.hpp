@@ -1,0 +1,65 @@
+// Shared helpers for the reproduction benchmarks.
+//
+// Every bench binary prints, before the google-benchmark timings, a
+// "reproduction report": the series/table the corresponding paper figure or
+// claim is about (see EXPERIMENTS.md for the mapping). The report is the
+// scientific payload; the timings quantify the implementation.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace ldlb::bench {
+
+/// Fixed-width table writer for the reproduction reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 16)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) {
+      std::cout << std::left << std::setw(width_) << h;
+    }
+    std::cout << "\n";
+    std::cout << std::string(headers_.size() * static_cast<std::size_t>(width_),
+                             '-')
+              << "\n";
+  }
+
+  template <typename... Cells>
+  void print_row(Cells&&... cells) const {
+    (print_cell(std::forward<Cells>(cells)), ...);
+    std::cout << "\n";
+  }
+
+ private:
+  template <typename T>
+  void print_cell(T&& value) const {
+    std::cout << std::left << std::setw(width_) << value;
+  }
+
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace ldlb::bench
+
+/// Standard main: report first, then timings.
+#define LDLB_BENCH_MAIN(report_fn)                        \
+  int main(int argc, char** argv) {                       \
+    report_fn();                                          \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }

@@ -1,0 +1,102 @@
+// Figure 10 / Appendix A — the homogeneous order ⟦x→y⟧ on the infinite
+// coloured tree.
+//
+// Reproduction: a worked example in the style of Figure 10 (path functional
+// evaluated edge-term by node-term), the order-theoretic properties
+// verified on random samples, and comparison throughput as a function of
+// tree distance.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "ldlb/order/tree_order.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace {
+
+using namespace ldlb;
+using order::bracket;
+using order::concat;
+using order::Letter;
+using order::step;
+using order::TreeCoord;
+using order::tree_less;
+
+TreeCoord random_coord(Rng& rng, int d, int len) {
+  TreeCoord out;
+  for (int i = 0; i < len; ++i) {
+    Letter l = static_cast<Letter>(rng.next_in(1, d));
+    if (rng.next_bool()) l = -l;
+    out = step(std::move(out), l);
+  }
+  return out;
+}
+
+void report() {
+  bench::section("Figure 10: the bracket ⟦x→y⟧ (worked example)");
+  // u at coordinate (+1), v at (+2.-1): the path u -> origin -> +2 -> v.
+  TreeCoord u{1};
+  TreeCoord v{2, -1};
+  std::cout << "u = " << order::to_string(u) << ", v = " << order::to_string(v)
+            << "\n";
+  std::cout << "[u->v] = " << bracket(u, v) << ", [v->u] = " << bracket(v, u)
+            << "  => " << (tree_less(u, v) ? "u < v" : "v < u") << "\n";
+
+  bench::section("Lemma 4 properties on random samples (d = 3, len <= 12)");
+  Rng rng{61};
+  int total = 0, odd = 0, antisym = 0, homog = 0;
+  for (int i = 0; i < 3000; ++i) {
+    TreeCoord x = random_coord(rng, 3, static_cast<int>(rng.next_below(13)));
+    TreeCoord y = random_coord(rng, 3, static_cast<int>(rng.next_below(13)));
+    if (x == y) continue;
+    ++total;
+    auto b = bracket(x, y);
+    if (b % 2 != 0) ++odd;
+    if (b == -bracket(y, x)) ++antisym;
+    TreeCoord z = random_coord(rng, 3, 6);
+    if (b == bracket(concat(z, x), concat(z, y))) ++homog;
+  }
+  std::cout << "samples: " << total << ", odd: " << odd
+            << ", antisymmetric: " << antisym
+            << ", translation-invariant: " << homog << "\n";
+  std::cout << (odd == total && antisym == total && homog == total
+                    ? "all properties hold\n"
+                    : "PROPERTY VIOLATION\n");
+}
+
+void BM_BracketByDistance(benchmark::State& state) {
+  Rng rng{62};
+  const int len = static_cast<int>(state.range(0));
+  TreeCoord x = random_coord(rng, 4, len);
+  TreeCoord y = random_coord(rng, 4, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bracket(x, y));
+  }
+  state.counters["distance"] = static_cast<double>(
+      order::path_steps(x, y).size());
+}
+BENCHMARK(BM_BracketByDistance)->Arg(8)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_SortViewByOrder(benchmark::State& state) {
+  // Sorting n random tree nodes with tree_less — the inner loop of
+  // canonical_ranks.
+  Rng rng{63};
+  std::vector<TreeCoord> coords;
+  for (int i = 0; i < state.range(0); ++i) {
+    coords.push_back(random_coord(rng, 3, 10));
+  }
+  for (auto _ : state) {
+    auto copy = coords;
+    std::sort(copy.begin(), copy.end(),
+              [](const TreeCoord& a, const TreeCoord& b) {
+                return a != b && tree_less(a, b);
+              });
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_SortViewByOrder)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LDLB_BENCH_MAIN(report)

@@ -1,0 +1,65 @@
+// Figure 2 — the equivalence of the two PO-graph definitions: port
+// numberings (PO1) and properly coloured digraphs (PO2).
+//
+// Reproduction: round-trip conversions on growing random PO graphs, with
+// validation (properness of the pair colouring, validity of the derived
+// numbering, preservation of out-port order) on every instance.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/graph/port_numbering.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace {
+
+using namespace ldlb;
+
+void report() {
+  bench::section("Figure 2: PO1 (ports) <-> PO2 (coloured digraph)");
+  bench::Table table{{"nodes", "arcs", "colours_in", "pair_colours",
+                      "roundtrip_ok"}};
+  table.print_header();
+  Rng rng{11};
+  for (NodeId n : {8, 32, 128, 512}) {
+    Digraph g = make_random_po_graph(n, 4.0 / n, rng);
+    PortNumbering pn = ports_from_po_coloring(g);
+    Digraph paired = po_coloring_from_ports(g, pn);
+    PortNumbering pn2 = ports_from_po_coloring(paired);
+    bool ok = pn.is_valid_for(g) && paired.has_proper_po_coloring() &&
+              pn2.is_valid_for(paired);
+    table.print_row(n, g.arc_count(), g.color_count(), paired.color_count(),
+                    ok ? "yes" : "NO");
+  }
+}
+
+void BM_PortsFromColoring(benchmark::State& state) {
+  Rng rng{12};
+  Digraph g = make_random_po_graph(static_cast<NodeId>(state.range(0)),
+                                   8.0 / static_cast<double>(state.range(0)),
+                                   rng);
+  for (auto _ : state) {
+    PortNumbering pn = ports_from_po_coloring(g);
+    benchmark::DoNotOptimize(pn.ports.size());
+  }
+}
+BENCHMARK(BM_PortsFromColoring)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ColoringFromPorts(benchmark::State& state) {
+  Rng rng{13};
+  Digraph g = make_random_po_graph(static_cast<NodeId>(state.range(0)),
+                                   8.0 / static_cast<double>(state.range(0)),
+                                   rng);
+  PortNumbering pn = canonical_ports(g);
+  for (auto _ : state) {
+    Digraph c = po_coloring_from_ports(g, pn);
+    benchmark::DoNotOptimize(c.arc_count());
+  }
+}
+BENCHMARK(BM_ColoringFromPorts)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LDLB_BENCH_MAIN(report)

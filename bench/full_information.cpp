@@ -1,0 +1,75 @@
+// §1.4 / §3.1 — the LOCAL model's unbounded messages, measured.
+//
+// Every t-round LOCAL algorithm is equivalent to "gather τ_t, then decide"
+// (eq. (1)); the price is bandwidth. We run the colour-sweep packing in
+// both forms — direct message passing vs full-information gathering — and
+// report rounds (equal), outputs (identical), and message bytes (flat vs
+// exponential in the radius). This is why lower bounds in LOCAL are so
+// strong: they hold even against algorithms using these enormous messages.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/full_info.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace {
+
+using namespace ldlb;
+
+void report() {
+  bench::section("Full information vs direct messages (same outputs)");
+  bench::Table table{{"delta", "rounds", "direct_bytes", "gather_bytes",
+                      "ratio"}};
+  table.print_header();
+  Rng rng{191};
+  for (int delta : {3, 4, 5, 6}) {
+    Multigraph g = make_loopy_tree(8, delta, rng);
+    int k = delta;  // loopy trees use colours 0..delta-1
+    SeqColorPacking direct{k};
+    SweepViewFunction fn{k};
+    FullInfoEc gather{fn};
+    RunResult rd = run_ec(g, direct, k + 1);
+    RunResult rg = run_ec(g, gather, k + 2);
+    LDLB_ENSURE(rd.matching == rg.matching);
+    table.print_row(delta, rd.rounds, rd.message_bytes, rg.message_bytes,
+                    static_cast<double>(rg.message_bytes) /
+                        static_cast<double>(std::max(rd.message_bytes, 1ll)));
+  }
+  std::cout << "\nIdentical outputs; the gathered views cost bytes growing\n"
+               "like Δ^t while the direct algorithm sends O(1)-size\n"
+               "residuals — eq. (1)'s equivalence and its price.\n";
+}
+
+void BM_DirectSweep(benchmark::State& state) {
+  Rng rng{192};
+  const int delta = static_cast<int>(state.range(0));
+  Multigraph g = make_loopy_tree(8, delta, rng);
+  SeqColorPacking alg{delta};
+  for (auto _ : state) {
+    RunResult r = run_ec(g, alg, delta + 1);
+    benchmark::DoNotOptimize(r.message_bytes);
+  }
+}
+BENCHMARK(BM_DirectSweep)->DenseRange(3, 7, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_FullInfoSweep(benchmark::State& state) {
+  Rng rng{193};
+  const int delta = static_cast<int>(state.range(0));
+  Multigraph g = make_loopy_tree(8, delta, rng);
+  SweepViewFunction fn{delta};
+  FullInfoEc alg{fn};
+  for (auto _ : state) {
+    RunResult r = run_ec(g, alg, delta + 2);
+    benchmark::DoNotOptimize(r.message_bytes);
+  }
+}
+BENCHMARK(BM_FullInfoSweep)->DenseRange(3, 7, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LDLB_BENCH_MAIN(report)

@@ -1,0 +1,84 @@
+// §1.1 — the maximal matching landscape the paper situates itself in.
+//
+// Reproduction: round counts of Panconesi–Rizzi (deterministic,
+// O(Δ + log* n)) and Israeli–Itai (randomised, O(log n)):
+//   series A: Δ sweep at fixed n — PR grows linearly in Δ, II stays flat;
+//   series B: n sweep at fixed Δ — PR stays flat (log* is invisible),
+//             II grows slowly (logarithmically).
+// This is the crossover structure behind the open question the paper
+// discusses: can the Δ-term be removed? (Theorem 1 is the first evidence
+// that for the *fractional* relaxation it cannot.)
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/matching/maximal_matching.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace {
+
+using namespace ldlb;
+
+int pr_rounds(NodeId n, int delta, Rng& rng) {
+  IdGraph g = with_sequential_ids(
+      make_random_bounded_degree(n, delta, 0.9, rng));
+  rng.shuffle(g.ids);
+  return panconesi_rizzi_matching(g).rounds;
+}
+
+int ii_rounds(NodeId n, int delta, Rng& rng, int trials = 5) {
+  int worst = 0;
+  for (int t = 0; t < trials; ++t) {
+    Multigraph g = make_random_bounded_degree(n, delta, 0.9, rng);
+    worst = std::max(worst, israeli_itai_matching(g, rng).rounds);
+  }
+  return worst;
+}
+
+void report() {
+  Rng rng{71};
+  bench::section("§1.1 series A: rounds vs Δ (n = 400)");
+  bench::Table ta{{"delta", "PanconesiRizzi", "IsraeliItai(max of 5)"}};
+  ta.print_header();
+  for (int delta : {2, 4, 8, 16, 32}) {
+    ta.print_row(delta, pr_rounds(400, delta, rng),
+                 ii_rounds(400, delta, rng));
+  }
+  bench::section("§1.1 series B: rounds vs n (Δ = 4)");
+  bench::Table tb{{"n", "PanconesiRizzi", "IsraeliItai(max of 5)"}};
+  tb.print_header();
+  for (NodeId n : {50, 200, 800, 3200}) {
+    tb.print_row(n, pr_rounds(n, 4, rng), ii_rounds(n, 4, rng));
+  }
+  std::cout << "\nShape: PR is linear in Δ and flat in n; II is flat in Δ\n"
+               "and grows gently with n — the O(Δ + log* n) vs O(log n)\n"
+               "trade-off of Section 1.1.\n";
+}
+
+void BM_PanconesiRizzi(benchmark::State& state) {
+  Rng rng{72};
+  IdGraph g = with_sequential_ids(make_random_bounded_degree(
+      static_cast<NodeId>(state.range(0)), 6, 0.9, rng));
+  for (auto _ : state) {
+    auto run = panconesi_rizzi_matching(g);
+    benchmark::DoNotOptimize(run.rounds);
+  }
+}
+BENCHMARK(BM_PanconesiRizzi)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IsraeliItai(benchmark::State& state) {
+  Rng rng{73};
+  Multigraph g = make_random_bounded_degree(
+      static_cast<NodeId>(state.range(0)), 6, 0.9, rng);
+  for (auto _ : state) {
+    auto run = israeli_itai_matching(g, rng);
+    benchmark::DoNotOptimize(run.rounds);
+  }
+}
+BENCHMARK(BM_IsraeliItai)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LDLB_BENCH_MAIN(report)

@@ -1,0 +1,93 @@
+// Bring-your-own-graph driver: read a graph file, run a chosen maximal-FM
+// algorithm, verify, and optionally emit Graphviz with the weights.
+//
+//   $ ./custom_workload <graph-file> [seq|two|po] [--dot]
+//
+// Graph file format (see graph/graph_io.hpp):
+//   multigraph <nodes> <edges>
+//   e <u> <v> <colour>       (colour -1 = uncoloured; the tool colours
+//                             uncoloured simple graphs with Misra–Gries)
+//
+// Example:
+//   $ printf 'multigraph 3 2\ne 0 1 -1\ne 1 2 -1\n' > /tmp/p3.graph
+//   $ ./custom_workload /tmp/p3.graph seq --dot
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "ldlb/core/sim_ec_po.hpp"
+#include "ldlb/graph/dot_export.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/graph_io.hpp"
+#include "ldlb/graph/misra_gries.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/proposal_packing.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/matching/two_phase_packing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ldlb;
+  if (argc < 2) {
+    std::cerr << "usage: custom_workload <graph-file> [seq|two|po] [--dot]\n";
+    return 2;
+  }
+  const std::string algo = argc > 2 ? argv[2] : "seq";
+  const bool want_dot = argc > 3 && std::string(argv[3]) == "--dot";
+
+  std::ifstream in{argv[1]};
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 2;
+  }
+  Multigraph g = read_multigraph(in);
+
+  // Colour if needed: Misra-Gries (Δ+1) for simple graphs, greedy (≤ 2Δ-1)
+  // when loops/parallels are present.
+  if (!g.has_proper_edge_coloring()) {
+    g = g.is_simple() ? misra_gries_coloring(g) : greedy_edge_coloring(g);
+    std::cerr << "coloured with " << colors_used(g) << " colours\n";
+  }
+  int k = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    k = std::max(k, g.edge(e).color + 1);
+  }
+
+  std::unique_ptr<EcAlgorithm> alg;
+  std::unique_ptr<PoAlgorithm> inner;
+  int budget = 0;
+  if (algo == "seq") {
+    alg = std::make_unique<SeqColorPacking>(k);
+    budget = k + 1;
+  } else if (algo == "two") {
+    alg = std::make_unique<TwoPhasePacking>(k);
+    budget = 2 * k + 1;
+  } else if (algo == "po") {
+    inner = std::make_unique<ProposalPacking>();
+    alg = std::make_unique<EcFromPo>(*inner);
+    budget = proposal_packing_round_budget(g.node_count(), 2 * g.edge_count());
+  } else {
+    std::cerr << "unknown algorithm '" << algo << "'\n";
+    return 2;
+  }
+
+  RunResult r = run_ec(g, *alg, budget);
+  auto check = check_maximal(g, r.matching);
+  std::cerr << alg->name() << ": " << r.rounds << " rounds, " << r.messages
+            << " messages (" << r.message_bytes << " bytes), weight "
+            << r.matching.total_weight() << ", maximal: "
+            << (check.ok ? "yes" : check.reason) << "\n";
+
+  if (want_dot) {
+    DotOptions opts;
+    opts.matching = &r.matching;
+    std::cout << to_dot(g, opts);
+  } else {
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& ed = g.edge(e);
+      std::cout << ed.u << " " << ed.v << " " << r.matching.weight(e) << "\n";
+    }
+  }
+  return check.ok ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// The Section-5 simulation chain EC ⇐ PO ⇐ OI ⇐ ID, end to end.
+//
+//   $ ./simulation_pipeline
+//
+// Demonstrates, at small scale, every link the paper uses to transport the
+// EC lower bound up to the full LOCAL model:
+//
+//   ID ⇒ OI (§5.4): a correct but order-*sensitive* ID algorithm breaks
+//        the chain with a naive identifier pool and works with a
+//        parity-homogeneous pool — the kind of set the Naor–Stockmeyer
+//        Ramsey extraction finds;
+//   OI ⇒ PO (§5.3): the order-invariant algorithm runs on PO graphs
+//        through the canonically ordered universal cover (Lemma 4);
+//   PO ⇒ EC (§5.1): the PO proposal algorithm runs on EC graphs through
+//        the arc-doubling wrapper, and the Section-4 adversary then defeats
+//        it — closing the loop of §5.5.
+#include <iostream>
+
+#include "ldlb/core/adversary.hpp"
+#include "ldlb/core/sim_ec_po.hpp"
+#include "ldlb/core/sim_oi_id.hpp"
+#include "ldlb/core/sim_po_oi.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/po_full_info.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/id_packing.hpp"
+#include "ldlb/matching/proposal_packing.hpp"
+
+int main() {
+  using namespace ldlb;
+
+  std::cout << "== ID => OI (Section 5.4: tricky identifiers) ==\n";
+  ParityQuirkPacking id_alg{4};
+  Digraph loopy(2);
+  loopy.add_arc(0, 1, 0);
+  loopy.add_arc(0, 0, 1);
+  loopy.add_arc(1, 1, 1);
+  {
+    std::vector<std::uint64_t> naive;
+    for (std::uint64_t i = 0; i < 20000; ++i) naive.push_back(i);
+    IdAsOi broken{id_alg, naive};
+    try {
+      simulate_oi_on_po(loopy, broken);
+      std::cout << "naive id pool: unexpectedly consistent\n";
+    } catch (const ContractViolation&) {
+      std::cout << "naive id pool: views disagree — the algorithm's output\n"
+                   "  depends on identifier *values*, not just their order\n";
+    }
+  }
+  {
+    std::vector<std::uint64_t> even;
+    for (std::uint64_t i = 0; i < 20000; ++i) even.push_back(2 * i);
+    IdAsOi fixed{id_alg, even};
+    FractionalMatching y = simulate_oi_on_po(loopy, fixed);
+    std::cout << "Ramsey-style pool (all even ids): chain completes, "
+              << "maximal: " << (check_maximal(loopy, y).ok ? "yes" : "NO")
+              << "\n";
+  }
+
+  std::cout << "\n== OI => PO (Section 5.3: canonical order on UG) ==\n";
+  {
+    Digraph cycle = make_directed_cycle(8);
+    RankSeededPacking aoi{4};
+    FractionalMatching y = simulate_oi_on_po(cycle, aoi);
+    std::cout << "order-invariant algorithm on a directed 8-cycle via "
+              << "(UG, ≺): maximal: "
+              << (check_maximal(cycle, y).ok ? "yes" : "NO") << "\n";
+  }
+
+  std::cout << "\n== PO => EC (Section 5.1) and the adversary (§5.5) ==\n";
+  {
+    ProposalPacking po;
+    EcFromPo ec_alg{po};
+    AdversaryOptions opts;
+    opts.max_rounds = 20000;
+    const int delta = 5;
+    LowerBoundCertificate cert = run_adversary(ec_alg, delta, opts);
+    std::cout << "adversary vs simulated PO algorithm at Δ = " << delta
+              << ": certified radius " << cert.certified_radius()
+              << " (= Δ-2), valid: "
+              << (certificate_is_valid(cert, ec_alg, false) ? "yes" : "NO")
+              << "\n";
+  }
+
+  std::cout << "\n== The whole of §5.5 in one run ==\n";
+  {
+    // ID algorithm -> IdAsOi -> PoFromOi -> EcFromPo -> adversary.
+    std::vector<std::uint64_t> pool;
+    for (std::uint64_t i = 0; i < 400000; ++i) pool.push_back(i);
+    RankPackingId id_alg{2};
+    IdAsOi oi{id_alg, pool};
+    PoFromOi po_alg{oi};
+    EcFromPo ec_alg{po_alg};
+    AdversaryOptions opts;
+    opts.max_rounds = 100;
+    LowerBoundCertificate cert = run_adversary(ec_alg, 3, opts);
+    std::cout << "ID algorithm '" << id_alg.name()
+              << "' transported through OI, PO and EC; adversary certifies "
+              << "radius " << cert.certified_radius() << " at Δ = 3, valid: "
+              << (certificate_is_valid(cert, ec_alg, false) ? "yes" : "NO")
+              << "\n";
+  }
+
+  std::cout << "\nConclusion (the paper's §5.5): a fast algorithm in ANY of\n"
+               "the four models would yield a fast EC algorithm — which the\n"
+               "Section-4 adversary rules out. Hence Ω(Δ) in full LOCAL.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Application: distributed 2-approximate vertex cover from maximal edge
+// packing — the use case behind the O(Δ)-round algorithm [3, 4] whose
+// optimality the paper proves.
+//
+//   $ ./vertex_cover_app [nodes] [max_degree]   (defaults 24, 5)
+//
+// Runs the EC packing, takes the saturated nodes as the cover, verifies
+// coverage, and compares against the exact optimum (branch and bound).
+#include <cstdlib>
+#include <iostream>
+
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/matching/vertex_cover.hpp"
+#include "ldlb/util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ldlb;
+  const NodeId n = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int max_deg = argc > 2 ? std::atoi(argv[2]) : 5;
+  if (n < 2 || n > 40 || max_deg < 1) {
+    std::cerr << "usage: vertex_cover_app [nodes<=40] [max_degree]\n";
+    return 2;
+  }
+
+  Rng rng{7};
+  Multigraph g = make_random_bounded_degree(n, max_deg, 0.9, rng);
+  Multigraph colored = greedy_edge_coloring(g);
+  int k = colors_used(colored);
+  std::cout << "Graph: " << n << " nodes, " << g.edge_count()
+            << " edges, Δ = " << g.max_degree() << ", " << k << " colours\n";
+
+  SeqColorPacking alg{k};
+  RunResult run = run_ec(colored, alg, k + 1);
+  std::cout << "Maximal edge packing computed in " << run.rounds
+            << " rounds (weight " << run.matching.total_weight() << ")\n";
+
+  auto cover = vertex_cover_from_packing(colored, run.matching);
+  bool covers = is_vertex_cover(colored, cover);
+  int opt = min_vertex_cover_size(g);
+  std::cout << "Saturated nodes form a vertex cover: "
+            << (covers ? "yes" : "NO") << "\n";
+  std::cout << "cover size " << cover.size() << " vs optimum " << opt
+            << "  (ratio "
+            << (opt == 0 ? 1.0 : static_cast<double>(cover.size()) / opt)
+            << ", guarantee <= 2)\n";
+  std::cout << "cover nodes:";
+  for (NodeId v : cover) std::cout << " " << v;
+  std::cout << "\n";
+
+  std::cout << "\nTheorem 1's message: the " << run.rounds
+            << "-round packing above is asymptotically optimal — no o(Δ)\n"
+               "algorithm can produce it, in any of the four models.\n";
+  return covers && static_cast<int>(cover.size()) <= 2 * opt ? 0 : 1;
+}

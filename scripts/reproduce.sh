@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, test, run every benchmark report, and
+# leave the captured outputs next to the sources.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+
+echo "Reproduction complete: see test_output.txt and bench_output.txt,"
+echo "EXPERIMENTS.md for the paper-vs-measured index."

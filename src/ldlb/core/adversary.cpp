@@ -1,0 +1,183 @@
+#include "ldlb/core/adversary.hpp"
+
+#include "ldlb/core/base_case.hpp"
+#include "ldlb/core/propagation.hpp"
+#include "ldlb/cover/lift.hpp"
+#include "ldlb/cover/loopiness.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/view/ball.hpp"
+#include "ldlb/view/isomorphism.hpp"
+
+namespace ldlb {
+
+namespace {
+
+int round_budget(int delta, const AdversaryOptions& options) {
+  return options.max_rounds > 0 ? options.max_rounds
+                                : 16 * (delta + 2) * (delta + 2);
+}
+
+// Checks that the algorithm treated the 2-lift anonymously: the two copies
+// of every surviving edge got equal weights, and the unfolded edge kept the
+// original loop's weight (eq. (2)).
+void check_lift_invariance(const FractionalMatching& y_lift,
+                           EdgeId surviving_edges, const Rational& loop_weight,
+                           const std::string& algo) {
+  for (EdgeId j = 0; j < surviving_edges; ++j) {
+    LDLB_REQUIRE_MSG(
+        y_lift.weight(2 * j) == y_lift.weight(2 * j + 1),
+        "algorithm '" << algo
+                      << "' is not lift-invariant: the two copies of edge "
+                      << j << " got different weights — not an EC algorithm");
+  }
+  LDLB_REQUIRE_MSG(
+      y_lift.weight(2 * surviving_edges) == loop_weight,
+      "algorithm '" << algo
+                    << "' is not lift-invariant: the unfolded loop changed "
+                       "weight from " << loop_weight << " to "
+                    << y_lift.weight(2 * surviving_edges));
+}
+
+void verify_level(const CertificateLevel& lv, int delta,
+                  const AdversaryOptions& options) {
+  if (options.verify_p1) {
+    Ball bg = extract_ball(lv.g, lv.g_node, lv.level);
+    Ball bh = extract_ball(lv.h, lv.h_node, lv.level);
+    LDLB_ENSURE_MSG(balls_isomorphic(bg, bh),
+                    "level " << lv.level
+                             << ": witness neighbourhoods not isomorphic");
+    LDLB_ENSURE_MSG(lv.g_weight != lv.h_weight,
+                    "level " << lv.level << ": witness weights equal");
+  }
+  if (options.verify_p2) {
+    int need = delta - 1 - lv.level;
+    LDLB_ENSURE_MSG(loopiness(lv.g) >= need && loopiness(lv.h) >= need,
+                    "level " << lv.level << ": pair is not " << need
+                             << "-loopy");
+  }
+}
+
+// Builds the mix graph GH (Section 4.3): a copy of G − e, a copy of H − f,
+// and a new colour-c edge joining g and h. Edge ids: G − e edges first (in
+// without_edge order), then H − f edges, then the joining edge last.
+Multigraph build_mix(const Multigraph& g, EdgeId e, NodeId g_node,
+                     const Multigraph& h, EdgeId f, NodeId h_node, Color c) {
+  Multigraph mix(g.node_count() + h.node_count());
+  for (EdgeId j = 0; j < g.edge_count(); ++j) {
+    if (j == e) continue;
+    const auto& ed = g.edge(j);
+    mix.add_edge(ed.u, ed.v, ed.color);
+  }
+  const NodeId off = g.node_count();
+  for (EdgeId j = 0; j < h.edge_count(); ++j) {
+    if (j == f) continue;
+    const auto& ed = h.edge(j);
+    mix.add_edge(ed.u + off, ed.v + off, ed.color);
+  }
+  mix.add_edge(g_node, h_node + off, c);
+  return mix;
+}
+
+}  // namespace
+
+CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
+                                const CertificateLevel& prev,
+                                const AdversaryOptions& options) {
+  const int budget = round_budget(delta, options);
+  const Multigraph& g = prev.g;
+  const Multigraph& h = prev.h;
+
+  // Mix first: its weight on the new colour-c edge decides which unfolding
+  // becomes the next G.
+  Multigraph gh =
+      build_mix(g, prev.g_loop, prev.g_node, h, prev.h_loop, prev.h_node,
+                prev.c);
+  const EdgeId g_surviving = g.edge_count() - 1;
+  const EdgeId h_surviving = h.edge_count() - 1;
+  const EdgeId mix_edge = gh.edge_count() - 1;
+  FractionalMatching y_gh = run_ec(gh, algorithm, budget).matching;
+  const Rational w_mix = y_gh.weight(mix_edge);
+
+  CertificateLevel next;
+  next.level = prev.level + 1;
+
+  if (w_mix != prev.g_weight) {
+    // Case (GG, GH): the disagreement lives in the shared copy of G − e.
+    TwoLift gg = unfold_loop(g, prev.g_loop);
+    FractionalMatching y_gg = run_ec(gg.graph, algorithm, budget).matching;
+    check_lift_invariance(y_gg, g_surviving, prev.g_weight, algorithm.name());
+
+    Multigraph common = g.without_edge(prev.g_loop);
+    FractionalMatching y1(g_surviving), y2(g_surviving);
+    for (EdgeId j = 0; j < g_surviving; ++j) {
+      y1.set_weight(j, y_gg.weight(2 * j));   // copy 0 of GG
+      y2.set_weight(j, y_gh.weight(j));       // G-part of GH
+    }
+    // Seed: the colour-c end at g carries w_e in GG and w_mix in GH.
+    PropagationResult hit =
+        propagate_disagreement(common, y1, y2, prev.g_node, kNoEdge);
+
+    next.g = std::move(gg.graph);
+    next.h = std::move(gh);
+    next.g_node = hit.node;  // copy 0 keeps base ids
+    next.h_node = hit.node;  // G-part of GH keeps base ids
+    next.c = common.edge(hit.loop).color;
+    next.g_loop = 2 * hit.loop;
+    next.h_loop = hit.loop;
+    next.g_weight = y1.weight(hit.loop);
+    next.h_weight = y2.weight(hit.loop);
+    next.propagation_steps = static_cast<int>(hit.path.size());
+  } else {
+    // w_mix == w_e != w_f — case (HH, GH): disagreement in the copy of H−f.
+    LDLB_ENSURE(w_mix != prev.h_weight);
+    TwoLift hh = unfold_loop(h, prev.h_loop);
+    FractionalMatching y_hh = run_ec(hh.graph, algorithm, budget).matching;
+    check_lift_invariance(y_hh, h_surviving, prev.h_weight, algorithm.name());
+
+    Multigraph common = h.without_edge(prev.h_loop);
+    FractionalMatching y1(h_surviving), y2(h_surviving);
+    for (EdgeId j = 0; j < h_surviving; ++j) {
+      y1.set_weight(j, y_hh.weight(2 * j));             // copy 0 of HH
+      y2.set_weight(j, y_gh.weight(g_surviving + j));   // H-part of GH
+    }
+    PropagationResult hit =
+        propagate_disagreement(common, y1, y2, prev.h_node, kNoEdge);
+
+    next.g = std::move(hh.graph);
+    next.h = std::move(gh);
+    next.g_node = hit.node;
+    next.h_node = hit.node + g.node_count();  // H-part of GH is offset
+    next.c = common.edge(hit.loop).color;
+    next.g_loop = 2 * hit.loop;
+    next.h_loop = g_surviving + hit.loop;
+    next.g_weight = y1.weight(hit.loop);
+    next.h_weight = y2.weight(hit.loop);
+    next.propagation_steps = static_cast<int>(hit.path.size());
+  }
+
+  verify_level(next, delta, options);
+  return next;
+}
+
+LowerBoundCertificate run_adversary(EcAlgorithm& algorithm, int delta,
+                                    const AdversaryOptions& options) {
+  LDLB_REQUIRE(delta >= 2);
+  LowerBoundCertificate cert;
+  cert.delta = delta;
+  cert.algorithm_name = algorithm.name();
+
+  CertificateLevel level =
+      build_base_case(algorithm, delta, round_budget(delta, options));
+  verify_level(level, delta, options);
+  cert.levels.push_back(level);
+  // Steps for i = 0 .. Δ-3 produce levels 1 .. Δ-2; beyond that the pairs
+  // would no longer be loopy and Lemma 2 stops forcing saturation.
+  for (int i = 0; i + 1 <= delta - 2; ++i) {
+    level = adversary_step(algorithm, delta, level, options);
+    cert.levels.push_back(level);
+  }
+  LDLB_ENSURE(cert.certified_radius() == delta - 2);
+  return cert;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,58 @@
+// The unfold-and-mix adversary (Section 4 of the paper) — Step 1 of the
+// lower-bound proof, as an executable construction.
+//
+// Given any correct maximal-FM algorithm A in the EC model (a black box
+// behind the EcAlgorithm interface), the adversary builds the inductive
+// chain of graph pairs (G_i, H_i), i = 0..Δ-2, of Section 4:
+//
+//   base case   G_0 = one node with Δ coloured loops, H_0 = G_0 − e
+//               (base_case.hpp);
+//   step        unfold the witness loop e of G_i into the 2-lift GG, mix
+//               G_i − e with H_i − f into GH, compare A's weight on the new
+//               colour-c edge with its weights on e and f, and propagate the
+//               resulting disagreement (Fact 3) through the common part
+//               until it rests on a loop e* — the next witness.
+//
+// Every level is recorded in a LowerBoundCertificate; the level-i pair has
+// isomorphic radius-i neighbourhoods around its witnesses yet different
+// outputs there, certifying that A is not i-local. A complete chain reaches
+// level Δ-2: A needs Ω(Δ) rounds.
+//
+// The adversary relies on A's lift-invariance (eq. (2)) — the defining
+// property of an anonymous algorithm — and *checks* it along the way: after
+// unfolding, the two copies of every edge must receive equal weights, and
+// the unfolded edge must keep the original loop's weight. A non-anonymous
+// impostor is rejected with a diagnostic rather than silently producing a
+// bogus certificate.
+#pragma once
+
+#include "ldlb/core/certificate.hpp"
+#include "ldlb/local/algorithm.hpp"
+
+namespace ldlb {
+
+/// Tuning knobs for the adversary run.
+struct AdversaryOptions {
+  /// Upper bound on simulated rounds per run (guards non-terminating
+  /// algorithms); 0 means "use 16·(Δ+2)²".
+  int max_rounds = 0;
+  /// Re-check property (P1) — ball isomorphism + output difference — as
+  /// each level is built (cheap; also rechecked by the validator).
+  bool verify_p1 = true;
+  /// Re-check property (P2) — (Δ-1-i)-loopiness — as each level is built
+  /// (factor-graph computation; disable for large Δ sweeps).
+  bool verify_p2 = false;
+};
+
+/// Runs the full adversary against `algorithm` at maximum degree `delta`,
+/// producing the chain of levels 0..delta-2.
+LowerBoundCertificate run_adversary(EcAlgorithm& algorithm, int delta,
+                                    const AdversaryOptions& options = {});
+
+/// One inductive step (Section 4.3): from a valid level-i pair to a level-
+/// (i+1) pair. Exposed separately so benchmarks can measure per-level cost.
+CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
+                                const CertificateLevel& prev,
+                                const AdversaryOptions& options = {});
+
+}  // namespace ldlb

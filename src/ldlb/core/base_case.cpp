@@ -1,0 +1,59 @@
+#include "ldlb/core/base_case.hpp"
+
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/simulator.hpp"
+
+namespace ldlb {
+
+CertificateLevel build_base_case(EcAlgorithm& algorithm, int delta,
+                                 int max_rounds) {
+  LDLB_REQUIRE(delta >= 2);
+  Multigraph g0 = make_loop_star(delta);
+  RunResult run_g = run_ec(g0, algorithm, max_rounds);
+
+  // Find a loop with non-zero weight; one exists because the node must be
+  // saturated (Lemma 2).
+  EdgeId removed = kNoEdge;
+  for (EdgeId e = 0; e < g0.edge_count(); ++e) {
+    if (!run_g.matching.weight(e).is_zero()) {
+      removed = e;
+      break;
+    }
+  }
+  LDLB_REQUIRE_MSG(removed != kNoEdge,
+                   "algorithm '" << algorithm.name()
+                                 << "' failed to saturate the base-case node "
+                                    "— it does not compute a maximal FM");
+
+  Multigraph h0 = g0.without_edge(removed);
+  RunResult run_h = run_ec(h0, algorithm, max_rounds);
+
+  // Locate a shared loop whose weight changed. Shared loops are indexed by
+  // colour: g0's loop of colour c has edge id c; in h0 the ids shift past
+  // the removed one.
+  CertificateLevel lv;
+  lv.level = 0;
+  lv.g = std::move(g0);
+  lv.h = std::move(h0);
+  lv.g_node = 0;
+  lv.h_node = 0;
+  for (EdgeId e = 0; e < lv.g.edge_count(); ++e) {
+    if (e == removed) continue;
+    EdgeId e_in_h = e < removed ? e : e - 1;
+    const Rational& wg = run_g.matching.weight(e);
+    const Rational& wh = run_h.matching.weight(e_in_h);
+    if (wg != wh) {
+      lv.c = lv.g.edge(e).color;
+      lv.g_loop = e;
+      lv.h_loop = e_in_h;
+      lv.g_weight = wg;
+      lv.h_weight = wh;
+      return lv;
+    }
+  }
+  LDLB_ENSURE_MSG(false,
+                  "no shared base-case loop changed weight — impossible for "
+                  "a correct maximal-FM algorithm");
+}
+
+}  // namespace ldlb

@@ -1,0 +1,26 @@
+// Base case of the lower-bound construction (Section 4.2, Figure 5).
+//
+// G_0 is a single node with Δ differently coloured loops. Any correct EC
+// algorithm must saturate the node (Lemma 2: G_0 is Δ-loopy), so some loop e
+// gets a non-zero weight. H_0 := G_0 − e is still (Δ-1)-loopy, so the
+// algorithm saturates its node too; the remaining loops summed to 1 − y(e)
+// < 1 in G_0 but must sum to 1 in H_0, so some *shared* loop changed weight.
+// That loop's colour is c_0 and the pair satisfies (P1)–(P3) — recall that
+// τ_0 is the bare node (loops live at distance 1), so the 0-neighbourhoods
+// are trivially isomorphic.
+#pragma once
+
+#include "ldlb/core/certificate.hpp"
+#include "ldlb/local/algorithm.hpp"
+
+namespace ldlb {
+
+/// Builds the level-0 pair by running `algorithm` on G_0 and H_0.
+/// `max_rounds` bounds each run. Throws ContractViolation if the algorithm
+/// fails to saturate G_0's node (i.e. it is not a correct maximal-FM
+/// algorithm) or if no shared loop changes weight (impossible for correct
+/// algorithms).
+CertificateLevel build_base_case(EcAlgorithm& algorithm, int delta,
+                                 int max_rounds);
+
+}  // namespace ldlb

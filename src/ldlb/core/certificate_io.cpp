@@ -1,0 +1,106 @@
+#include "ldlb/core/certificate_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+namespace {
+
+void write_graph(std::ostream& os, const char* tag, const Multigraph& g) {
+  os << tag << " " << g.node_count() << " " << g.edge_count() << "\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    os << "e " << ed.u << " " << ed.v << " " << ed.color << "\n";
+  }
+}
+
+Multigraph read_graph(std::istream& is, const std::string& tag) {
+  std::string word;
+  is >> word;
+  LDLB_REQUIRE_MSG(word == tag, "expected '" << tag << "', got '" << word
+                                             << "'");
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  is >> nodes >> edges;
+  LDLB_REQUIRE_MSG(is.good() && nodes >= 0 && edges >= 0,
+                   "malformed graph header");
+  Multigraph g(nodes);
+  for (EdgeId e = 0; e < edges; ++e) {
+    is >> word;
+    LDLB_REQUIRE_MSG(word == "e", "expected edge line");
+    NodeId u = 0, v = 0;
+    Color c = 0;
+    is >> u >> v >> c;
+    LDLB_REQUIRE_MSG(is.good(), "malformed edge line");
+    g.add_edge(u, v, c);
+  }
+  return g;
+}
+
+}  // namespace
+
+void write_certificate(std::ostream& os, const LowerBoundCertificate& cert) {
+  os << "ldlb-certificate 1\n";
+  os << "delta " << cert.delta << "\n";
+  os << "algorithm " << cert.algorithm_name << "\n";
+  for (const auto& lv : cert.levels) {
+    os << "level " << lv.level << "\n";
+    write_graph(os, "g", lv.g);
+    write_graph(os, "h", lv.h);
+    os << "witness " << lv.g_node << " " << lv.h_node << " " << lv.c << " "
+       << lv.g_loop << " " << lv.h_loop << " " << lv.g_weight.to_string()
+       << " " << lv.h_weight.to_string() << " " << lv.propagation_steps
+       << "\n";
+  }
+  os << "end\n";
+}
+
+LowerBoundCertificate read_certificate(std::istream& is) {
+  std::string word;
+  int version = 0;
+  is >> word >> version;
+  LDLB_REQUIRE_MSG(word == "ldlb-certificate" && version == 1,
+                   "not an ldlb certificate (v1)");
+  LowerBoundCertificate cert;
+  is >> word >> cert.delta;
+  LDLB_REQUIRE_MSG(word == "delta" && is.good(), "malformed delta line");
+  is >> word >> cert.algorithm_name;
+  LDLB_REQUIRE_MSG(word == "algorithm" && is.good(),
+                   "malformed algorithm line");
+  for (;;) {
+    is >> word;
+    LDLB_REQUIRE_MSG(is.good(), "unexpected end of certificate");
+    if (word == "end") break;
+    LDLB_REQUIRE_MSG(word == "level", "expected 'level' or 'end'");
+    CertificateLevel lv;
+    is >> lv.level;
+    lv.g = read_graph(is, "g");
+    lv.h = read_graph(is, "h");
+    is >> word;
+    LDLB_REQUIRE_MSG(word == "witness", "expected witness line");
+    std::string wg, wh;
+    is >> lv.g_node >> lv.h_node >> lv.c >> lv.g_loop >> lv.h_loop >> wg >>
+        wh >> lv.propagation_steps;
+    LDLB_REQUIRE_MSG(is.good(), "malformed witness line");
+    lv.g_weight = Rational::from_string(wg);
+    lv.h_weight = Rational::from_string(wh);
+    cert.levels.push_back(std::move(lv));
+  }
+  return cert;
+}
+
+std::string certificate_to_string(const LowerBoundCertificate& cert) {
+  std::ostringstream os;
+  write_certificate(os, cert);
+  return os.str();
+}
+
+LowerBoundCertificate certificate_from_string(const std::string& text) {
+  std::istringstream is{text};
+  return read_certificate(is);
+}
+
+}  // namespace ldlb

@@ -1,0 +1,40 @@
+// Serialisation of lower-bound certificates.
+//
+// Certificates are the repository's primary artefact: a third party should
+// be able to store one, ship it, reload it and re-validate it against the
+// algorithm without trusting the process that produced it. The format is a
+// line-oriented text format (stable, diff-able, no external dependencies):
+//
+//   ldlb-certificate 1
+//   delta <d>
+//   algorithm <name>
+//   level <i>
+//   g <nodes> <edges>
+//   e <u> <v> <colour>        (edges of G_i, in id order)
+//   h <nodes> <edges>
+//   e <u> <v> <colour>        (edges of H_i)
+//   witness <g_node> <h_node> <colour> <g_loop> <h_loop> <w_g> <w_h> <steps>
+//   ...
+//   end
+//
+// Weights are exact rationals rendered as "num/den".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ldlb/core/certificate.hpp"
+
+namespace ldlb {
+
+/// Writes the certificate in the text format above.
+void write_certificate(std::ostream& os, const LowerBoundCertificate& cert);
+
+/// Parses a certificate; throws ContractViolation on malformed input.
+LowerBoundCertificate read_certificate(std::istream& is);
+
+/// Convenience round-trips through strings.
+std::string certificate_to_string(const LowerBoundCertificate& cert);
+LowerBoundCertificate certificate_from_string(const std::string& text);
+
+}  // namespace ldlb

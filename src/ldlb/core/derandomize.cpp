@@ -1,0 +1,136 @@
+#include "ldlb/core/derandomize.hpp"
+
+#include <set>
+
+#include "ldlb/matching/checker.hpp"
+
+namespace ldlb {
+
+std::vector<Rational> FixedTapeAlgorithm::run(
+    const Ball& ball, const std::vector<std::uint64_t>& ids) {
+  std::vector<std::uint64_t> tapes;
+  tapes.reserve(ids.size());
+  for (std::uint64_t id : ids) {
+    auto it = rho_.find(id);
+    LDLB_REQUIRE_MSG(it != rho_.end(), "no tape assigned to id " << id);
+    tapes.push_back(it->second);
+  }
+  return inner_->run(ball, ids, tapes);
+}
+
+std::vector<Multigraph> all_simple_graphs(NodeId n) {
+  LDLB_REQUIRE_MSG(n >= 0 && n <= 5, "graph enumeration kept to n <= 5");
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) pairs.push_back({u, v});
+  }
+  std::vector<Multigraph> out;
+  const std::uint64_t total = std::uint64_t{1} << pairs.size();
+  out.reserve(total);
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    Multigraph g(n);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if ((mask >> i) & 1) g.add_edge(pairs[i].first, pairs[i].second);
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+bool correct_on(const IdGraph& g, IdViewAlgorithm& alg) {
+  try {
+    FractionalMatching y = run_id_view(g, alg);
+    return check_maximal(g.graph, y).ok;
+  } catch (const ContractViolation&) {
+    // Inconsistent per-view announcements also count as failure.
+    return false;
+  }
+}
+
+RandomPriorityPacking::RandomPriorityPacking(int phases, int priority_bits)
+    : phases_(phases), priority_bits_(priority_bits) {
+  LDLB_REQUIRE(phases >= 0);
+  LDLB_REQUIRE(priority_bits >= 1 && priority_bits <= 63);
+}
+
+int RandomPriorityPacking::radius(int) const { return 2 * (phases_ + 1); }
+
+std::uint64_t RandomPriorityPacking::draw_tape(Rng& rng) const {
+  return rng.next_below(std::uint64_t{1} << priority_bits_);
+}
+
+std::vector<Rational> RandomPriorityPacking::run(
+    const Ball& ball, const std::vector<std::uint64_t>&,
+    const std::vector<std::uint64_t>& tapes) {
+  // Declared failure on any priority collision in the ball: output zeros,
+  // which is non-maximal whenever the centre has an edge.
+  std::set<std::uint64_t> seen(tapes.begin(), tapes.end());
+  if (seen.size() != tapes.size()) {
+    return std::vector<Rational>(
+        ball.graph.incident_edges(ball.center).size(), Rational(0));
+  }
+  std::vector<int> ranks = ranks_of_ids(tapes);
+  FractionalMatching y = rank_seeded_packing(ball.graph, ranks, phases_);
+  std::vector<Rational> out;
+  for (EdgeId e : ball.graph.incident_edges(ball.center)) {
+    out.push_back(y.weight(e));
+  }
+  return out;
+}
+
+std::optional<DerandomizationResult> find_good_tape_assignment(
+    RandomPriorityPacking& a, NodeId n, Rng& rng, int max_sets,
+    int samples_per_set) {
+  std::vector<Multigraph> graphs = all_simple_graphs(n);
+  DerandomizationResult result;
+  for (int set_idx = 0; set_idx < max_sets; ++set_idx) {
+    ++result.sets_tried;
+    // Disjoint candidate sets X_i = {i*n, ..., i*n + n - 1}.
+    std::vector<std::uint64_t> ids(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      ids[static_cast<std::size_t>(v)] =
+          static_cast<std::uint64_t>(set_idx) * static_cast<std::uint64_t>(n) +
+          static_cast<std::uint64_t>(v);
+    }
+    for (int sample = 0; sample < samples_per_set; ++sample) {
+      ++result.samples_tried;
+      std::map<std::uint64_t, std::uint64_t> rho;
+      for (std::uint64_t id : ids) rho[id] = a.draw_tape(rng);
+      FixedTapeAlgorithm fixed{a, rho};
+      bool all_ok = true;
+      for (const Multigraph& g : graphs) {
+        IdGraph idg;
+        idg.graph = g;
+        idg.ids = ids;
+        if (!correct_on(idg, fixed)) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok) {
+        result.ids = ids;
+        result.rho = std::move(rho);
+        return result;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+double measure_amplification(RandomPriorityPacking& a, const Multigraph& g,
+                             int copies, int trials, Rng& rng) {
+  LDLB_REQUIRE(copies >= 1 && trials >= 1);
+  Multigraph unioned;
+  for (int i = 0; i < copies; ++i) unioned.append_disjoint(g);
+  IdGraph idg = with_sequential_ids(std::move(unioned));
+  int failures = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::map<std::uint64_t, std::uint64_t> rho;
+    for (std::uint64_t id : idg.ids) rho[id] = a.draw_tape(rng);
+    FixedTapeAlgorithm fixed{a, rho};
+    if (!correct_on(idg, fixed)) ++failures;
+  }
+  return static_cast<double>(failures) / trials;
+}
+
+}  // namespace ldlb

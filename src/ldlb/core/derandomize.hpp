@@ -1,0 +1,121 @@
+// Derandomising local algorithms (Appendix B of the paper).
+//
+// A randomised LOCAL algorithm equips every node with a private random bit
+// string; Aρ denotes the deterministic algorithm obtained by fixing the
+// random strings via an assignment ρ : ids → tapes. Lemma 10 (Naor &
+// Stockmeyer) states: for every n there exist an n-set S_n of identifiers
+// and an assignment ρ_n such that Aρ_n is correct on *all* graphs with
+// identifiers from S_n.
+//
+// The proof is an averaging argument over the k(n) graphs on an id set: if
+// every candidate id set failed, each would have a graph failing with
+// probability ≥ 1/k, and the disjoint union of q such graphs would fail
+// with probability 1 − (1 − 1/k)^q → 1, contradicting the correctness of A.
+// Both halves are executable here:
+//
+//   * `find_good_tape_assignment` performs the search over candidate id
+//     sets and sampled assignments, certifying the winner against the full
+//     enumeration of graphs on the id set (`all_simple_graphs`);
+//   * `measure_amplification` measures the disjoint-union failure
+//     amplification curve the argument relies on (bench appb).
+//
+// The concrete randomised algorithm, RandomPriorityPacking, draws a B-bit
+// priority per node and runs the rank-seeded packing on the priority order;
+// it *declares failure* (outputs an all-zero non-maximal matching) whenever
+// two nodes in a ball draw equal priorities, so its failure probability is
+// a tunable ~n²/2^B — exactly the "small failure probability" regime of
+// Appendix B.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ldlb/local/id_model.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+
+/// A randomised ID view algorithm: like IdViewAlgorithm but each ball node
+/// also carries its private random tape (modelled as a 64-bit word).
+class RandomizedIdAlgorithm {
+ public:
+  virtual ~RandomizedIdAlgorithm() = default;
+  [[nodiscard]] virtual int radius(int max_degree) const = 0;
+  virtual std::vector<Rational> run(const Ball& ball,
+                                    const std::vector<std::uint64_t>& ids,
+                                    const std::vector<std::uint64_t>& tapes) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Aρ: the deterministic algorithm obtained by fixing the tapes.
+class FixedTapeAlgorithm : public IdViewAlgorithm {
+ public:
+  FixedTapeAlgorithm(RandomizedIdAlgorithm& inner,
+                     std::map<std::uint64_t, std::uint64_t> rho)
+      : inner_(&inner), rho_(std::move(rho)) {}
+  [[nodiscard]] int radius(int max_degree) const override {
+    return inner_->radius(max_degree);
+  }
+  std::vector<Rational> run(const Ball& ball,
+                            const std::vector<std::uint64_t>& ids) override;
+  [[nodiscard]] std::string name() const override {
+    return "Fixed(" + inner_->name() + ")";
+  }
+
+ private:
+  RandomizedIdAlgorithm* inner_;
+  std::map<std::uint64_t, std::uint64_t> rho_;
+};
+
+/// All simple graphs on nodes {0..n-1} (2^(n(n-1)/2) of them; keep n <= 5).
+std::vector<Multigraph> all_simple_graphs(NodeId n);
+
+/// True iff Aρ outputs a maximal FM on g.
+bool correct_on(const IdGraph& g, IdViewAlgorithm& alg);
+
+/// The concrete randomised maximal-FM algorithm described above.
+class RandomPriorityPacking : public RandomizedIdAlgorithm {
+ public:
+  /// `priority_bits` = B; failure probability scales like n²/2^B.
+  RandomPriorityPacking(int phases, int priority_bits);
+  [[nodiscard]] int radius(int max_degree) const override;
+  std::vector<Rational> run(const Ball& ball,
+                            const std::vector<std::uint64_t>& ids,
+                            const std::vector<std::uint64_t>& tapes) override;
+  [[nodiscard]] std::string name() const override {
+    return "RandomPriorityPacking";
+  }
+  /// Draws a fresh tape for one node.
+  std::uint64_t draw_tape(Rng& rng) const;
+
+ private:
+  int phases_;
+  int priority_bits_;
+};
+
+/// Lemma 10 search result.
+struct DerandomizationResult {
+  std::vector<std::uint64_t> ids;               ///< S_n
+  std::map<std::uint64_t, std::uint64_t> rho;   ///< ρ_n
+  int sets_tried = 0;
+  int samples_tried = 0;
+};
+
+/// Searches disjoint candidate id sets X_1, X_2, ... (of size n) and, for
+/// each, samples tape assignments until one makes Aρ correct on every graph
+/// of `all_simple_graphs(n)` with the set's identifiers. Returns nullopt if
+/// `max_sets` sets each exhaust `samples_per_set` samples — for a genuinely
+/// correct randomised algorithm this happens with vanishing probability.
+std::optional<DerandomizationResult> find_good_tape_assignment(
+    RandomPriorityPacking& a, NodeId n, Rng& rng, int max_sets,
+    int samples_per_set);
+
+/// Empirical failure probability of A (fresh random tapes per trial) on the
+/// disjoint union of `copies` copies of `g` — the amplification curve of
+/// Lemma 10's proof. Returns the failure fraction over `trials`.
+double measure_amplification(RandomPriorityPacking& a, const Multigraph& g,
+                             int copies, int trials, Rng& rng);
+
+}  // namespace ldlb

@@ -1,0 +1,42 @@
+// Empirical locality audit (eq. (1) as a testable property).
+//
+// A t-time algorithm satisfies A(G, v) = A(τ_t(G, v)): nodes with
+// isomorphic radius-t neighbourhoods must produce identical outputs. The
+// auditor runs an EC algorithm over a corpus of graphs, groups all
+// (graph, node) pairs by rooted ball isomorphism at a chosen radius, and
+// reports every group containing two different outputs — each report is a
+// concrete witness that the algorithm is *not* t-local.
+//
+// This generalises what the Section-4 adversary constructs: feeding the
+// auditor a certificate's pair (G_i, H_i) at radius i must reproduce the
+// certificate's witness, and feeding it a correct O(Δ)-round algorithm at
+// radius ≥ its run time must find nothing.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/local/algorithm.hpp"
+#include "ldlb/util/rational.hpp"
+
+namespace ldlb {
+
+/// One eq.-(1) violation: two nodes with isomorphic radius-r balls whose
+/// outputs differ.
+struct LocalityViolation {
+  int graph_a = 0;  ///< corpus indices
+  int graph_b = 0;
+  NodeId node_a = kNoNode;
+  NodeId node_b = kNoNode;
+  std::map<Color, Rational> output_a;  ///< weight per end colour
+  std::map<Color, Rational> output_b;
+};
+
+/// Audits `algorithm` over the corpus at the given radius. Every graph must
+/// be properly edge-coloured. `max_rounds` bounds each run.
+std::vector<LocalityViolation> audit_locality(
+    EcAlgorithm& algorithm, const std::vector<Multigraph>& corpus, int radius,
+    int max_rounds);
+
+}  // namespace ldlb

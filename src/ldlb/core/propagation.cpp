@@ -1,0 +1,54 @@
+#include "ldlb/core/propagation.hpp"
+
+namespace ldlb {
+
+PropagationResult propagate_disagreement(const Multigraph& g,
+                                         const FractionalMatching& y1,
+                                         const FractionalMatching& y2,
+                                         NodeId start, EdgeId exclude) {
+  LDLB_REQUIRE(y1.edge_count() == g.edge_count());
+  LDLB_REQUIRE(y2.edge_count() == g.edge_count());
+  LDLB_REQUIRE_MSG(g.is_forest_ignoring_loops(),
+                   "propagation requires a tree-with-loops (property P3)");
+
+  auto disagree = [&](EdgeId e) { return y1.weight(e) != y2.weight(e); };
+
+  PropagationResult result;
+  NodeId current = start;
+  EdgeId entered_via = exclude;
+  for (;;) {
+    // Fact 3: the node is saturated by both matchings and they disagree on
+    // the entering end, so some *other* incident edge must disagree too.
+    // Prefer a loop (the walk terminates there); otherwise continue along
+    // any disagreeing tree edge — the tree structure guarantees the walk
+    // moves strictly away from `start` and terminates.
+    EdgeId next_loop = kNoEdge;
+    EdgeId next_tree = kNoEdge;
+    for (EdgeId e : g.incident_edges(current)) {
+      if (e == entered_via || !disagree(e)) continue;
+      if (g.edge(e).is_loop()) {
+        next_loop = e;
+        break;
+      }
+      if (next_tree == kNoEdge) next_tree = e;
+    }
+    if (next_loop != kNoEdge) {
+      result.node = current;
+      result.loop = next_loop;
+      return result;
+    }
+    LDLB_ENSURE_MSG(next_tree != kNoEdge,
+                    "propagation stuck at node "
+                        << current
+                        << ": no further disagreement — Fact 3 violated "
+                           "(unsaturated node or no initial disagreement?)");
+    result.path.push_back(next_tree);
+    // A non-backtracking walk in a tree is a simple path, so this bound can
+    // only trip if the precondition (P3) was violated.
+    LDLB_ENSURE(static_cast<NodeId>(result.path.size()) < g.node_count());
+    current = g.other_endpoint(next_tree, current);
+    entered_via = next_tree;
+  }
+}
+
+}  // namespace ldlb

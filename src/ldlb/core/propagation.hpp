@@ -1,0 +1,48 @@
+// The propagation principle (Fact 3 / Fact 8 of the paper).
+//
+//   Let y and y' be fractional matchings that saturate a node v. If y and y'
+//   disagree on some edge incident to v, they must also disagree on another
+//   edge incident to v.
+//
+// On a tree-with-loops where all nodes are saturated by both matchings, a
+// disagreement therefore *propagates* along tree edges until it is resolved
+// at a loop. The walker below performs that walk; the adversary (Section
+// 4.3) uses it to locate the next level's witness loop e*, and the OI ⇐ ID
+// simulation (Lemma 7) uses the same principle in its contradiction
+// argument.
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+/// Where a propagated disagreement came to rest.
+struct PropagationResult {
+  NodeId node = kNoNode;       ///< g*: the node carrying the witness loop
+  EdgeId loop = kNoEdge;       ///< e*: a loop with y1(e*) != y2(e*)
+  std::vector<EdgeId> path;    ///< the tree edges walked from the start node
+};
+
+/// Walks a disagreement between `y1` and `y2` from `start` until it reaches
+/// a loop.
+///
+/// Preconditions:
+///  * `g` is connected and a tree when loops are ignored (property (P3));
+///  * every node visited is saturated by both matchings *including* the
+///    weight of one external end at `start` that is not part of `g` — the
+///    caller guarantees that the external-end weights differ, which seeds
+///    the walk (pass `exclude = kNoEdge`), or alternatively that `exclude`
+///    is an edge of `g` on which the matchings disagree.
+///
+/// Throws ContractViolation if the walk gets stuck, which would falsify the
+/// propagation principle (it means some visited node was not saturated or
+/// there was no initial disagreement).
+PropagationResult propagate_disagreement(const Multigraph& g,
+                                         const FractionalMatching& y1,
+                                         const FractionalMatching& y2,
+                                         NodeId start, EdgeId exclude);
+
+}  // namespace ldlb

@@ -1,0 +1,165 @@
+#include "ldlb/core/sim_oi_id.hpp"
+
+#include <algorithm>
+
+namespace ldlb {
+
+bool SaturationIndicator::saturates(const Ball& ball,
+                                    const std::vector<std::uint64_t>& ids) {
+  std::vector<Rational> weights = a_->run(ball, ids);
+  Rational sum;
+  for (const Rational& w : weights) sum += w;
+  return sum == Rational(1);
+}
+
+namespace {
+
+// Backtracking search for a subset on which all problems are monochromatic.
+class MonoSearch {
+ public:
+  MonoSearch(const std::vector<std::uint64_t>& universe,
+             const std::vector<RamseyProblem>& problems, int target)
+      : universe_(universe), problems_(problems), target_(target) {
+    seen_color_.resize(problems.size());
+  }
+
+  std::optional<std::vector<std::uint64_t>> run() {
+    chosen_.clear();
+    if (extend(0)) return chosen_;
+    return std::nullopt;
+  }
+
+ private:
+  // Checks every subset of `chosen_` of size arity-1 completed by the new
+  // element; all resulting colours must match the problem's recorded colour.
+  bool consistent(std::size_t problem_idx) {
+    const RamseyProblem& p = problems_[problem_idx];
+    if (static_cast<int>(chosen_.size()) < p.arity) return true;
+    // Enumerate (arity-1)-subsets of chosen_ minus its last element,
+    // complete each with the last element, and colour-check.
+    std::vector<std::uint64_t> subset(static_cast<std::size_t>(p.arity));
+    subset[static_cast<std::size_t>(p.arity) - 1] = chosen_.back();
+    return enumerate(problem_idx, subset, 0, 0);
+  }
+
+  bool enumerate(std::size_t problem_idx, std::vector<std::uint64_t>& subset,
+                 std::size_t depth, std::size_t from) {
+    const RamseyProblem& p = problems_[problem_idx];
+    if (static_cast<int>(depth) == p.arity - 1) {
+      // subset is already sorted: elements were taken in increasing chosen_
+      // order and chosen_ is increasing, with the new (largest) element last.
+      std::uint64_t c = p.color(subset);
+      auto& rec = seen_color_[problem_idx];
+      if (!rec.has_value()) {
+        rec = c;
+        return true;
+      }
+      return *rec == c;
+    }
+    for (std::size_t i = from; i + 1 < chosen_.size(); ++i) {
+      subset[depth] = chosen_[i];
+      if (!enumerate(problem_idx, subset, depth + 1, i + 1)) return false;
+    }
+    return true;
+  }
+
+  bool extend(std::size_t start) {
+    if (static_cast<int>(chosen_.size()) == target_) return true;
+    for (std::size_t i = start; i < universe_.size(); ++i) {
+      chosen_.push_back(universe_[i]);
+      // Snapshot recorded colours so backtracking can undo first-time
+      // recordings made by this element.
+      auto snapshot = seen_color_;
+      bool ok = true;
+      for (std::size_t p = 0; p < problems_.size(); ++p) {
+        if (!consistent(p)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && extend(i + 1)) return true;
+      seen_color_ = std::move(snapshot);
+      chosen_.pop_back();
+    }
+    return false;
+  }
+
+  const std::vector<std::uint64_t>& universe_;
+  const std::vector<RamseyProblem>& problems_;
+  int target_;
+  std::vector<std::uint64_t> chosen_;
+  std::vector<std::optional<std::uint64_t>> seen_color_;
+};
+
+}  // namespace
+
+std::optional<std::vector<std::uint64_t>> find_monochromatic_subset(
+    const std::vector<std::uint64_t>& universe,
+    const std::vector<RamseyProblem>& problems, int target) {
+  LDLB_REQUIRE(target >= 0);
+  for (const auto& p : problems) LDLB_REQUIRE(p.arity >= 1);
+  std::vector<std::uint64_t> sorted = universe;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (static_cast<int>(sorted.size()) < target) return std::nullopt;
+  MonoSearch search{sorted, problems, target};
+  return search.run();
+}
+
+OiExtraction extract_order_invariant_ids(
+    IdViewAlgorithm& a, const std::vector<BallTemplate>& templates,
+    const std::vector<std::uint64_t>& universe, int target, int sparsity) {
+  LDLB_REQUIRE(sparsity >= 0);
+  SaturationIndicator indicator{a};
+
+  // One Ramsey problem per template: colour a b-subset by A*'s value when
+  // the subset's identifiers are assigned to the template's nodes in order.
+  std::vector<RamseyProblem> problems;
+  for (const auto& t : templates) {
+    int b = static_cast<int>(t.ball.graph.node_count());
+    const Ball* ball = &t.ball;
+    problems.push_back(RamseyProblem{
+        b, [ball, &indicator](const std::vector<std::uint64_t>& subset) {
+          return static_cast<std::uint64_t>(
+              indicator.saturates(*ball, subset) ? 1 : 0);
+        }});
+  }
+
+  auto found = find_monochromatic_subset(universe, problems, target);
+  LDLB_REQUIRE_MSG(found.has_value(),
+                   "identifier universe of size "
+                       << universe.size()
+                       << " too small for the Ramsey extraction (target "
+                       << target << ") — enlarge it and retry");
+  OiExtraction out;
+  out.I = *found;
+  for (std::size_t i = 0; i < out.I.size(); i += static_cast<std::size_t>(sparsity) + 1) {
+    out.J.push_back(out.I[i]);
+  }
+  return out;
+}
+
+IdAsOi::IdAsOi(IdViewAlgorithm& inner, std::vector<std::uint64_t> pool)
+    : inner_(&inner), pool_(std::move(pool)) {
+  LDLB_REQUIRE(std::is_sorted(pool_.begin(), pool_.end()));
+}
+
+std::vector<Rational> IdAsOi::run(const Multigraph& ball, NodeId root,
+                                  const std::vector<int>& ranks) {
+  LDLB_REQUIRE_MSG(ball.node_count() <= static_cast<NodeId>(pool_.size()),
+                   "identifier pool too small for a ball of "
+                       << ball.node_count() << " nodes");
+  Ball b;
+  b.graph = ball;
+  b.center = root;
+  b.radius = inner_->radius(ball.max_degree());
+  b.to_host.resize(static_cast<std::size_t>(ball.node_count()));
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(ball.node_count()));
+  for (NodeId v = 0; v < ball.node_count(); ++v) {
+    ids[static_cast<std::size_t>(v)] =
+        pool_[static_cast<std::size_t>(ranks[static_cast<std::size_t>(v)])];
+  }
+  return inner_->run(b, ids);
+}
+
+}  // namespace ldlb

@@ -1,0 +1,115 @@
+// Simulation OI ⇐ ID (Section 5.4): the Naor–Stockmeyer Ramsey technique at
+// finite scale.
+//
+// The paper's argument, step by step, all of it executable here:
+//
+//   step (i)  From a t-time ID algorithm A derive the binary *saturation
+//             indicator* A'(G, v) = 1 iff A saturates v. Because A' takes
+//             finitely many values, Ramsey's theorem yields an identifier
+//             set I on which A' is order-invariant (Lemma 5); on loopy
+//             OI-neighbourhoods with identifiers from I, A must saturate
+//             every node (Lemma 6), since two adjacent unsaturated nodes
+//             would contradict maximality.
+//
+//   step (ii) Pass to a sparse subset J ⊆ I (every (m+1)-th element). On
+//             loopy neighbourhoods with identifiers from J, A's *full
+//             output* is order-invariant (Lemma 7): changing one identifier
+//             in an order-preserving way would create a weight disagreement
+//             that, by the propagation principle on the fully saturated
+//             cover, must travel further than A's run time — impossible.
+//
+// The paper uses the infinite Ramsey theorem; its own Appendix B notes the
+// finite version suffices. Here the extraction runs over a finite identifier
+// universe: `find_monochromatic_subset` is a generic finite-Ramsey search
+// (backtracking with pruning — instances are small by design), and
+// `extract_order_invariant_ids` instantiates it with the behaviour of A' on
+// a family of neighbourhood templates.
+//
+// Finally `IdAsOi` turns A + J into an OI view algorithm (assign the j-th
+// smallest identifier of J to the j-th node in the order), completing the
+// chain OI ⇐ ID; composed with simulate_oi_on_po this realises Corollary 9
+// on loopy PO-graphs at test scale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ldlb/local/id_model.hpp"
+
+namespace ldlb {
+
+/// The saturation indicator A* of Section 5.4 step (i).
+class SaturationIndicator {
+ public:
+  explicit SaturationIndicator(IdViewAlgorithm& a) : a_(&a) {}
+
+  /// 1 iff A saturates the centre of the ball under this id assignment.
+  bool saturates(const Ball& ball, const std::vector<std::uint64_t>& ids);
+
+ private:
+  IdViewAlgorithm* a_;
+};
+
+/// A colouring of `arity`-subsets of the identifier universe. `color`
+/// receives the subset in increasing order and must be deterministic.
+struct RamseyProblem {
+  int arity = 0;
+  std::function<std::uint64_t(const std::vector<std::uint64_t>&)> color;
+};
+
+/// Finds a size-`target` subset of `universe` on which every problem is
+/// monochromatic (each problem may have its own colour; "mono" is per
+/// problem). Returns nullopt when the search space is exhausted. This is a
+/// finite Ramsey search: doubling `universe` eventually guarantees success
+/// by Ramsey's theorem.
+std::optional<std::vector<std::uint64_t>> find_monochromatic_subset(
+    const std::vector<std::uint64_t>& universe,
+    const std::vector<RamseyProblem>& problems, int target);
+
+/// A neighbourhood template for the extraction: a ball whose nodes will be
+/// assigned identifiers in ball-node order (node i gets the i-th smallest
+/// identifier of the chosen subset) — i.e. the fixed linear order of the
+/// OI-neighbourhood is the ball-node order.
+struct BallTemplate {
+  Ball ball;
+};
+
+/// Result of the Lemma 5 / Lemma 7 extraction.
+struct OiExtraction {
+  std::vector<std::uint64_t> I;  ///< Lemma 5: A* is order-invariant on I
+  std::vector<std::uint64_t> J;  ///< Lemma 7: sparse subset, A is OI on J
+};
+
+/// Runs step (i) and step (ii): finds I ⊆ universe (|I| = target) on which
+/// the saturation indicator of `a` is monochromatic for every template,
+/// then thins it to J by keeping every (sparsity+1)-th element.
+/// Throws ContractViolation when the universe is too small (grow it and
+/// retry — finite Ramsey guarantees eventual success).
+OiExtraction extract_order_invariant_ids(
+    IdViewAlgorithm& a, const std::vector<BallTemplate>& templates,
+    const std::vector<std::uint64_t>& universe, int target, int sparsity);
+
+/// Corollary 9's algorithm: the ID algorithm run with identifiers drawn
+/// from a fixed pool (in rank order), exposed as an OI view algorithm.
+class IdAsOi : public OiViewAlgorithm {
+ public:
+  /// `pool` must be sorted and at least as large as any ball the algorithm
+  /// will see.
+  IdAsOi(IdViewAlgorithm& inner, std::vector<std::uint64_t> pool);
+  [[nodiscard]] int radius(int max_degree) const override {
+    return inner_->radius(max_degree);
+  }
+  std::vector<Rational> run(const Multigraph& ball, NodeId root,
+                            const std::vector<int>& ranks) override;
+  [[nodiscard]] std::string name() const override {
+    return "IdAsOi(" + inner_->name() + ")";
+  }
+
+ private:
+  IdViewAlgorithm* inner_;
+  std::vector<std::uint64_t> pool_;
+};
+
+}  // namespace ldlb

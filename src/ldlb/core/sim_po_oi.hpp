@@ -1,0 +1,89 @@
+// Simulation PO ⇐ OI (Section 5.3, Figure 9).
+//
+// Given a t-time order-invariant algorithm AOI, the PO algorithm APO is
+// defined by equation (4) of the paper:
+//
+//   APO(τ) := AOI(τ, ≺),   τ = τ_t(UG, v),
+//
+// i.e. each node materialises its radius-t view of the universal cover,
+// embeds it into the infinite ordered tree (T, ≺) of Appendix A (the arc
+// colours dictate a unique embedding once the root is placed; Lemma 4 makes
+// the placement irrelevant), and runs AOI on the resulting *ordered plain
+// tree* — orientations and colours are hidden from AOI, only the inherited
+// order remains, exactly as an OI algorithm expects.
+//
+// Feasibility of the assembled output follows the paper's argument: all the
+// per-node views order-embed consistently into the single canonically
+// ordered cover (UG, ≺), so the per-node outputs are restrictions of AOI's
+// one global solution; PO-checkability transfers feasibility from UG down
+// to G. The implementation *checks* the resulting end-consistency on every
+// arc rather than assuming it.
+//
+// The concrete AOI shipped here, RankSeededPacking, genuinely uses the
+// order: phase 0 matches every pair of nodes that are mutually each other's
+// ≺-minimal neighbours (greedy symmetry breaking the anonymous models
+// cannot do), then proposal/grant phases saturate the rest. Each phase has
+// communication radius 2, so p phases make a (2p+2)-time OI algorithm.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+/// A t-time order-invariant view algorithm: a pure function of the rooted
+/// radius-t ball and the relative order of its nodes.
+class OiViewAlgorithm {
+ public:
+  virtual ~OiViewAlgorithm() = default;
+
+  /// Radius t(Δ) of the views the algorithm needs.
+  [[nodiscard]] virtual int radius(int max_degree) const = 0;
+
+  /// Computes the weights of the edges incident to `root`, indexed in
+  /// `ball.incident_edges(root)` order. `ranks[i]` is the position of ball
+  /// node i in the linear order (all distinct).
+  virtual std::vector<Rational> run(const Multigraph& ball, NodeId root,
+                                    const std::vector<int>& ranks) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Equation (4): runs AOI on every node's canonically ordered universal-
+/// cover view and assembles the PO output. Throws if the per-node outputs
+/// are inconsistent on some arc (impossible for a valid OI algorithm).
+FractionalMatching simulate_oi_on_po(const Digraph& g, OiViewAlgorithm& aoi);
+
+/// Reference implementation of the inner synchronous process used by
+/// RankSeededPacking, exposed so tests can run it globally on an ordered
+/// graph and compare with the per-view simulation:
+///   phase 0: every unsaturated node points to its ≺-minimal unsaturated
+///            neighbour; mutually pointed edges gain min of the residuals;
+///   phases 1..p: every unsaturated node offers r/d through each of its
+///            open ends (edges with both endpoints unsaturated); an edge
+///            whose ends both offered gains min of the offers.
+FractionalMatching rank_seeded_packing(const Multigraph& g,
+                                       const std::vector<int>& ranks,
+                                       int phases);
+
+/// The shipped OI algorithm: rank-seeded greedy + proposal phases.
+class RankSeededPacking : public OiViewAlgorithm {
+ public:
+  explicit RankSeededPacking(int phases);
+  [[nodiscard]] int radius(int max_degree) const override;
+  std::vector<Rational> run(const Multigraph& ball, NodeId root,
+                            const std::vector<int>& ranks) override;
+  [[nodiscard]] std::string name() const override {
+    return "RankSeededPacking";
+  }
+
+ private:
+  int phases_;
+};
+
+}  // namespace ldlb

@@ -1,0 +1,95 @@
+#include "ldlb/cover/covering_map.hpp"
+
+#include <map>
+#include <vector>
+
+namespace ldlb {
+
+namespace {
+
+// colour -> other endpoint, for the ends at node v of a multigraph.
+// A loop appears once (EC convention) with "other endpoint" = v.
+std::map<Color, NodeId> end_map(const Multigraph& g, NodeId v) {
+  std::map<Color, NodeId> out;
+  for (EdgeId e : g.incident_edges(v)) {
+    out[g.edge(e).color] = g.other_endpoint(e, v);
+  }
+  return out;
+}
+
+// colour -> head, over the out-ends at v; and colour -> tail over in-ends.
+std::map<Color, NodeId> out_end_map(const Digraph& g, NodeId v) {
+  std::map<Color, NodeId> out;
+  for (EdgeId e : g.out_arcs(v)) out[g.arc(e).color] = g.arc(e).head;
+  return out;
+}
+std::map<Color, NodeId> in_end_map(const Digraph& g, NodeId v) {
+  std::map<Color, NodeId> out;
+  for (EdgeId e : g.in_arcs(v)) out[g.arc(e).color] = g.arc(e).tail;
+  return out;
+}
+
+}  // namespace
+
+bool is_covering_map(const Multigraph& h, const Multigraph& g,
+                     const std::vector<NodeId>& alpha) {
+  if (static_cast<NodeId>(alpha.size()) != h.node_count()) return false;
+  if (!h.has_proper_edge_coloring() || !g.has_proper_edge_coloring()) {
+    return false;
+  }
+  std::vector<bool> hit(static_cast<std::size_t>(g.node_count()), false);
+  for (NodeId v = 0; v < h.node_count(); ++v) {
+    NodeId av = alpha[static_cast<std::size_t>(v)];
+    if (av < 0 || av >= g.node_count()) return false;
+    hit[static_cast<std::size_t>(av)] = true;
+    auto ends_h = end_map(h, v);
+    auto ends_g = end_map(g, av);
+    if (ends_h.size() != ends_g.size()) return false;  // degree preserved
+    for (const auto& [color, to_h] : ends_h) {
+      auto it = ends_g.find(color);
+      if (it == ends_g.end()) return false;  // colour profile preserved
+      if (alpha[static_cast<std::size_t>(to_h)] != it->second) return false;
+    }
+  }
+  // Onto.
+  for (bool b : hit) {
+    if (!b) return false;
+  }
+  return true;
+}
+
+bool is_covering_map(const Digraph& h, const Digraph& g,
+                     const std::vector<NodeId>& alpha) {
+  if (static_cast<NodeId>(alpha.size()) != h.node_count()) return false;
+  if (!h.has_proper_po_coloring() || !g.has_proper_po_coloring()) return false;
+  std::vector<bool> hit(static_cast<std::size_t>(g.node_count()), false);
+  for (NodeId v = 0; v < h.node_count(); ++v) {
+    NodeId av = alpha[static_cast<std::size_t>(v)];
+    if (av < 0 || av >= g.node_count()) return false;
+    hit[static_cast<std::size_t>(av)] = true;
+
+    auto outs_h = out_end_map(h, v);
+    auto outs_g = out_end_map(g, av);
+    if (outs_h.size() != outs_g.size()) return false;
+    for (const auto& [color, head_h] : outs_h) {
+      auto it = outs_g.find(color);
+      if (it == outs_g.end()) return false;
+      if (alpha[static_cast<std::size_t>(head_h)] != it->second) return false;
+    }
+
+    auto ins_h = in_end_map(h, v);
+    auto ins_g = in_end_map(g, av);
+    if (ins_h.size() != ins_g.size()) return false;
+    for (const auto& [color, tail_h] : ins_h) {
+      auto it = ins_g.find(color);
+      if (it == ins_g.end()) return false;
+      if (alpha[static_cast<std::size_t>(tail_h)] != it->second) return false;
+    }
+  }
+  for (bool b : hit) {
+    if (!b) return false;
+  }
+  return true;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,37 @@
+// Covering maps between edge-coloured (multi)graphs (Section 3.4).
+//
+// A map α : V(H) → V(G) is a covering map when it is an onto graph
+// homomorphism that preserves degrees and edge colours; equivalently, for
+// every node v of H the incident edge-ends of v correspond bijectively,
+// colour by colour, to the incident edge-ends of α(v), and corresponding
+// ends lead to α-related endpoints.
+//
+// Both graphs must carry proper colourings (EC for multigraphs, PO for
+// digraphs); properness means each node has at most one end per colour
+// (per direction, for digraphs), which makes the local bijection condition
+// checkable colour-by-colour.
+//
+// Loop conventions (Section 3.5) are built in: an undirected loop is a
+// single end, so a node of H whose α-image has a loop of colour c must have
+// exactly one end of colour c, leading to a node that also maps to α(v).
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+
+namespace ldlb {
+
+/// True iff `alpha` (indexed by V(H)) is a covering map H → G of
+/// edge-coloured multigraphs. Both graphs must be properly edge-coloured.
+bool is_covering_map(const Multigraph& h, const Multigraph& g,
+                     const std::vector<NodeId>& alpha);
+
+/// True iff `alpha` is a covering map H → G of PO-coloured digraphs
+/// (preserving colours *and* orientations; a directed loop of G demands a
+/// matching out-end and in-end at every preimage).
+bool is_covering_map(const Digraph& h, const Digraph& g,
+                     const std::vector<NodeId>& alpha);
+
+}  // namespace ldlb

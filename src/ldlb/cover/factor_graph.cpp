@@ -1,0 +1,136 @@
+#include "ldlb/cover/factor_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "ldlb/cover/covering_map.hpp"
+
+namespace ldlb {
+
+namespace {
+
+// Generic colour refinement: given per-node signatures, relabel classes
+// until a fixpoint. `signature(v)` must depend on the current classes.
+template <typename SignatureFn>
+std::vector<NodeId> refine(NodeId n, SignatureFn signature) {
+  std::vector<NodeId> cls(static_cast<std::size_t>(n), 0);
+  for (;;) {
+    std::map<decltype(signature(NodeId{0}, cls)), NodeId> index;
+    std::vector<NodeId> next(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      auto sig = signature(v, cls);
+      auto [it, inserted] =
+          index.insert({std::move(sig), static_cast<NodeId>(index.size())});
+      next[static_cast<std::size_t>(v)] = it->second;
+    }
+    if (next == cls) return cls;
+    cls = std::move(next);
+  }
+}
+
+}  // namespace
+
+FactorGraph factor_graph(const Multigraph& g) {
+  LDLB_REQUIRE_MSG(g.has_proper_edge_coloring(),
+                   "factor_graph requires a proper edge colouring");
+  LDLB_REQUIRE_MSG(g.is_connected(), "factor_graph requires connectivity");
+
+  auto signature = [&](NodeId v, const std::vector<NodeId>& cls) {
+    std::vector<std::pair<Color, NodeId>> sig;
+    for (EdgeId e : g.incident_edges(v)) {
+      sig.emplace_back(g.edge(e).color,
+                       cls[static_cast<std::size_t>(g.other_endpoint(e, v))]);
+    }
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  std::vector<NodeId> cls = refine(g.node_count(), signature);
+
+  NodeId class_count = 0;
+  for (NodeId c : cls) class_count = std::max(class_count, c + 1);
+
+  // Representative per class.
+  std::vector<NodeId> rep(static_cast<std::size_t>(class_count), kNoNode);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    NodeId c = cls[static_cast<std::size_t>(v)];
+    if (rep[static_cast<std::size_t>(c)] == kNoNode) {
+      rep[static_cast<std::size_t>(c)] = v;
+    }
+  }
+
+  FactorGraph out;
+  out.class_of = cls;
+  out.graph.add_nodes(class_count);
+  // Build quotient edges from each representative's ends. Properness means
+  // one end per colour per node, so each (class, colour) pair yields exactly
+  // one quotient end; an end into the node's own class becomes a loop, an
+  // end into another class becomes half of a cross edge (added once, from
+  // the lower class id, to avoid duplication).
+  for (NodeId c = 0; c < class_count; ++c) {
+    NodeId v = rep[static_cast<std::size_t>(c)];
+    for (EdgeId e : g.incident_edges(v)) {
+      NodeId w = g.other_endpoint(e, v);
+      NodeId d = cls[static_cast<std::size_t>(w)];
+      Color color = g.edge(e).color;
+      if (d == c) {
+        out.graph.add_edge(c, c, color);  // loop (one end, EC convention)
+      } else if (c < d) {
+        out.graph.add_edge(c, d, color);
+      }
+    }
+  }
+  LDLB_ENSURE_MSG(is_covering_map(g, out.graph, out.class_of),
+                  "factor graph quotient is not a covering");
+  return out;
+}
+
+DiFactorGraph factor_graph(const Digraph& g) {
+  LDLB_REQUIRE_MSG(g.has_proper_po_coloring(),
+                   "factor_graph requires a proper PO colouring");
+  LDLB_REQUIRE_MSG(g.underlying_multigraph().is_connected(),
+                   "factor_graph requires connectivity");
+
+  auto signature = [&](NodeId v, const std::vector<NodeId>& cls) {
+    std::vector<std::tuple<int, Color, NodeId>> sig;
+    for (EdgeId a : g.out_arcs(v)) {
+      sig.emplace_back(0, g.arc(a).color,
+                       cls[static_cast<std::size_t>(g.arc(a).head)]);
+    }
+    for (EdgeId a : g.in_arcs(v)) {
+      sig.emplace_back(1, g.arc(a).color,
+                       cls[static_cast<std::size_t>(g.arc(a).tail)]);
+    }
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  std::vector<NodeId> cls = refine(g.node_count(), signature);
+
+  NodeId class_count = 0;
+  for (NodeId c : cls) class_count = std::max(class_count, c + 1);
+  std::vector<NodeId> rep(static_cast<std::size_t>(class_count), kNoNode);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    NodeId c = cls[static_cast<std::size_t>(v)];
+    if (rep[static_cast<std::size_t>(c)] == kNoNode) {
+      rep[static_cast<std::size_t>(c)] = v;
+    }
+  }
+
+  DiFactorGraph out;
+  out.class_of = cls;
+  out.graph.add_nodes(class_count);
+  // Arcs are emitted from the tail side only; equitability guarantees the
+  // head side sees the matching in-end counts.
+  for (NodeId c = 0; c < class_count; ++c) {
+    NodeId v = rep[static_cast<std::size_t>(c)];
+    for (EdgeId a : g.out_arcs(v)) {
+      NodeId d = cls[static_cast<std::size_t>(g.arc(a).head)];
+      out.graph.add_arc(c, d, g.arc(a).color);
+    }
+  }
+  LDLB_ENSURE_MSG(is_covering_map(g, out.graph, out.class_of),
+                  "factor graph quotient is not a covering");
+  return out;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,127 @@
+#include "ldlb/cover/lift.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ldlb/cover/covering_map.hpp"
+
+namespace ldlb {
+
+TwoLift unfold_loop(const Multigraph& g, EdgeId e) {
+  LDLB_REQUIRE_MSG(g.edge(e).is_loop(), "unfold_loop requires a loop");
+  const NodeId n = g.node_count();
+  const NodeId anchor = g.edge(e).u;
+  const Color color = g.edge(e).color;
+
+  TwoLift out;
+  out.base_nodes = n;
+  out.graph.add_nodes(2 * n);
+  for (EdgeId f = 0; f < g.edge_count(); ++f) {
+    if (f == e) continue;
+    const auto& ed = g.edge(f);
+    out.graph.add_edge(ed.u, ed.v, ed.color);
+    out.graph.add_edge(ed.u + n, ed.v + n, ed.color);
+  }
+  out.graph.add_edge(anchor, anchor + n, color);
+
+  out.alpha.resize(static_cast<std::size_t>(2 * n));
+  for (NodeId v = 0; v < n; ++v) {
+    out.alpha[static_cast<std::size_t>(v)] = v;
+    out.alpha[static_cast<std::size_t>(v + n)] = v;
+  }
+  LDLB_ENSURE_MSG(is_covering_map(out.graph, g, out.alpha),
+                  "unfold_loop produced an invalid covering");
+  return out;
+}
+
+namespace {
+
+Lift finish_lift(const Multigraph& g, Multigraph lifted, int k) {
+  Lift out;
+  out.graph = std::move(lifted);
+  out.alpha.resize(static_cast<std::size_t>(g.node_count()) *
+                   static_cast<std::size_t>(k));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (int i = 0; i < k; ++i) {
+      out.alpha[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(i)] = v;
+    }
+  }
+  LDLB_ENSURE_MSG(is_covering_map(out.graph, g, out.alpha),
+                  "lift construction produced an invalid covering");
+  return out;
+}
+
+}  // namespace
+
+Lift involution_lift(const Multigraph& g, int k) {
+  LDLB_REQUIRE(k >= 2 && k % 2 == 0);
+  // copy i of node v is node v*k + i.
+  auto node = [&](NodeId v, int i) {
+    return static_cast<NodeId>(v * k + i);
+  };
+  Multigraph lifted(g.node_count() * k);
+  std::vector<int> loops_seen(static_cast<std::size_t>(g.node_count()), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!ed.is_loop()) {
+      for (int i = 0; i < k; ++i) {
+        lifted.add_edge(node(ed.u, i), node(ed.v, i), ed.color);
+      }
+      continue;
+    }
+    // j-th loop at this node: involution i -> (2j+1) - i (mod k); the offset
+    // is odd so the involution is fixed-point-free, and distinct loops use
+    // distinct odd offsets so their matchings are pairwise disjoint.
+    int j = loops_seen[static_cast<std::size_t>(ed.u)]++;
+    LDLB_REQUIRE_MSG(2 * j + 1 < k,
+                     "involution_lift needs k >= 2 * loops per node");
+    int s = 2 * j + 1;
+    std::vector<bool> done(static_cast<std::size_t>(k), false);
+    for (int i = 0; i < k; ++i) {
+      int partner = ((s - i) % k + k) % k;
+      if (done[static_cast<std::size_t>(i)] ||
+          done[static_cast<std::size_t>(partner)]) {
+        continue;
+      }
+      lifted.add_edge(node(ed.u, i), node(ed.u, partner), ed.color);
+      done[static_cast<std::size_t>(i)] = true;
+      done[static_cast<std::size_t>(partner)] = true;
+    }
+  }
+  return finish_lift(g, std::move(lifted), k);
+}
+
+Lift random_permutation_lift(const Multigraph& g, int k, Rng& rng) {
+  LDLB_REQUIRE(k >= 1);
+  auto node = [&](NodeId v, int i) {
+    return static_cast<NodeId>(v * k + i);
+  };
+  Multigraph lifted(g.node_count() * k);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!ed.is_loop()) {
+      std::vector<int> perm(static_cast<std::size_t>(k));
+      std::iota(perm.begin(), perm.end(), 0);
+      rng.shuffle(perm);
+      for (int i = 0; i < k; ++i) {
+        lifted.add_edge(node(ed.u, i), node(ed.v, perm[static_cast<std::size_t>(i)]),
+                        ed.color);
+      }
+      continue;
+    }
+    LDLB_REQUIRE_MSG(k % 2 == 0, "loops require an even lift degree");
+    // Random fixed-point-free involution: random perfect matching on copies.
+    std::vector<int> order(static_cast<std::size_t>(k));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    for (int i = 0; i < k; i += 2) {
+      lifted.add_edge(node(ed.u, order[static_cast<std::size_t>(i)]),
+                      node(ed.u, order[static_cast<std::size_t>(i + 1)]),
+                      ed.color);
+    }
+  }
+  return finish_lift(g, std::move(lifted), k);
+}
+
+}  // namespace ldlb

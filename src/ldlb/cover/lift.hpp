@@ -1,0 +1,60 @@
+// Lift constructions (Section 3.4 and the unfold step of Section 4.3).
+//
+// A lift of G is a graph H together with a covering map H → G. This module
+// builds the lifts the paper uses:
+//   * `unfold_loop`   — the 2-lift GG of Section 4.3: two copies of G − e
+//                       joined by a single edge of e's colour between the
+//                       two copies of e's node;
+//   * `involution_lift` — a simple lift of a loopy multigraph: k copies of
+//                       each node, tree/non-loop edges lifted straight,
+//                       the j-th loop at a node lifted to the fixed-point-
+//                       free involution i ↦ (2j+1) − i (mod k). Used to
+//                       demonstrate Lemma 2 / Figure 4 and to property-test
+//                       lift-invariance of anonymous algorithms;
+//   * `random_permutation_lift` — a random k-lift (non-loop edges get random
+//                       permutations, loops get random fixed-point-free
+//                       involutions), for randomised property tests.
+// Every constructor returns the covering map alongside the lifted graph and
+// validates it with `is_covering_map`.
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+
+/// A lifted graph together with its covering map onto the base graph.
+struct Lift {
+  Multigraph graph;
+  /// alpha[v in lift] = node of the base graph.
+  std::vector<NodeId> alpha;
+};
+
+/// A 2-lift with copy bookkeeping: node v of the base appears as `v` (copy
+/// 0) and `v + base_nodes` (copy 1).
+struct TwoLift {
+  Multigraph graph;
+  std::vector<NodeId> alpha;
+  NodeId base_nodes = 0;
+
+  [[nodiscard]] NodeId copy0(NodeId v) const { return v; }
+  [[nodiscard]] NodeId copy1(NodeId v) const { return v + base_nodes; }
+};
+
+/// Unfolds the loop `e` of `g` (Section 4.3): the result GG consists of two
+/// disjoint copies of g − e plus one new edge of e's colour joining the two
+/// copies of e's node. Requires `e` to be a loop and `g` properly coloured.
+/// The new joining edge is the last edge of the result.
+TwoLift unfold_loop(const Multigraph& g, EdgeId e);
+
+/// A simple k-lift of a properly coloured multigraph whose only multi-edges
+/// are loops (e.g. trees with loops). Requires k even and
+/// k >= 2 * max loops per node; requires the loopless part of `g` simple.
+Lift involution_lift(const Multigraph& g, int k);
+
+/// A random k-lift (connected-ness not guaranteed). Loops require k even.
+Lift random_permutation_lift(const Multigraph& g, int k, Rng& rng);
+
+}  // namespace ldlb

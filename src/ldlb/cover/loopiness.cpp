@@ -1,0 +1,35 @@
+#include "ldlb/cover/loopiness.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ldlb/cover/factor_graph.hpp"
+
+namespace ldlb {
+
+int loopiness(const Multigraph& g) {
+  FactorGraph fg = factor_graph(g);
+  int min_loops = std::numeric_limits<int>::max();
+  for (NodeId v = 0; v < fg.graph.node_count(); ++v) {
+    min_loops = std::min(min_loops, fg.graph.loop_count(v));
+  }
+  return fg.graph.node_count() == 0 ? 0 : min_loops;
+}
+
+int loopiness(const Digraph& g) {
+  DiFactorGraph fg = factor_graph(g);
+  int min_loops = std::numeric_limits<int>::max();
+  for (NodeId v = 0; v < fg.graph.node_count(); ++v) {
+    int loops = 0;
+    for (EdgeId a : fg.graph.out_arcs(v)) {
+      if (fg.graph.arc(a).is_loop()) ++loops;
+    }
+    min_loops = std::min(min_loops, loops);
+  }
+  return fg.graph.node_count() == 0 ? 0 : min_loops;
+}
+
+bool is_k_loopy(const Multigraph& g, int k) { return loopiness(g) >= k; }
+bool is_k_loopy(const Digraph& g, int k) { return loopiness(g) >= k; }
+
+}  // namespace ldlb

@@ -1,0 +1,27 @@
+// Loopiness (Definition 1 of the paper).
+//
+// The loop count of a node of the factor graph measures the node's inability
+// to break local symmetries; a graph is k-loopy when every node of FG
+// carries at least k loops, and simply "loopy" when it is 1-loopy. Loopiness
+// is the resource the lower-bound adversary consumes (property P2 of
+// Section 4.1) and the hypothesis of Lemma 2.
+#pragma once
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+
+namespace ldlb {
+
+/// Minimum loop count over the nodes of FG (so the graph is k-loopy for all
+/// k up to the returned value). Requires a connected, properly coloured
+/// graph.
+int loopiness(const Multigraph& g);
+
+/// PO version: counts directed loops in the factor graph.
+int loopiness(const Digraph& g);
+
+/// Convenience: true iff `loopiness(g) >= k`.
+bool is_k_loopy(const Multigraph& g, int k);
+bool is_k_loopy(const Digraph& g, int k);
+
+}  // namespace ldlb

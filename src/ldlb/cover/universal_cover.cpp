@@ -1,0 +1,97 @@
+#include "ldlb/cover/universal_cover.hpp"
+
+#include <deque>
+
+namespace ldlb {
+
+Multigraph ViewTree::to_multigraph() const {
+  Multigraph g(static_cast<NodeId>(nodes.size()));
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    g.add_edge(static_cast<NodeId>(nodes[i].parent), static_cast<NodeId>(i),
+               nodes[i].color);
+  }
+  return g;
+}
+
+Digraph DiViewTree::to_digraph() const {
+  Digraph g(static_cast<NodeId>(nodes.size()));
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i].via_forward) {
+      g.add_arc(static_cast<NodeId>(nodes[i].parent), static_cast<NodeId>(i),
+                nodes[i].color);
+    } else {
+      g.add_arc(static_cast<NodeId>(i), static_cast<NodeId>(nodes[i].parent),
+                nodes[i].color);
+    }
+  }
+  return g;
+}
+
+ViewTree universal_cover_view(const Multigraph& g, NodeId root, int depth) {
+  LDLB_REQUIRE(root >= 0 && root < g.node_count());
+  LDLB_REQUIRE(depth >= 0);
+  ViewTree tree;
+  tree.depth = depth;
+  tree.nodes.push_back({root, -1, kNoEdge, kUncoloured, 0, {}});
+  std::deque<int> queue{0};
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop_front();
+    const auto cur_node = tree.nodes[static_cast<std::size_t>(cur)];
+    if (cur_node.depth == depth) continue;
+    for (EdgeId e : g.incident_edges(cur_node.graph_node)) {
+      if (e == cur_node.via_edge) continue;  // non-backtracking on the end
+      NodeId to = g.other_endpoint(e, cur_node.graph_node);
+      int child = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back(
+          {to, cur, e, g.edge(e).color, cur_node.depth + 1, {}});
+      tree.nodes[static_cast<std::size_t>(cur)].children.push_back(child);
+      queue.push_back(child);
+    }
+  }
+  return tree;
+}
+
+DiViewTree universal_cover_view(const Digraph& g, NodeId root, int depth) {
+  LDLB_REQUIRE(root >= 0 && root < g.node_count());
+  LDLB_REQUIRE(depth >= 0);
+  DiViewTree tree;
+  tree.depth = depth;
+  // The "end" a node was entered through is (via_arc, via_forward): when
+  // via_forward, the walk entered through the arc's head end; otherwise
+  // through its tail end.
+  tree.nodes.push_back({root, -1, kNoEdge, true, kUncoloured, 0, {}});
+  std::deque<int> queue{0};
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop_front();
+    const auto cur_node = tree.nodes[static_cast<std::size_t>(cur)];
+    if (cur_node.depth == depth) continue;
+    NodeId u = cur_node.graph_node;
+    // Out-ends: traverse forward, enter the child through the head.
+    for (EdgeId a : g.out_arcs(u)) {
+      // The entering end at u is the tail end of `a` exactly when the walk
+      // came *against* the arc (via_forward == false).
+      if (a == cur_node.via_arc && !cur_node.via_forward) continue;
+      int child = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back(
+          {g.arc(a).head, cur, a, true, g.arc(a).color, cur_node.depth + 1, {}});
+      tree.nodes[static_cast<std::size_t>(cur)].children.push_back(child);
+      queue.push_back(child);
+    }
+    // In-ends: traverse against the arc, enter the child through the tail.
+    for (EdgeId a : g.in_arcs(u)) {
+      // The entering end at u is the head end of `a` exactly when the walk
+      // came forward (via_forward == true).
+      if (a == cur_node.via_arc && cur_node.via_forward) continue;
+      int child = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back({g.arc(a).tail, cur, a, false, g.arc(a).color,
+                            cur_node.depth + 1, {}});
+      tree.nodes[static_cast<std::size_t>(cur)].children.push_back(child);
+      queue.push_back(child);
+    }
+  }
+  return tree;
+}
+
+}  // namespace ldlb

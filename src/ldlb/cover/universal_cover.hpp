@@ -1,0 +1,80 @@
+// Truncated universal covers (Section 3.4).
+//
+// The universal cover UG of a connected graph G is the unique tree that is a
+// lift of G; it is infinite whenever G has a cycle or a loop. A t-round
+// algorithm only ever inspects the radius-t ball of UG (eq. (1)), so the
+// library materialises UG as a *rooted view tree truncated at a chosen
+// depth* — the finite substitution documented in DESIGN.md §2.
+//
+// Expansion rule (non-backtracking on edge *ends*, which handles the loop
+// conventions of Section 3.5 correctly):
+//   * EC multigraphs: a tree node is (graph node, edge used to enter); its
+//     children are the remaining incident edges. Entering through an
+//     undirected loop leads to a fresh copy of the same graph node, and the
+//     loop — having a single end there — cannot be traversed back, exactly
+//     as in the simple lift K2 of a single-loop node.
+//   * PO digraphs: a tree node is (graph node, arc-end used to enter); its
+//     children are the remaining arc-ends (out-ends and in-ends). A directed
+//     loop has two ends, so entering through its head still allows leaving
+//     through its tail: the loop unfolds into an infinite directed path.
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+
+namespace ldlb {
+
+/// Truncated universal cover of an EC multigraph, rooted at a chosen node.
+struct ViewTree {
+  struct Node {
+    NodeId graph_node = kNoNode;  ///< projection to the base graph
+    int parent = -1;              ///< index into `nodes`; -1 for the root
+    EdgeId via_edge = kNoEdge;    ///< base-graph edge used to enter
+    Color color = kUncoloured;    ///< colour of `via_edge`
+    int depth = 0;
+    std::vector<int> children;    ///< indices into `nodes`
+  };
+
+  std::vector<Node> nodes;  ///< nodes[0] is the root
+  int depth = 0;            ///< truncation depth
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes.size()); }
+
+  /// Converts the view tree into a multigraph (a finite tree) whose node i
+  /// corresponds to `nodes[i]`; useful for running ball isomorphism and
+  /// algorithms directly on the cover.
+  [[nodiscard]] Multigraph to_multigraph() const;
+};
+
+/// Truncated universal cover of a PO digraph.
+struct DiViewTree {
+  struct Node {
+    NodeId graph_node = kNoNode;
+    int parent = -1;
+    EdgeId via_arc = kNoEdge;
+    /// True when the arc points parent -> child (the walk entered this node
+    /// through the arc's head); false when the walk went against the arc.
+    bool via_forward = true;
+    Color color = kUncoloured;
+    int depth = 0;
+    std::vector<int> children;
+  };
+
+  std::vector<Node> nodes;
+  int depth = 0;
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes.size()); }
+
+  /// The view tree as a digraph (arcs oriented as in the base graph).
+  [[nodiscard]] Digraph to_digraph() const;
+};
+
+/// Depth-`depth` truncation of the universal cover of `g` rooted at `root`.
+ViewTree universal_cover_view(const Multigraph& g, NodeId root, int depth);
+
+/// Depth-`depth` truncation of the universal cover of a PO digraph.
+DiViewTree universal_cover_view(const Digraph& g, NodeId root, int depth);
+
+}  // namespace ldlb

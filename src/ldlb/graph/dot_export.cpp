@@ -1,0 +1,80 @@
+#include "ldlb/graph/dot_export.hpp"
+
+#include <sstream>
+
+#include "ldlb/matching/checker.hpp"
+
+namespace ldlb {
+
+namespace {
+
+// A small colour-blind-safe cycle for edge colours.
+const char* kPalette[] = {"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+                          "#f0e442", "#56b4e9", "#e69f00", "#999999"};
+
+std::string pen(Color c) {
+  if (c == kUncoloured) return "black";
+  return kPalette[static_cast<std::size_t>(c) % 8];
+}
+
+template <typename Graph>
+void emit_nodes(std::ostringstream& os, const Graph& g,
+                const DotOptions& options,
+                const FractionalMatching* matching) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\"" << v << "\"";
+    bool saturated =
+        matching != nullptr && is_saturated(g, *matching, v);
+    if (saturated) os << ", style=filled, fillcolor=\"#cccccc\"";
+    if (v == options.highlight) os << ", penwidth=3, color=red";
+    os << "];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Multigraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph " << options.name << " {\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  emit_nodes(os, g, options, options.matching);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    os << "  n" << ed.u << " -- n" << ed.v << " [color=\"" << pen(ed.color)
+       << "\"";
+    std::string label;
+    if (ed.color != kUncoloured) label += "c" + std::to_string(ed.color);
+    if (options.matching != nullptr) {
+      if (!label.empty()) label += " ";
+      label += options.matching->weight(e).to_string();
+    }
+    if (!label.empty()) os << ", label=\"" << label << "\"";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Digraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.name << " {\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  emit_nodes(os, g, options, options.matching);
+  for (EdgeId a = 0; a < g.arc_count(); ++a) {
+    const auto& arc = g.arc(a);
+    os << "  n" << arc.tail << " -> n" << arc.head << " [color=\""
+       << pen(arc.color) << "\"";
+    std::string label;
+    if (arc.color != kUncoloured) label += "c" + std::to_string(arc.color);
+    if (options.matching != nullptr) {
+      if (!label.empty()) label += " ";
+      label += options.matching->weight(a).to_string();
+    }
+    if (!label.empty()) os << ", label=\"" << label << "\"";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ldlb

@@ -1,0 +1,33 @@
+// Graphviz DOT export for inspection and figure regeneration.
+//
+// Renders EC multigraphs and PO digraphs with colour-coded edges and
+// optional fractional matching annotations — useful for eyeballing the
+// adversary's graph pairs (Figures 5–7) and small examples.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  std::string name = "G";
+  /// If set, edges are labelled with their weights and saturated nodes are
+  /// filled.
+  const FractionalMatching* matching = nullptr;
+  /// If set, this node is drawn highlighted (the witness node).
+  NodeId highlight = kNoNode;
+};
+
+/// DOT source for an EC multigraph (undirected; loops drawn as loops).
+std::string to_dot(const Multigraph& g, const DotOptions& options = {});
+
+/// DOT source for a PO digraph.
+std::string to_dot(const Digraph& g, const DotOptions& options = {});
+
+}  // namespace ldlb

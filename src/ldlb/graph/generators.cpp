@@ -1,0 +1,286 @@
+#include "ldlb/graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "ldlb/graph/edge_coloring.hpp"
+
+namespace ldlb {
+
+Multigraph make_path(NodeId n) {
+  LDLB_REQUIRE(n >= 1);
+  Multigraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Multigraph make_cycle(NodeId n) {
+  LDLB_REQUIRE(n >= 3);
+  Multigraph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Multigraph make_star(NodeId leaves) {
+  LDLB_REQUIRE(leaves >= 0);
+  Multigraph g(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Multigraph make_complete(NodeId n) {
+  LDLB_REQUIRE(n >= 1);
+  Multigraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Multigraph make_complete_bipartite(NodeId a, NodeId b) {
+  LDLB_REQUIRE(a >= 1 && b >= 1);
+  Multigraph g(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) g.add_edge(u, a + v);
+  }
+  return g;
+}
+
+Multigraph make_perfect_tree(int arity, int depth) {
+  LDLB_REQUIRE(arity >= 1 && depth >= 0);
+  Multigraph g;
+  NodeId root = g.add_node();
+  std::vector<NodeId> frontier{root};
+  for (int level = 0; level < depth; ++level) {
+    std::vector<NodeId> next;
+    for (NodeId parent : frontier) {
+      for (int c = 0; c < arity; ++c) {
+        NodeId child = g.add_node();
+        g.add_edge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+Multigraph make_random_graph(NodeId n, double p, Rng& rng) {
+  LDLB_REQUIRE(n >= 0);
+  LDLB_REQUIRE(p >= 0.0 && p <= 1.0);
+  Multigraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.next_double() < p) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Multigraph make_random_tree(NodeId n, Rng& rng) {
+  LDLB_REQUIRE(n >= 1);
+  Multigraph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId parent = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    g.add_edge(parent, v);
+  }
+  return g;
+}
+
+Multigraph make_circulant(NodeId n, int d) {
+  LDLB_REQUIRE(n >= 1 && d >= 0 && d < n);
+  LDLB_REQUIRE_MSG((static_cast<long long>(n) * d) % 2 == 0,
+                   "n*d must be even for a d-regular graph");
+  Multigraph g(n);
+  for (int k = 1; k <= d / 2; ++k) {
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId w = static_cast<NodeId>((v + k) % n);
+      // Avoid double-adding the offset-n/2 matching as two "directions".
+      if (2 * k == n && v >= w) continue;
+      g.add_edge(v, w);
+    }
+  }
+  if (d % 2 == 1) {
+    LDLB_REQUIRE_MSG(n % 2 == 0, "odd degree needs even n");
+    for (NodeId v = 0; v < n / 2; ++v) {
+      g.add_edge(v, v + n / 2);
+    }
+  }
+  LDLB_ENSURE(g.is_simple());
+  for (NodeId v = 0; v < n; ++v) LDLB_ENSURE(g.degree(v) == d);
+  return g;
+}
+
+namespace {
+
+// Randomises a simple regular graph in place by double-edge switches:
+// pick edges {a,b}, {c,d} and rewire to {a,c}, {b,d} when that keeps the
+// graph simple. Degree sequence is invariant.
+Multigraph switch_randomize(const Multigraph& g, Rng& rng, int switches) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::set<std::pair<NodeId, NodeId>> present;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    auto key = std::minmax(g.edge(e).u, g.edge(e).v);
+    edges.push_back({key.first, key.second});
+    present.insert({key.first, key.second});
+  }
+  auto has = [&](NodeId a, NodeId b) {
+    auto key = std::minmax(a, b);
+    return present.count({key.first, key.second}) != 0;
+  };
+  for (int s = 0; s < switches && edges.size() >= 2; ++s) {
+    std::size_t i = rng.next_below(edges.size());
+    std::size_t j = rng.next_below(edges.size());
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    if (rng.next_bool()) std::swap(c, d);
+    // Rewire {a,b},{c,d} -> {a,c},{b,d}.
+    if (a == c || a == d || b == c || b == d) continue;
+    if (has(a, c) || has(b, d)) continue;
+    present.erase({std::min(a, b), std::max(a, b)});
+    present.erase({std::min(c, d), std::max(c, d)});
+    edges[i] = {std::min(a, c), std::max(a, c)};
+    edges[j] = {std::min(b, d), std::max(b, d)};
+    present.insert(edges[i]);
+    present.insert(edges[j]);
+  }
+  Multigraph out(g.node_count());
+  for (const auto& [u, v] : edges) out.add_edge(u, v);
+  return out;
+}
+
+}  // namespace
+
+Multigraph make_random_regular(NodeId n, int d, Rng& rng) {
+  LDLB_REQUIRE(n >= 1 && d >= 0 && d < n);
+  LDLB_REQUIRE_MSG((static_cast<long long>(n) * d) % 2 == 0,
+                   "n*d must be even for a d-regular graph");
+  if (d == n - 1) return make_complete(n);
+  // The configuration model's simplicity probability is roughly
+  // exp(-(d²-1)/4); beyond small d, randomise a circulant by switching.
+  if (d > 5) {
+    Multigraph base = make_circulant(n, d);
+    return switch_randomize(base, rng, 10 * base.edge_count());
+  }
+  // Configuration model with rejection of loops/parallels; retry on failure.
+  for (int attempt = 0; attempt < 20000; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (NodeId v = 0; v < n; ++v) {
+      for (int i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    std::set<std::pair<NodeId, NodeId>> used;
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      NodeId u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      auto key = std::minmax(u, v);
+      if (!used.insert({key.first, key.second}).second) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    Multigraph g(n);
+    for (const auto& [u, v] : used) g.add_edge(u, v);
+    return g;
+  }
+  LDLB_ENSURE_MSG(false, "failed to sample a random regular graph");
+}
+
+Multigraph make_random_bounded_degree(NodeId n, int max_deg, double density,
+                                      Rng& rng) {
+  LDLB_REQUIRE(n >= 1 && max_deg >= 0);
+  LDLB_REQUIRE(density >= 0.0 && density <= 1.0);
+  Multigraph g(n);
+  std::set<std::pair<NodeId, NodeId>> used;
+  // Try roughly density * n * max_deg / 2 random edges respecting the bound.
+  long long tries = static_cast<long long>(
+      density * static_cast<double>(n) * max_deg * 2.0) + n;
+  for (long long t = 0; t < tries; ++t) {
+    NodeId u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (g.degree(u) >= max_deg || g.degree(v) >= max_deg) continue;
+    auto key = std::minmax(u, v);
+    if (!used.insert({key.first, key.second}).second) continue;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Multigraph make_loop_star(int loops) {
+  LDLB_REQUIRE(loops >= 0);
+  Multigraph g(1);
+  for (Color c = 0; c < loops; ++c) g.add_edge(0, 0, c);
+  return g;
+}
+
+Multigraph make_loopy_tree(NodeId n, int degree, Rng& rng) {
+  LDLB_REQUIRE(n >= 1 && degree >= 1);
+  LDLB_REQUIRE_MSG(n == 1 || degree >= 2,
+                   "degree >= 2 needed to attach tree edges and a loop");
+  // Random attachment tree with tree-degree capped at degree - 1, so every
+  // node keeps room for at least one loop.
+  Multigraph tree(n);
+  std::vector<NodeId> open;  // nodes with remaining tree-edge capacity
+  if (n > 1) open.push_back(0);
+  for (NodeId v = 1; v < n; ++v) {
+    LDLB_REQUIRE_MSG(!open.empty(),
+                     "degree " << degree << " too small for a tree on " << n
+                               << " nodes");
+    std::size_t pick = rng.next_below(open.size());
+    NodeId parent = open[pick];
+    tree.add_edge(parent, v);
+    if (tree.degree(parent) >= degree - 1) {
+      open[pick] = open.back();
+      open.pop_back();
+    }
+    if (tree.degree(v) < degree - 1) open.push_back(v);
+  }
+  LDLB_ENSURE(tree.max_degree() < degree);
+  // Properly colour the tree edges greedily, then fill every node up to
+  // `degree` with loops on colours unused at that node.
+  Multigraph g = greedy_edge_coloring(tree);
+  for (NodeId v = 0; v < n; ++v) {
+    std::unordered_set<Color> used;
+    for (EdgeId e : g.incident_edges(v)) used.insert(g.edge(e).color);
+    Color c = 0;
+    while (g.degree(v) < degree) {
+      while (used.count(c) != 0) ++c;
+      g.add_edge(v, v, c);
+      used.insert(c);
+    }
+  }
+  return g;
+}
+
+Digraph make_directed_cycle(NodeId n, Color color) {
+  LDLB_REQUIRE(n >= 1);
+  Digraph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_arc(v, (v + 1) % n, color);
+  return g;
+}
+
+Digraph make_random_po_graph(NodeId n, double p, Rng& rng) {
+  Multigraph base = make_random_graph(n, p, rng);
+  Digraph g(n);
+  for (EdgeId e = 0; e < base.edge_count(); ++e) {
+    const auto& ed = base.edge(e);
+    if (rng.next_bool()) {
+      g.add_arc(ed.u, ed.v);
+    } else {
+      g.add_arc(ed.v, ed.u);
+    }
+  }
+  return greedy_po_coloring(g);
+}
+
+}  // namespace ldlb

@@ -1,0 +1,70 @@
+// Graph generators used across examples, tests and benchmarks.
+//
+// Everything that takes randomness takes an explicit Rng so that workloads
+// are reproducible from a seed.
+#pragma once
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+
+/// Path on n >= 1 nodes (n-1 edges).
+Multigraph make_path(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+Multigraph make_cycle(NodeId n);
+
+/// Star with one centre and `leaves` leaves.
+Multigraph make_star(NodeId leaves);
+
+/// Complete graph K_n.
+Multigraph make_complete(NodeId n);
+
+/// Complete bipartite graph K_{a,b}; the first `a` nodes form one side.
+Multigraph make_complete_bipartite(NodeId a, NodeId b);
+
+/// Perfect `arity`-ary rooted tree of the given depth (depth 0 = one node).
+Multigraph make_perfect_tree(int arity, int depth);
+
+/// Erdős–Rényi G(n, p). Simple (no loops, no parallels).
+Multigraph make_random_graph(NodeId n, double p, Rng& rng);
+
+/// Random tree on n >= 1 nodes (uniform Prüfer-like attachment).
+Multigraph make_random_tree(NodeId n, Rng& rng);
+
+/// Circulant graph: node i joined to i ± 1, ..., i ± d/2 (mod n); for odd
+/// d (requires even n) additionally to i + n/2. Deterministic, d-regular,
+/// simple. Requires d < n and n*d even.
+Multigraph make_circulant(NodeId n, int d);
+
+/// Random d-regular simple graph; requires n*d even and d < n. Uses the
+/// configuration model for sparse instances and falls back to randomised
+/// double-edge switching from a circulant for dense ones (where the
+/// configuration model's success probability vanishes).
+Multigraph make_random_regular(NodeId n, int d, Rng& rng);
+
+/// Random graph with maximum degree at most `max_deg` (greedy random edges).
+Multigraph make_random_bounded_degree(NodeId n, int max_deg, double density,
+                                      Rng& rng);
+
+/// A single node carrying `loops` differently-coloured loops — the base-case
+/// graph G_0 of Section 4.2 (colours 0..loops-1).
+Multigraph make_loop_star(int loops);
+
+/// A loopy EC-graph: a random tree on `n` nodes where every node carries
+/// enough extra differently-coloured loops to reach degree exactly `degree`.
+/// The result is `k`-loopy for k = degree - (max tree degree) at the worst
+/// node; with small random trees this produces the loopy inputs of Section 4.
+Multigraph make_loopy_tree(NodeId n, int degree, Rng& rng);
+
+/// Directed cycle on n >= 1 nodes, all arcs of the given colour
+/// (n == 1 yields a single directed loop).
+Digraph make_directed_cycle(NodeId n, Color color = 0);
+
+/// Random PO-graph: takes a random simple graph, orients each edge randomly,
+/// and properly PO-colours the arcs greedily.
+Digraph make_random_po_graph(NodeId n, double p, Rng& rng);
+
+}  // namespace ldlb

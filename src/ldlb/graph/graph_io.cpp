@@ -1,0 +1,85 @@
+#include "ldlb/graph/graph_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+void write_graph(std::ostream& os, const Multigraph& g) {
+  os << "multigraph " << g.node_count() << " " << g.edge_count() << "\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    os << "e " << ed.u << " " << ed.v << " " << ed.color << "\n";
+  }
+}
+
+void write_graph(std::ostream& os, const Digraph& g) {
+  os << "digraph " << g.node_count() << " " << g.arc_count() << "\n";
+  for (EdgeId a = 0; a < g.arc_count(); ++a) {
+    const auto& arc = g.arc(a);
+    os << "a " << arc.tail << " " << arc.head << " " << arc.color << "\n";
+  }
+}
+
+Multigraph read_multigraph(std::istream& is) {
+  std::string word;
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  is >> word >> nodes >> edges;
+  LDLB_REQUIRE_MSG(word == "multigraph" && is.good() && nodes >= 0 &&
+                       edges >= 0,
+                   "malformed multigraph header");
+  Multigraph g(nodes);
+  for (EdgeId e = 0; e < edges; ++e) {
+    NodeId u = 0, v = 0;
+    Color c = kUncoloured;
+    is >> word >> u >> v >> c;
+    LDLB_REQUIRE_MSG(word == "e" && is.good(), "malformed edge line " << e);
+    g.add_edge(u, v, c);
+  }
+  return g;
+}
+
+Digraph read_digraph(std::istream& is) {
+  std::string word;
+  NodeId nodes = 0;
+  EdgeId arcs = 0;
+  is >> word >> nodes >> arcs;
+  LDLB_REQUIRE_MSG(word == "digraph" && is.good() && nodes >= 0 && arcs >= 0,
+                   "malformed digraph header");
+  Digraph g(nodes);
+  for (EdgeId a = 0; a < arcs; ++a) {
+    NodeId t = 0, h = 0;
+    Color c = kUncoloured;
+    is >> word >> t >> h >> c;
+    LDLB_REQUIRE_MSG(word == "a" && is.good(), "malformed arc line " << a);
+    g.add_arc(t, h, c);
+  }
+  return g;
+}
+
+std::string graph_to_string(const Multigraph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+std::string graph_to_string(const Digraph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+Multigraph multigraph_from_string(const std::string& text) {
+  std::istringstream is{text};
+  return read_multigraph(is);
+}
+
+Digraph digraph_from_string(const std::string& text) {
+  std::istringstream is{text};
+  return read_digraph(is);
+}
+
+}  // namespace ldlb

@@ -1,0 +1,33 @@
+// Text serialisation of graphs (edge-list format).
+//
+// Lets users bring their own workloads to the examples and tools, and
+// persists the adversary's constructions. Format:
+//
+//   multigraph <nodes> <edges>        |   digraph <nodes> <arcs>
+//   e <u> <v> <colour>                |   a <tail> <head> <colour>
+//   ...                               |   ...
+//
+// Colour -1 denotes an uncoloured edge.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+
+namespace ldlb {
+
+void write_graph(std::ostream& os, const Multigraph& g);
+void write_graph(std::ostream& os, const Digraph& g);
+
+/// Parses the format above; throws ContractViolation on malformed input.
+Multigraph read_multigraph(std::istream& is);
+Digraph read_digraph(std::istream& is);
+
+std::string graph_to_string(const Multigraph& g);
+std::string graph_to_string(const Digraph& g);
+Multigraph multigraph_from_string(const std::string& text);
+Digraph digraph_from_string(const std::string& text);
+
+}  // namespace ldlb

@@ -1,0 +1,175 @@
+#include "ldlb/graph/misra_gries.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ldlb {
+
+namespace {
+
+class Colorer {
+ public:
+  explicit Colorer(const Multigraph& g)
+      : g_(g),
+        max_colors_(g.max_degree() + 1),
+        // color_at_[v][c] = the neighbour joined to v by a colour-c edge.
+        color_at_(static_cast<std::size_t>(g.node_count()),
+                  std::vector<NodeId>(static_cast<std::size_t>(max_colors_),
+                                      kNoNode)),
+        edge_color_(static_cast<std::size_t>(g.edge_count()), kUncoloured) {}
+
+  Multigraph run() {
+    for (EdgeId e = 0; e < g_.edge_count(); ++e) color_edge(e);
+    Multigraph out(g_.node_count());
+    for (EdgeId e = 0; e < g_.edge_count(); ++e) {
+      const auto& ed = g_.edge(e);
+      out.add_edge(ed.u, ed.v, edge_color_[static_cast<std::size_t>(e)]);
+    }
+    LDLB_ENSURE(out.has_proper_edge_coloring());
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool is_free(NodeId v, Color c) const {
+    return color_at_[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] ==
+           kNoNode;
+  }
+
+  [[nodiscard]] Color free_color(NodeId v) const {
+    for (Color c = 0; c < max_colors_; ++c) {
+      if (is_free(v, c)) return c;
+    }
+    LDLB_ENSURE_MSG(false, "no free colour at node with degree <= Δ");
+  }
+
+  void assign(NodeId u, NodeId v, Color c) {
+    color_at_[static_cast<std::size_t>(u)][static_cast<std::size_t>(c)] = v;
+    color_at_[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] = u;
+  }
+
+  void unassign(NodeId u, NodeId v, Color c) {
+    LDLB_ENSURE(
+        color_at_[static_cast<std::size_t>(u)][static_cast<std::size_t>(c)] ==
+        v);
+    color_at_[static_cast<std::size_t>(u)][static_cast<std::size_t>(c)] =
+        kNoNode;
+    color_at_[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] =
+        kNoNode;
+  }
+
+  // Flips the maximal cd-alternating path starting at `start` (which has at
+  // most one of c, d present).
+  void invert_cd_path(NodeId start, Color c, Color d) {
+    NodeId prev = start;
+    Color want = c;
+    NodeId cur =
+        color_at_[static_cast<std::size_t>(start)][static_cast<std::size_t>(c)];
+    // Walk and recolour: edge colours alternate c, d, c, ...
+    std::vector<std::pair<std::pair<NodeId, NodeId>, Color>> path;
+    while (cur != kNoNode) {
+      path.push_back({{prev, cur}, want});
+      Color next_want = want == c ? d : c;
+      NodeId next =
+          color_at_[static_cast<std::size_t>(cur)][static_cast<std::size_t>(
+              next_want)];
+      // Guard against walking back along the edge we came on (cannot happen
+      // with alternating colours, but keep the walk finite defensively).
+      prev = cur;
+      cur = next;
+      want = next_want;
+      LDLB_ENSURE(path.size() <= static_cast<std::size_t>(g_.node_count()));
+    }
+    // Uncolour the path, then recolour with swapped colours.
+    for (const auto& [uv, col] : path) unassign(uv.first, uv.second, col);
+    for (const auto& [uv, col] : path) {
+      assign(uv.first, uv.second, col == c ? d : c);
+    }
+    // Also fix the stored edge colours.
+    for (const auto& [uv, col] : path) {
+      EdgeId e = find_edge(uv.first, uv.second);
+      edge_color_[static_cast<std::size_t>(e)] = col == c ? d : c;
+    }
+  }
+
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const {
+    for (EdgeId e : g_.incident_edges(u)) {
+      if (g_.other_endpoint(e, u) == v) return e;
+    }
+    LDLB_ENSURE_MSG(false, "edge lookup failed");
+  }
+
+  void color_edge(EdgeId e) {
+    const NodeId u = g_.edge(e).u;
+    const NodeId v = g_.edge(e).v;
+    LDLB_REQUIRE_MSG(u != v, "Misra-Gries needs a simple graph (no loops)");
+
+    // Build a maximal fan F = [v = f0, f1, ...] of u: each f_{i+1} is the
+    // neighbour of u through the colour free at f_i.
+    std::vector<NodeId> fan{v};
+    std::vector<bool> in_fan(static_cast<std::size_t>(g_.node_count()), false);
+    in_fan[static_cast<std::size_t>(v)] = true;
+    for (;;) {
+      Color free_at_tip = free_color(fan.back());
+      NodeId next = color_at_[static_cast<std::size_t>(u)]
+                             [static_cast<std::size_t>(free_at_tip)];
+      if (next == kNoNode || in_fan[static_cast<std::size_t>(next)]) break;
+      fan.push_back(next);
+      in_fan[static_cast<std::size_t>(next)] = true;
+    }
+
+    Color c = free_color(u);
+    Color d = free_color(fan.back());
+    if (c != d && !is_free(u, d)) {
+      // Flip the cd path from u; afterwards d is free at u.
+      invert_cd_path(u, d, c);
+      // The flip may invalidate the fan suffix: shrink the fan to the
+      // longest prefix still valid (f_{i+1} reachable via colour free at
+      // f_i) ending at a node where d is free.
+      std::size_t keep = fan.size();
+      for (std::size_t i = 0; i < fan.size(); ++i) {
+        if (is_free(fan[i], d)) {
+          keep = i + 1;
+          break;
+        }
+      }
+      fan.resize(keep);
+      LDLB_ENSURE_MSG(is_free(fan.back(), d),
+                      "cd-flip left no d-free fan prefix");
+    }
+    // Rotate the fan: shift colours down and colour {u, fan.back()} with d.
+    for (std::size_t i = 0; i + 1 < fan.size(); ++i) {
+      // Edge {u, f_i} takes the colour currently free at f_i that leads to
+      // f_{i+1} — i.e. the colour of {u, f_{i+1}}.
+      EdgeId next_edge = find_edge(u, fan[i + 1]);
+      Color col = edge_color_[static_cast<std::size_t>(next_edge)];
+      LDLB_ENSURE(col != kUncoloured);
+      unassign(u, fan[i + 1], col);
+      EdgeId this_edge = find_edge(u, fan[i]);
+      LDLB_ENSURE_MSG(is_free(fan[i], col),
+                      "fan invariant broken: colour not free at fan node");
+      assign(u, fan[i], col);
+      edge_color_[static_cast<std::size_t>(this_edge)] = col;
+    }
+    EdgeId last_edge = find_edge(u, fan.back());
+    assign(u, fan.back(), d);
+    edge_color_[static_cast<std::size_t>(last_edge)] = d;
+  }
+
+  const Multigraph& g_;
+  Color max_colors_;
+  std::vector<std::vector<NodeId>> color_at_;
+  std::vector<Color> edge_color_;
+};
+
+}  // namespace
+
+Multigraph misra_gries_coloring(const Multigraph& g) {
+  LDLB_REQUIRE_MSG(g.is_simple(), "Misra-Gries needs a simple graph");
+  if (g.edge_count() == 0) {
+    Multigraph out(g.node_count());
+    return out;
+  }
+  return Colorer{g}.run();
+}
+
+}  // namespace ldlb

@@ -1,0 +1,23 @@
+// Misra–Gries (Δ+1) edge colouring for simple graphs.
+//
+// The EC model only promises *some* proper colouring with O(Δ) colours;
+// greedy gives 2Δ−1. Misra & Gries (1992), constructively realising
+// Vizing's theorem, achieve Δ+1 — which tightens the round count of the
+// colour-sweep packing algorithms from 2Δ−1 to Δ+1 and sharpens the
+// upper-bound side of the Theorem 1 bracket (see bench/ablation_coloring).
+//
+// Classic fan/rotate/invert scheme: for each uncoloured edge {u, v}, build
+// a maximal fan of u starting at v, pick colours c free at u and d free at
+// the fan's tip, flip the cd-alternating path from u, rotate the fan to a
+// prefix that makes d free at both ends, and colour. O(n·m) overall.
+#pragma once
+
+#include "ldlb/graph/multigraph.hpp"
+
+namespace ldlb {
+
+/// Returns a properly edge-coloured copy of `g` using at most Δ+1 colours
+/// (colours 0..Δ). Requires a simple graph (no loops, no parallels).
+Multigraph misra_gries_coloring(const Multigraph& g);
+
+}  // namespace ldlb

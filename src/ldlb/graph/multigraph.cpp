@@ -1,0 +1,170 @@
+#include "ldlb/graph/multigraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace ldlb {
+
+EdgeId Multigraph::add_edge(NodeId u, NodeId v, Color color) {
+  LDLB_REQUIRE(u >= 0 && u < node_count());
+  LDLB_REQUIRE(v >= 0 && v < node_count());
+  EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, color});
+  incidence_[static_cast<std::size_t>(u)].push_back(e);
+  if (u != v) incidence_[static_cast<std::size_t>(v)].push_back(e);
+  return e;
+}
+
+int Multigraph::max_degree() const {
+  int d = 0;
+  for (const auto& inc : incidence_) d = std::max(d, static_cast<int>(inc.size()));
+  return d;
+}
+
+NodeId Multigraph::other_endpoint(EdgeId e, NodeId v) const {
+  const Edge& ed = edge(e);
+  LDLB_REQUIRE_MSG(ed.u == v || ed.v == v,
+                   "node " << v << " is not an endpoint of edge " << e);
+  if (ed.is_loop()) return v;
+  return ed.u == v ? ed.v : ed.u;
+}
+
+std::vector<NodeId> Multigraph::neighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  for (EdgeId e : incident_edges(v)) out.push_back(other_endpoint(e, v));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int Multigraph::loop_count(NodeId v) const {
+  int n = 0;
+  for (EdgeId e : incident_edges(v)) {
+    if (edge(e).is_loop()) ++n;
+  }
+  return n;
+}
+
+bool Multigraph::has_proper_edge_coloring() const {
+  for (const auto& inc : incidence_) {
+    std::unordered_set<Color> seen;
+    for (EdgeId e : inc) {
+      Color c = edge(e).color;
+      if (c == kUncoloured) return false;
+      if (!seen.insert(c).second) return false;
+    }
+  }
+  return true;
+}
+
+int Multigraph::color_count() const {
+  std::set<Color> colors;
+  for (const Edge& e : edges_) {
+    if (e.color == kUncoloured) return 0;
+    colors.insert(e.color);
+  }
+  return static_cast<int>(colors.size());
+}
+
+std::vector<int> Multigraph::distances_from(NodeId v) const {
+  LDLB_REQUIRE(v >= 0 && v < node_count());
+  std::vector<int> dist(static_cast<std::size_t>(node_count()), -1);
+  std::deque<NodeId> queue;
+  dist[static_cast<std::size_t>(v)] = 0;
+  queue.push_back(v);
+  while (!queue.empty()) {
+    NodeId cur = queue.front();
+    queue.pop_front();
+    for (EdgeId e : incident_edges(cur)) {
+      NodeId next = other_endpoint(e, cur);
+      if (dist[static_cast<std::size_t>(next)] < 0) {
+        dist[static_cast<std::size_t>(next)] =
+            dist[static_cast<std::size_t>(cur)] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Multigraph::is_connected() const {
+  if (node_count() == 0) return true;
+  auto dist = distances_from(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d < 0; });
+}
+
+bool Multigraph::is_simple() const {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : edges_) {
+    if (e.is_loop()) return false;
+    auto key = std::minmax(e.u, e.v);
+    if (!seen.insert({key.first, key.second}).second) return false;
+  }
+  return true;
+}
+
+bool Multigraph::is_forest_ignoring_loops() const {
+  // A forest has exactly (#nodes - #components) non-loop edges, and no
+  // parallel non-loop edges / multi-edges creating cycles. Check via
+  // union-find: every non-loop edge must join two distinct components.
+  std::vector<NodeId> parent(static_cast<std::size_t>(node_count()));
+  for (NodeId v = 0; v < node_count(); ++v) parent[static_cast<std::size_t>(v)] = v;
+  auto find = [&](NodeId x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const Edge& e : edges_) {
+    if (e.is_loop()) continue;
+    NodeId ru = find(e.u), rv = find(e.v);
+    if (ru == rv) return false;
+    parent[static_cast<std::size_t>(ru)] = rv;
+  }
+  return true;
+}
+
+Multigraph Multigraph::without_edge(EdgeId removed) const {
+  LDLB_REQUIRE(removed >= 0 && removed < edge_count());
+  Multigraph out(node_count());
+  for (EdgeId e = 0; e < edge_count(); ++e) {
+    if (e == removed) continue;
+    const Edge& ed = edge(e);
+    out.add_edge(ed.u, ed.v, ed.color);
+  }
+  return out;
+}
+
+NodeId Multigraph::append_disjoint(const Multigraph& other) {
+  NodeId offset = add_nodes(other.node_count());
+  for (EdgeId e = 0; e < other.edge_count(); ++e) {
+    const Edge& ed = other.edge(e);
+    add_edge(ed.u + offset, ed.v + offset, ed.color);
+  }
+  return offset;
+}
+
+std::string Multigraph::to_string() const {
+  std::ostringstream os;
+  os << "Multigraph(n=" << node_count() << ", m=" << edge_count() << ")";
+  for (EdgeId e = 0; e < edge_count(); ++e) {
+    const Edge& ed = edge(e);
+    os << "\n  e" << e << ": {" << ed.u << "," << ed.v << "}";
+    if (ed.is_loop()) os << " (loop)";
+    if (ed.color != kUncoloured) os << " colour " << ed.color;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Multigraph& g) {
+  return os << g.to_string();
+}
+
+}  // namespace ldlb

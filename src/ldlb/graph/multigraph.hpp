@@ -1,0 +1,147 @@
+// Undirected multigraphs with loops and edge colours (the EC-graphs of the
+// paper, Section 3.3).
+//
+// Conventions follow the paper exactly (Section 3.5):
+//   * an undirected loop on a node contributes +1 to its degree and appears
+//     exactly once in the node's incidence list;
+//   * parallel edges are allowed;
+//   * edge colours are small non-negative integers; kUncoloured marks an
+//     uncoloured edge. A colouring is "proper" when adjacent edges (sharing
+//     an endpoint, a loop being adjacent to every edge at its node including
+//     itself only once) have distinct colours.
+//
+// Nodes and edges are dense indices; removal is by rebuilding (graphs in this
+// library are built once and then analysed).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using Color = std::int32_t;
+
+inline constexpr Color kUncoloured = -1;
+inline constexpr NodeId kNoNode = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+/// Undirected multigraph with loops and optional proper edge colouring.
+class Multigraph {
+ public:
+  /// One undirected edge; `u == v` encodes a loop.
+  struct Edge {
+    NodeId u = kNoNode;
+    NodeId v = kNoNode;
+    Color color = kUncoloured;
+
+    [[nodiscard]] bool is_loop() const { return u == v; }
+  };
+
+  Multigraph() = default;
+  /// Graph with `n` isolated nodes.
+  explicit Multigraph(NodeId n) { add_nodes(n); }
+
+  /// Adds one node, returning its id.
+  NodeId add_node() {
+    incidence_.emplace_back();
+    return static_cast<NodeId>(incidence_.size() - 1);
+  }
+
+  /// Adds `count` nodes, returning the id of the first.
+  NodeId add_nodes(NodeId count) {
+    LDLB_REQUIRE(count >= 0);
+    NodeId first = node_count();
+    incidence_.resize(incidence_.size() + static_cast<std::size_t>(count));
+    return first;
+  }
+
+  /// Adds an undirected edge {u, v} (loop when u == v), returning its id.
+  EdgeId add_edge(NodeId u, NodeId v, Color color = kUncoloured);
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(incidence_.size());
+  }
+  [[nodiscard]] EdgeId edge_count() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    LDLB_REQUIRE(e >= 0 && e < edge_count());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// Incidence list of `v`: ids of incident edges; a loop appears once.
+  [[nodiscard]] const std::vector<EdgeId>& incident_edges(NodeId v) const {
+    LDLB_REQUIRE(v >= 0 && v < node_count());
+    return incidence_[static_cast<std::size_t>(v)];
+  }
+
+  /// Degree under the EC convention (a loop counts once).
+  [[nodiscard]] int degree(NodeId v) const {
+    return static_cast<int>(incident_edges(v).size());
+  }
+
+  /// Maximum degree Δ (0 for the empty graph).
+  [[nodiscard]] int max_degree() const;
+
+  /// The endpoint of `e` other than `v`; for a loop returns `v` itself.
+  /// Requires that `v` is an endpoint of `e`.
+  [[nodiscard]] NodeId other_endpoint(EdgeId e, NodeId v) const;
+
+  /// Distinct neighbour list of `v` (a loop makes `v` its own neighbour).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId v) const;
+
+  /// Number of loops attached to `v`.
+  [[nodiscard]] int loop_count(NodeId v) const;
+
+  /// Re-colours an edge.
+  void set_color(EdgeId e, Color color) {
+    LDLB_REQUIRE(e >= 0 && e < edge_count());
+    edges_[static_cast<std::size_t>(e)].color = color;
+  }
+
+  /// True iff every edge is coloured and adjacent edges have distinct
+  /// colours (the EC-graph requirement).
+  [[nodiscard]] bool has_proper_edge_coloring() const;
+
+  /// Number of distinct colours used (0 when uncoloured edges exist).
+  [[nodiscard]] int color_count() const;
+
+  /// BFS distances from `v` (loops and parallels do not affect distance);
+  /// unreachable nodes get -1.
+  [[nodiscard]] std::vector<int> distances_from(NodeId v) const;
+
+  /// True iff the graph is connected (the empty graph counts as connected).
+  [[nodiscard]] bool is_connected() const;
+
+  /// True iff the graph has no loops and no parallel edges.
+  [[nodiscard]] bool is_simple() const;
+
+  /// True iff removing all loops leaves a forest.
+  [[nodiscard]] bool is_forest_ignoring_loops() const;
+
+  /// The subgraph with edge `e` removed (nodes unchanged).
+  [[nodiscard]] Multigraph without_edge(EdgeId e) const;
+
+  /// Disjoint union; the nodes of `other` are appended after ours. Returns
+  /// the offset that was added to `other`'s node ids.
+  NodeId append_disjoint(const Multigraph& other);
+
+  /// Human-readable dump (for examples and debugging).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> incidence_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Multigraph& g);
+
+}  // namespace ldlb

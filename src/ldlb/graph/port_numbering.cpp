@@ -1,0 +1,102 @@
+#include "ldlb/graph/port_numbering.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ldlb {
+
+bool PortNumbering::is_valid_for(const Digraph& g) const {
+  if (static_cast<NodeId>(ports.size()) != g.node_count()) return false;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& plist = ports[static_cast<std::size_t>(v)];
+    std::multiset<std::pair<EdgeId, int>> have;
+    for (const Port& p : plist) {
+      if (p.arc < 0 || p.arc >= g.arc_count()) return false;
+      const auto& a = g.arc(p.arc);
+      if (p.side == Side::kTail && a.tail != v) return false;
+      if (p.side == Side::kHead && a.head != v) return false;
+      have.insert({p.arc, p.side == Side::kTail ? 0 : 1});
+    }
+    std::multiset<std::pair<EdgeId, int>> expect;
+    for (EdgeId e : g.out_arcs(v)) expect.insert({e, 0});
+    for (EdgeId e : g.in_arcs(v)) expect.insert({e, 1});
+    if (have != expect) return false;
+  }
+  return true;
+}
+
+PortNumbering ports_from_po_coloring(const Digraph& g) {
+  LDLB_REQUIRE_MSG(g.has_proper_po_coloring(),
+                   "ports_from_po_coloring needs a proper PO colouring");
+  PortNumbering pn;
+  pn.ports.resize(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto& plist = pn.ports[static_cast<std::size_t>(v)];
+    std::vector<EdgeId> outs = g.out_arcs(v);
+    std::vector<EdgeId> ins = g.in_arcs(v);
+    auto by_color = [&](EdgeId a, EdgeId b) {
+      return g.arc(a).color < g.arc(b).color;
+    };
+    std::sort(outs.begin(), outs.end(), by_color);
+    std::sort(ins.begin(), ins.end(), by_color);
+    for (EdgeId e : outs) {
+      plist.push_back({e, PortNumbering::Side::kTail});
+    }
+    for (EdgeId e : ins) {
+      plist.push_back({e, PortNumbering::Side::kHead});
+    }
+  }
+  LDLB_ENSURE(pn.is_valid_for(g));
+  return pn;
+}
+
+Digraph po_coloring_from_ports(const Digraph& g, const PortNumbering& pn) {
+  LDLB_REQUIRE_MSG(pn.is_valid_for(g),
+                   "port numbering does not match the digraph");
+  // Find each arc's port label at its tail and at its head.
+  std::vector<int> tail_port(static_cast<std::size_t>(g.arc_count()), -1);
+  std::vector<int> head_port(static_cast<std::size_t>(g.arc_count()), -1);
+  int max_label = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& plist = pn.ports[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < plist.size(); ++i) {
+      int label = static_cast<int>(i) + 1;
+      max_label = std::max(max_label, label);
+      if (plist[i].side == PortNumbering::Side::kTail) {
+        tail_port[static_cast<std::size_t>(plist[i].arc)] = label;
+      } else {
+        head_port[static_cast<std::size_t>(plist[i].arc)] = label;
+      }
+    }
+  }
+  int stride = max_label + 1;
+  Digraph out(g.node_count());
+  for (EdgeId e = 0; e < g.arc_count(); ++e) {
+    const auto& a = g.arc(e);
+    LDLB_ENSURE(tail_port[static_cast<std::size_t>(e)] > 0 &&
+                head_port[static_cast<std::size_t>(e)] > 0);
+    Color c = tail_port[static_cast<std::size_t>(e)] * stride +
+              head_port[static_cast<std::size_t>(e)];
+    out.add_arc(a.tail, a.head, c);
+  }
+  LDLB_ENSURE(out.has_proper_po_coloring());
+  return out;
+}
+
+PortNumbering canonical_ports(const Digraph& g) {
+  PortNumbering pn;
+  pn.ports.resize(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto& plist = pn.ports[static_cast<std::size_t>(v)];
+    for (EdgeId e : g.out_arcs(v)) {
+      plist.push_back({e, PortNumbering::Side::kTail});
+    }
+    for (EdgeId e : g.in_arcs(v)) {
+      plist.push_back({e, PortNumbering::Side::kHead});
+    }
+  }
+  return pn;
+}
+
+}  // namespace ldlb

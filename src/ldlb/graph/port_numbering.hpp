@@ -1,0 +1,55 @@
+// The two equivalent definitions of PO-graphs (Figure 2 of the paper).
+//
+//   PO1: every node of degree d refers to its incident arc-endpoints with
+//        port labels 1..d (a directed loop occupies two ports: one for its
+//        tail side and one for its head side);
+//   PO2: arcs carry colours such that outgoing arcs at a node have distinct
+//        colours and incoming arcs at a node have distinct colours.
+//
+// This module implements both directions of the equivalence:
+//   * a port numbering induces a colouring where arc (u,v) is coloured by
+//     the pair (port at u, port at v), encoded as a single integer;
+//   * a PO colouring induces a port numbering: at each node, first the
+//     outgoing arcs ordered by colour, then the incoming arcs ordered by
+//     colour.
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/digraph.hpp"
+
+namespace ldlb {
+
+/// A port numbering of a digraph: for each node, an ordered list of
+/// (arc id, endpoint side) entries. Side `kTail` means the node is the arc's
+/// tail (the arc leaves the node through this port).
+struct PortNumbering {
+  enum class Side { kTail, kHead };
+  struct Port {
+    EdgeId arc = kNoEdge;
+    Side side = Side::kTail;
+    friend bool operator==(const Port&, const Port&) = default;
+  };
+  /// ports[v][i] is the port with label i+1 at node v.
+  std::vector<std::vector<Port>> ports;
+
+  /// True iff for every node the ports enumerate exactly its incident
+  /// arc-endpoints (each out-arc once as kTail, each in-arc once as kHead).
+  [[nodiscard]] bool is_valid_for(const Digraph& g) const;
+};
+
+/// Derives a port numbering from a PO colouring: outgoing arcs ordered by
+/// colour first, then incoming arcs ordered by colour (Figure 2b).
+/// Requires `g.has_proper_po_coloring()`.
+PortNumbering ports_from_po_coloring(const Digraph& g);
+
+/// Builds the pair-colouring induced by a port numbering (Figure 2a): arc
+/// (u,v) gets colour `port_at_u * stride + port_at_v` where `stride` is one
+/// more than the maximum port label. Returns a recoloured copy of `g`.
+/// Requires `pn.is_valid_for(g)`.
+Digraph po_coloring_from_ports(const Digraph& g, const PortNumbering& pn);
+
+/// Arbitrary canonical port numbering (by arc id) for an uncoloured digraph.
+PortNumbering canonical_ports(const Digraph& g);
+
+}  // namespace ldlb

@@ -1,0 +1,122 @@
+// Algorithm interfaces for the LOCAL model and its weaker variants
+// (Sections 1.4 and 2.1 of the paper).
+//
+// Two complementary styles are supported, matching the two views the paper
+// itself uses:
+//
+//   * *Message passing* (Section 1.4): a node is a state machine; in every
+//     synchronous round it sends one message per incident edge-end, receives
+//     one message per end, and updates its state; eventually it halts and
+//     announces the weights of its incident ends. Anonymous algorithms (EC,
+//     PO) are written in this style — a node sees only the colours of its
+//     ends, so lift-invariance (eq. (2)) holds by construction.
+//
+//   * *View functions* (eq. (1)): A(G, v) = A(τ_t(G, v)) — the algorithm is
+//     a function of the radius-t ball. ID and OI algorithms are written in
+//     this style (a t-round LOCAL algorithm can always gather its ball and
+//     decide); the OI adapter in view_runner.hpp hides identifier values and
+//     exposes only their relative order.
+//
+// Messages are byte strings: the LOCAL model does not bound message size,
+// and opaque bytes keep node state machines honest (no sharing of pointers
+// into global state).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/util/rational.hpp"
+
+namespace ldlb {
+
+using Message = std::string;
+
+// ---------------------------------------------------------------------------
+// EC model: anonymous nodes, proper edge colouring. A node addresses its
+// incident edge-ends by colour; a loop is a single end whose messages come
+// back to the node itself.
+// ---------------------------------------------------------------------------
+
+/// Everything an EC node knows at wake-up: the colours of its incident ends
+/// (sorted, distinct by properness) and the maximum degree bound.
+struct EcNodeContext {
+  std::vector<Color> incident_colors;
+  int max_degree = 0;
+};
+
+/// Per-node state machine in the EC model.
+class EcNodeState {
+ public:
+  virtual ~EcNodeState() = default;
+
+  /// Messages to send this round, keyed by end colour. Rounds count from 1.
+  /// Keys must be a subset of the node's incident colours.
+  virtual std::map<Color, Message> send(int round) = 0;
+
+  /// Delivery of this round's messages, keyed by end colour. An end whose
+  /// peer sent nothing is absent from the map.
+  virtual void receive(int round, const std::map<Color, Message>& inbox) = 0;
+
+  /// True once the node has stopped; its output is then final and it sends
+  /// no further messages.
+  [[nodiscard]] virtual bool halted() const = 0;
+
+  /// Local output: the weight of each incident end, keyed by colour. Must
+  /// cover every incident colour once the node has halted.
+  [[nodiscard]] virtual std::map<Color, Rational> output() const = 0;
+};
+
+/// Factory for EC node state machines.
+class EcAlgorithm {
+ public:
+  virtual ~EcAlgorithm() = default;
+  virtual std::unique_ptr<EcNodeState> make_node(const EcNodeContext& ctx) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// PO model: anonymous nodes; arcs carry colours and orientations. A node
+// addresses its ends by (direction, colour); a directed loop gives the node
+// both an outgoing end and an incoming end of the same colour.
+// ---------------------------------------------------------------------------
+
+/// One arc-end as seen from a node.
+struct PoEnd {
+  bool outgoing = true;
+  Color color = kUncoloured;
+  auto operator<=>(const PoEnd&) const = default;
+};
+
+/// Everything a PO node knows at wake-up.
+struct PoNodeContext {
+  std::vector<Color> out_colors;
+  std::vector<Color> in_colors;
+  int max_degree = 0;
+};
+
+/// Per-node state machine in the PO model.
+class PoNodeState {
+ public:
+  virtual ~PoNodeState() = default;
+  virtual std::map<PoEnd, Message> send(int round) = 0;
+  virtual void receive(int round, const std::map<PoEnd, Message>& inbox) = 0;
+  [[nodiscard]] virtual bool halted() const = 0;
+  /// Weight of each incident end. The two ends of an arc must agree (the
+  /// simulator enforces this); a directed loop's two ends both report the
+  /// loop's weight.
+  [[nodiscard]] virtual std::map<PoEnd, Rational> output() const = 0;
+};
+
+/// Factory for PO node state machines.
+class PoAlgorithm {
+ public:
+  virtual ~PoAlgorithm() = default;
+  virtual std::unique_ptr<PoNodeState> make_node(const PoNodeContext& ctx) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ldlb

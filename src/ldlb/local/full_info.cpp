@@ -1,0 +1,164 @@
+#include "ldlb/local/full_info.hpp"
+
+#include <charconv>
+
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+int EcView::size() const {
+  int n = 1;
+  for (const auto& [c, child] : children) n += child.size();
+  return n;
+}
+
+std::string EcView::serialize() const {
+  std::string out = "(";
+  for (const auto& [c, child] : children) {
+    out += "c" + std::to_string(c) + child.serialize();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+EcView parse_view(const std::string& text, std::size_t& pos) {
+  LDLB_REQUIRE_MSG(pos < text.size() && text[pos] == '(',
+                   "malformed view: expected '('");
+  ++pos;
+  EcView view;
+  while (pos < text.size() && text[pos] == 'c') {
+    ++pos;
+    Color c = 0;
+    auto res = std::from_chars(text.data() + pos, text.data() + text.size(),
+                               c);
+    LDLB_REQUIRE_MSG(res.ec == std::errc{}, "malformed view colour");
+    pos = static_cast<std::size_t>(res.ptr - text.data());
+    view.children[c] = parse_view(text, pos);
+  }
+  LDLB_REQUIRE_MSG(pos < text.size() && text[pos] == ')',
+                   "malformed view: expected ')'");
+  ++pos;
+  return view;
+}
+
+// The view with the colour-c child removed (what a node sends through its
+// colour-c end: "everything I know except what you told me").
+EcView without_branch(const EcView& view, Color c) {
+  EcView out = view;
+  out.children.erase(c);
+  return out;
+}
+
+class GatherNode final : public EcNodeState {
+ public:
+  GatherNode(EcViewFunction* fn, std::vector<Color> incident, int rounds)
+      : fn_(fn), incident_(std::move(incident)), rounds_(rounds) {}
+
+  std::map<Color, Message> send(int) override {
+    std::map<Color, Message> out;
+    for (Color c : incident_) {
+      out[c] = without_branch(view_, c).serialize();
+    }
+    return out;
+  }
+
+  void receive(int round, const std::map<Color, Message>& inbox) override {
+    EcView next;
+    for (Color c : incident_) {
+      auto it = inbox.find(c);
+      LDLB_ENSURE_MSG(it != inbox.end(),
+                      "gathering peer went silent on colour " << c);
+      std::size_t pos = 0;
+      next.children[c] = parse_view(it->second, pos);
+      LDLB_ENSURE(pos == it->second.size());
+    }
+    view_ = std::move(next);
+    done_rounds_ = round;
+  }
+
+  [[nodiscard]] bool halted() const override {
+    return done_rounds_ >= rounds_;
+  }
+
+  [[nodiscard]] std::map<Color, Rational> output() const override {
+    return fn_->decide(view_, incident_);
+  }
+
+ private:
+  EcViewFunction* fn_;
+  std::vector<Color> incident_;
+  int rounds_;
+  int done_rounds_ = 0;
+  EcView view_;  // radius-done_rounds_ view
+};
+
+}  // namespace
+
+EcView EcView::parse(const std::string& text) {
+  std::size_t pos = 0;
+  EcView view = parse_view(text, pos);
+  LDLB_REQUIRE_MSG(pos == text.size(), "trailing bytes after view");
+  return view;
+}
+
+std::unique_ptr<EcNodeState> FullInfoEc::make_node(const EcNodeContext& ctx) {
+  int rounds = fn_->radius(ctx.max_degree);
+  // A node with no ends gathers nothing and can decide immediately.
+  if (ctx.incident_colors.empty()) rounds = 0;
+  return std::make_unique<GatherNode>(fn_, ctx.incident_colors, rounds);
+}
+
+SweepViewFunction::SweepViewFunction(int num_colors)
+    : num_colors_(num_colors) {
+  LDLB_REQUIRE(num_colors >= 0);
+}
+
+int SweepViewFunction::radius(int) const { return num_colors_; }
+
+std::map<Color, Rational> SweepViewFunction::decide(
+    const EcView& view, const std::vector<Color>& incident) {
+  // Materialise the view as a tree (node 0 = root) and replay the colour
+  // sweep centrally. The root's end weights after the sweep equal the
+  // distributed run's by the locality cone argument: the weight of an edge
+  // processed at colour round c depends only on the radius-c ball.
+  Multigraph tree(1);
+  std::vector<std::pair<NodeId, const EcView*>> stack{{0, &view}};
+  while (!stack.empty()) {
+    auto [node, v] = stack.back();
+    stack.pop_back();
+    for (const auto& [c, child] : v->children) {
+      NodeId child_node = tree.add_node();
+      tree.add_edge(node, child_node, c);
+      stack.push_back({child_node, &child});
+    }
+  }
+
+  std::vector<Rational> residual(static_cast<std::size_t>(tree.node_count()),
+                                 Rational(1));
+  std::vector<Rational> weight(static_cast<std::size_t>(tree.edge_count()));
+  for (Color c = 0; c < num_colors_; ++c) {
+    // Colour classes are conflict-free (at most one colour-c end per node).
+    const std::vector<Rational> snap = residual;
+    for (EdgeId e = 0; e < tree.edge_count(); ++e) {
+      if (tree.edge(e).color != c) continue;
+      const auto& ed = tree.edge(e);
+      Rational w = Rational::min(snap[static_cast<std::size_t>(ed.u)],
+                                 snap[static_cast<std::size_t>(ed.v)]);
+      weight[static_cast<std::size_t>(e)] = w;
+      residual[static_cast<std::size_t>(ed.u)] -= w;
+      residual[static_cast<std::size_t>(ed.v)] -= w;
+    }
+  }
+
+  std::map<Color, Rational> out;
+  for (Color c : incident) out[c] = Rational(0);
+  for (EdgeId e : tree.incident_edges(0)) {
+    out[tree.edge(e).color] = weight[static_cast<std::size_t>(e)];
+  }
+  return out;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,82 @@
+// The ID model (deterministic LOCAL) and the OI restriction (Section 2.1,
+// Figure 1).
+//
+// An ID-graph is a graph whose nodes carry unique identifiers from ℕ. A
+// t-time ID algorithm is, by eq. (1), a function of the radius-t ball
+// together with the identifiers in it; an OI algorithm is additionally
+// invariant under order-preserving relabelling — equivalently, a function
+// of the ball plus only the *relative order* of the identifiers.
+//
+// Algorithms in these models are expressed as view functions (the
+// message-passing formulation is equivalent in the LOCAL model since nodes
+// can collect their balls in t rounds; the simulator-based formulation is
+// used for the anonymous models where that equivalence is subtler).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldlb/core/sim_po_oi.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+#include "ldlb/view/ball.hpp"
+
+namespace ldlb {
+
+/// A graph with unique node identifiers.
+struct IdGraph {
+  Multigraph graph;
+  std::vector<std::uint64_t> ids;  ///< indexed by NodeId; pairwise distinct
+
+  /// Validates size and uniqueness.
+  [[nodiscard]] bool valid() const;
+};
+
+/// Assigns identifiers 0..n-1 (the canonical ID-graph of a plain graph).
+IdGraph with_sequential_ids(Multigraph g);
+
+/// A t-time ID algorithm as a view function.
+class IdViewAlgorithm {
+ public:
+  virtual ~IdViewAlgorithm() = default;
+
+  /// Radius t(Δ) of the views the algorithm needs.
+  [[nodiscard]] virtual int radius(int max_degree) const = 0;
+
+  /// Weights of the edges incident to the ball's centre, indexed in
+  /// `ball.graph.incident_edges(ball.center)` order. `ids[i]` is the
+  /// identifier of ball node i.
+  virtual std::vector<Rational> run(const Ball& ball,
+                                    const std::vector<std::uint64_t>& ids) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Evaluates an ID view algorithm on every node of an ID-graph and
+/// assembles the output, checking that the two endpoints of every edge
+/// announce the same weight (they must, for a valid algorithm).
+FractionalMatching run_id_view(const IdGraph& g, IdViewAlgorithm& alg);
+
+/// Wraps an OI view algorithm as an ID algorithm (the trivial direction of
+/// Figure 1's hierarchy): identifiers are reduced to their relative order.
+class OiAsId : public IdViewAlgorithm {
+ public:
+  explicit OiAsId(OiViewAlgorithm& inner) : inner_(&inner) {}
+  [[nodiscard]] int radius(int max_degree) const override {
+    return inner_->radius(max_degree);
+  }
+  std::vector<Rational> run(const Ball& ball,
+                            const std::vector<std::uint64_t>& ids) override;
+  [[nodiscard]] std::string name() const override {
+    return "OiAsId(" + inner_->name() + ")";
+  }
+
+ private:
+  OiViewAlgorithm* inner_;
+};
+
+/// Ranks of `ids` (0 = smallest); ids must be distinct.
+std::vector<int> ranks_of_ids(const std::vector<std::uint64_t>& ids);
+
+}  // namespace ldlb

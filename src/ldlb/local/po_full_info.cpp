@@ -1,0 +1,170 @@
+#include "ldlb/local/po_full_info.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/order/tree_order.hpp"
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+int PoView::size() const {
+  int n = 1;
+  for (const auto& [end, child] : children) n += child.size();
+  return n;
+}
+
+std::string PoView::serialize() const {
+  std::string out = "(";
+  for (const auto& [end, child] : children) {
+    out += end.outgoing ? 'o' : 'i';
+    out += std::to_string(end.color);
+    out += child.serialize();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+PoView parse_view(const std::string& text, std::size_t& pos) {
+  LDLB_REQUIRE_MSG(pos < text.size() && text[pos] == '(',
+                   "malformed PO view: expected '('");
+  ++pos;
+  PoView view;
+  while (pos < text.size() && (text[pos] == 'o' || text[pos] == 'i')) {
+    PoEnd end;
+    end.outgoing = text[pos] == 'o';
+    ++pos;
+    auto res = std::from_chars(text.data() + pos, text.data() + text.size(),
+                               end.color);
+    LDLB_REQUIRE_MSG(res.ec == std::errc{}, "malformed PO view colour");
+    pos = static_cast<std::size_t>(res.ptr - text.data());
+    view.children[end] = parse_view(text, pos);
+  }
+  LDLB_REQUIRE_MSG(pos < text.size() && text[pos] == ')',
+                   "malformed PO view: expected ')'");
+  ++pos;
+  return view;
+}
+
+PoView without_branch(const PoView& view, PoEnd end) {
+  PoView out = view;
+  out.children.erase(end);
+  return out;
+}
+
+// Converts a gathered view into the (plain ball, ranks, root-end order)
+// triple the OI algorithm consumes. Children reached through an outgoing
+// colour-c end step forward in T (letter +(c+1)); through an incoming end,
+// backward.
+struct OrderedBall {
+  Multigraph ball;
+  std::vector<int> ranks;
+  std::vector<PoEnd> root_ends;  // order matching ball.incident_edges(0)
+};
+
+OrderedBall materialise(const PoView& view) {
+  OrderedBall out;
+  out.ball.add_node();  // root = 0
+  std::vector<order::TreeCoord> coords{{}};
+  // BFS so ball edge ids at the root follow the root-children order.
+  struct Item {
+    const PoView* view;
+    NodeId node;
+  };
+  std::vector<Item> queue{{&view, 0}};
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const PoView* v = queue[qi].view;
+    NodeId node = queue[qi].node;
+    for (const auto& [end, child] : v->children) {
+      NodeId child_node = out.ball.add_node();
+      out.ball.add_edge(node, child_node);
+      order::Letter l = static_cast<order::Letter>(end.color + 1);
+      if (!end.outgoing) l = -l;
+      coords.push_back(
+          order::step(coords[static_cast<std::size_t>(node)], l));
+      if (node == 0) out.root_ends.push_back(end);
+      queue.push_back({&child, child_node});
+    }
+  }
+  // Ranks in the homogeneous order.
+  std::vector<int> idx(coords.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+    return order::tree_less(coords[static_cast<std::size_t>(a)],
+                            coords[static_cast<std::size_t>(b)]);
+  });
+  out.ranks.resize(coords.size());
+  for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+    out.ranks[static_cast<std::size_t>(idx[pos])] = static_cast<int>(pos);
+  }
+  return out;
+}
+
+class GatherNode final : public PoNodeState {
+ public:
+  GatherNode(OiViewAlgorithm* aoi, const PoNodeContext& ctx) : aoi_(aoi) {
+    for (Color c : ctx.out_colors) ends_.push_back({true, c});
+    for (Color c : ctx.in_colors) ends_.push_back({false, c});
+    rounds_ = ends_.empty() ? 0 : aoi->radius(ctx.max_degree);
+  }
+
+  std::map<PoEnd, Message> send(int) override {
+    std::map<PoEnd, Message> out;
+    for (PoEnd end : ends_) {
+      out[end] = without_branch(view_, end).serialize();
+    }
+    return out;
+  }
+
+  void receive(int round, const std::map<PoEnd, Message>& inbox) override {
+    PoView next;
+    for (PoEnd end : ends_) {
+      auto it = inbox.find(end);
+      LDLB_ENSURE_MSG(it != inbox.end(), "gathering peer went silent");
+      next.children[end] = PoView::parse(it->second);
+    }
+    view_ = std::move(next);
+    done_rounds_ = round;
+  }
+
+  [[nodiscard]] bool halted() const override {
+    return done_rounds_ >= rounds_;
+  }
+
+  [[nodiscard]] std::map<PoEnd, Rational> output() const override {
+    std::map<PoEnd, Rational> out;
+    if (ends_.empty()) return out;
+    OrderedBall ob = materialise(view_);
+    std::vector<Rational> weights = aoi_->run(ob.ball, 0, ob.ranks);
+    LDLB_ENSURE(weights.size() == ob.root_ends.size());
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      out[ob.root_ends[k]] = weights[k];
+    }
+    return out;
+  }
+
+ private:
+  OiViewAlgorithm* aoi_;
+  std::vector<PoEnd> ends_;
+  int rounds_ = 0;
+  int done_rounds_ = 0;
+  PoView view_;
+};
+
+}  // namespace
+
+PoView PoView::parse(const std::string& text) {
+  std::size_t pos = 0;
+  PoView view = parse_view(text, pos);
+  LDLB_REQUIRE_MSG(pos == text.size(), "trailing bytes after PO view");
+  return view;
+}
+
+std::unique_ptr<PoNodeState> PoFromOi::make_node(const PoNodeContext& ctx) {
+  return std::make_unique<GatherNode>(aoi_, ctx);
+}
+
+}  // namespace ldlb

@@ -1,0 +1,57 @@
+// Full-information gathering in the PO model, and the §5.3 simulation as a
+// genuine message-passing algorithm.
+//
+// PoFromOi turns an order-invariant view algorithm into a *PO message-
+// passing algorithm* — the missing executable link that lets the paper's
+// §5.5 composition run end to end:
+//
+//   ID algorithm  --IdAsOi-->  OI view algorithm  --PoFromOi-->  PO
+//   algorithm  --EcFromPo-->  EC algorithm  --run_adversary-->  Ω(Δ).
+//
+// Mechanics: for t rounds every node sends, through each arc-end, its
+// current gathered view minus that end's branch (cf. local/full_info.hpp;
+// here children are keyed by (direction, colour), and a directed loop's
+// two ends exchange their halves — the loop unrolls into a line exactly as
+// in the universal cover). After t rounds the node embeds its view into
+// the ordered tree (T, ≺) of Appendix A, computes the canonical ranks, and
+// hands the ordered plain tree to the OI algorithm; the returned weights
+// are announced per end.
+//
+// Like every full-information protocol, message sizes grow exponentially
+// with t — run it on small degrees/radii (the paper's reductions are
+// information-theoretic, not efficient; DESIGN.md §2).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ldlb/core/sim_po_oi.hpp"
+#include "ldlb/local/algorithm.hpp"
+
+namespace ldlb {
+
+/// Anonymous PO view tree: children per (direction, colour) end.
+struct PoView {
+  std::map<PoEnd, PoView> children;
+
+  friend bool operator==(const PoView&, const PoView&) = default;
+
+  [[nodiscard]] int size() const;
+  [[nodiscard]] std::string serialize() const;
+  static PoView parse(const std::string& text);
+};
+
+/// The §5.3 simulation as a PO message-passing algorithm.
+class PoFromOi : public PoAlgorithm {
+ public:
+  explicit PoFromOi(OiViewAlgorithm& aoi) : aoi_(&aoi) {}
+  std::unique_ptr<PoNodeState> make_node(const PoNodeContext& ctx) override;
+  [[nodiscard]] std::string name() const override {
+    return "PoFromOi(" + aoi_->name() + ")";
+  }
+
+ private:
+  OiViewAlgorithm* aoi_;
+};
+
+}  // namespace ldlb

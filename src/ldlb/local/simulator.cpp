@@ -1,0 +1,192 @@
+#include "ldlb/local/simulator.hpp"
+
+#include <algorithm>
+
+namespace ldlb {
+
+RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds) {
+  LDLB_REQUIRE_MSG(g.has_proper_edge_coloring(),
+                   "EC algorithms need a proper edge colouring");
+  const int delta = g.max_degree();
+
+  std::vector<std::unique_ptr<EcNodeState>> nodes;
+  nodes.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EcNodeContext ctx;
+    for (EdgeId e : g.incident_edges(v)) {
+      ctx.incident_colors.push_back(g.edge(e).color);
+    }
+    std::sort(ctx.incident_colors.begin(), ctx.incident_colors.end());
+    ctx.max_degree = delta;
+    nodes.push_back(alg.make_node(ctx));
+  }
+
+  RunResult result;
+  auto all_halted = [&] {
+    return std::all_of(nodes.begin(), nodes.end(),
+                       [](const auto& n) { return n->halted(); });
+  };
+
+  int round = 0;
+  while (!all_halted()) {
+    ++round;
+    LDLB_REQUIRE_MSG(round <= max_rounds,
+                     "algorithm '" << alg.name() << "' exceeded " << max_rounds
+                                   << " rounds");
+    // Collect outboxes of live nodes.
+    std::vector<std::map<Color, Message>> outbox(
+        static_cast<std::size_t>(g.node_count()));
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& node = nodes[static_cast<std::size_t>(v)];
+      if (!node->halted()) outbox[static_cast<std::size_t>(v)] = node->send(round);
+    }
+    // Deliver along edges; a loop feeds the node's own end.
+    std::vector<std::map<Color, Message>> inbox(
+        static_cast<std::size_t>(g.node_count()));
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& ed = g.edge(e);
+      const Color c = ed.color;
+      auto deliver = [&](NodeId from, NodeId to) {
+        auto it = outbox[static_cast<std::size_t>(from)].find(c);
+        if (it == outbox[static_cast<std::size_t>(from)].end()) return;
+        inbox[static_cast<std::size_t>(to)][c] = it->second;
+        ++result.messages;
+        result.message_bytes += static_cast<long long>(it->second.size());
+      };
+      if (ed.is_loop()) {
+        deliver(ed.u, ed.u);
+      } else {
+        deliver(ed.u, ed.v);
+        deliver(ed.v, ed.u);
+      }
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& node = nodes[static_cast<std::size_t>(v)];
+      if (!node->halted()) {
+        node->receive(round, inbox[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  result.rounds = round;
+
+  // Assemble and cross-check the output.
+  std::vector<std::map<Color, Rational>> outputs(
+      static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    outputs[static_cast<std::size_t>(v)] =
+        nodes[static_cast<std::size_t>(v)]->output();
+  }
+  result.matching = FractionalMatching(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    auto weight_at = [&](NodeId v) {
+      const auto& out = outputs[static_cast<std::size_t>(v)];
+      auto it = out.find(ed.color);
+      LDLB_REQUIRE_MSG(it != out.end(), "node " << v
+                                                << " announced no weight for "
+                                                   "its colour-"
+                                                << ed.color << " end");
+      return it->second;
+    };
+    Rational wu = weight_at(ed.u);
+    if (!ed.is_loop()) {
+      Rational wv = weight_at(ed.v);
+      LDLB_REQUIRE_MSG(wu == wv, "endpoints of edge "
+                                     << e << " disagree: " << wu << " vs "
+                                     << wv << " (algorithm '" << alg.name()
+                                     << "')");
+    }
+    result.matching.set_weight(e, wu);
+  }
+  return result;
+}
+
+RunResult run_po(const Digraph& g, PoAlgorithm& alg, int max_rounds) {
+  LDLB_REQUIRE_MSG(g.has_proper_po_coloring(),
+                   "PO algorithms need a proper PO colouring");
+  const int delta = g.max_degree();
+
+  std::vector<std::unique_ptr<PoNodeState>> nodes;
+  nodes.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    PoNodeContext ctx;
+    for (EdgeId a : g.out_arcs(v)) ctx.out_colors.push_back(g.arc(a).color);
+    for (EdgeId a : g.in_arcs(v)) ctx.in_colors.push_back(g.arc(a).color);
+    std::sort(ctx.out_colors.begin(), ctx.out_colors.end());
+    std::sort(ctx.in_colors.begin(), ctx.in_colors.end());
+    ctx.max_degree = delta;
+    nodes.push_back(alg.make_node(ctx));
+  }
+
+  RunResult result;
+  auto all_halted = [&] {
+    return std::all_of(nodes.begin(), nodes.end(),
+                       [](const auto& n) { return n->halted(); });
+  };
+
+  int round = 0;
+  while (!all_halted()) {
+    ++round;
+    LDLB_REQUIRE_MSG(round <= max_rounds,
+                     "algorithm '" << alg.name() << "' exceeded " << max_rounds
+                                   << " rounds");
+    std::vector<std::map<PoEnd, Message>> outbox(
+        static_cast<std::size_t>(g.node_count()));
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& node = nodes[static_cast<std::size_t>(v)];
+      if (!node->halted()) outbox[static_cast<std::size_t>(v)] = node->send(round);
+    }
+    std::vector<std::map<PoEnd, Message>> inbox(
+        static_cast<std::size_t>(g.node_count()));
+    auto deliver = [&](NodeId from, PoEnd from_end, NodeId to, PoEnd to_end) {
+      auto it = outbox[static_cast<std::size_t>(from)].find(from_end);
+      if (it == outbox[static_cast<std::size_t>(from)].end()) return;
+      inbox[static_cast<std::size_t>(to)][to_end] = it->second;
+      ++result.messages;
+      result.message_bytes += static_cast<long long>(it->second.size());
+    };
+    for (EdgeId a = 0; a < g.arc_count(); ++a) {
+      const auto& arc = g.arc(a);
+      const Color c = arc.color;
+      // Tail's outgoing end pairs with head's incoming end (also for loops,
+      // where both ends sit on the same node).
+      deliver(arc.tail, {true, c}, arc.head, {false, c});
+      deliver(arc.head, {false, c}, arc.tail, {true, c});
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& node = nodes[static_cast<std::size_t>(v)];
+      if (!node->halted()) {
+        node->receive(round, inbox[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  result.rounds = round;
+
+  std::vector<std::map<PoEnd, Rational>> outputs(
+      static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    outputs[static_cast<std::size_t>(v)] =
+        nodes[static_cast<std::size_t>(v)]->output();
+  }
+  result.matching = FractionalMatching(g.arc_count());
+  for (EdgeId a = 0; a < g.arc_count(); ++a) {
+    const auto& arc = g.arc(a);
+    auto weight_at = [&](NodeId v, PoEnd end) {
+      const auto& out = outputs[static_cast<std::size_t>(v)];
+      auto it = out.find(end);
+      LDLB_REQUIRE_MSG(it != out.end(),
+                       "node " << v << " announced no weight for an end");
+      return it->second;
+    };
+    Rational wt = weight_at(arc.tail, {true, arc.color});
+    Rational wh = weight_at(arc.head, {false, arc.color});
+    LDLB_REQUIRE_MSG(wt == wh, "ends of arc " << a << " disagree: " << wt
+                                              << " vs " << wh
+                                              << " (algorithm '" << alg.name()
+                                              << "')");
+    result.matching.set_weight(a, wt);
+  }
+  return result;
+}
+
+}  // namespace ldlb

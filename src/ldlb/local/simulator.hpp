@@ -1,0 +1,40 @@
+// Synchronous executor for anonymous (EC / PO) message-passing algorithms.
+//
+// Implements the LOCAL round structure of Section 1.4 on multigraphs
+// directly: for an undirected loop the node's message on that end is
+// delivered back to its own end next round; for a directed loop the message
+// sent through the tail end arrives at the node's own head end and vice
+// versa. Running on multigraphs this way is observationally equivalent to
+// lifting to a simple cover first (eq. (2)); the test suite verifies this
+// equivalence on constructed lifts.
+//
+// The executor also measures the quantities the paper's statements are
+// about: the number of rounds until every node has halted, and the number
+// of messages exchanged.
+#pragma once
+
+#include "ldlb/local/algorithm.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+/// Outcome of a simulated run.
+struct RunResult {
+  FractionalMatching matching;
+  int rounds = 0;            ///< rounds until the last node halted
+  long long messages = 0;    ///< total messages delivered
+  long long message_bytes = 0;  ///< total payload bytes delivered — the
+                                ///< LOCAL model does not bound this, but
+                                ///< the benchmarks report what the
+                                ///< algorithms actually use
+};
+
+/// Runs an EC algorithm on a properly edge-coloured multigraph. Throws
+/// ContractViolation if some node runs beyond `max_rounds` or if the two
+/// endpoints of an edge announce different weights.
+RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds);
+
+/// Runs a PO algorithm on a properly PO-coloured digraph.
+RunResult run_po(const Digraph& g, PoAlgorithm& alg, int max_rounds);
+
+}  // namespace ldlb

@@ -1,0 +1,134 @@
+#include "ldlb/matching/checker.hpp"
+
+#include <sstream>
+
+namespace ldlb {
+
+namespace {
+
+const Rational kOne{1};
+
+CheckResult check_weight_range(const FractionalMatching& y) {
+  for (EdgeId e = 0; e < y.edge_count(); ++e) {
+    const Rational& w = y.weight(e);
+    if (w.sign() < 0 || w > kOne) {
+      std::ostringstream os;
+      os << "edge " << e << " has weight " << w << " outside [0,1]";
+      return CheckResult::fail(os.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+template <typename Graph>
+CheckResult check_node_sums(const Graph& g, const FractionalMatching& y) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    Rational s = y.node_sum(g, v);
+    if (s > kOne) {
+      std::ostringstream os;
+      os << "node " << v << " has y[v] = " << s << " > 1";
+      return CheckResult::fail(os.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_feasible(const Multigraph& g, const FractionalMatching& y) {
+  if (y.edge_count() != g.edge_count()) {
+    return CheckResult::fail("weight vector size mismatch");
+  }
+  if (auto r = check_weight_range(y); !r) return r;
+  return check_node_sums(g, y);
+}
+
+CheckResult check_feasible(const Digraph& g, const FractionalMatching& y) {
+  if (y.edge_count() != g.arc_count()) {
+    return CheckResult::fail("weight vector size mismatch");
+  }
+  if (auto r = check_weight_range(y); !r) return r;
+  return check_node_sums(g, y);
+}
+
+bool is_saturated(const Multigraph& g, const FractionalMatching& y,
+                  NodeId v) {
+  return y.node_sum(g, v) == kOne;
+}
+
+bool is_saturated(const Digraph& g, const FractionalMatching& y, NodeId v) {
+  return y.node_sum(g, v) == kOne;
+}
+
+CheckResult check_maximal(const Multigraph& g, const FractionalMatching& y) {
+  if (auto r = check_feasible(g, y); !r) return r;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!is_saturated(g, y, ed.u) && !is_saturated(g, y, ed.v)) {
+      std::ostringstream os;
+      os << "edge " << e << " = {" << ed.u << "," << ed.v
+         << "} has no saturated endpoint";
+      return CheckResult::fail(os.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_maximal(const Digraph& g, const FractionalMatching& y) {
+  if (auto r = check_feasible(g, y); !r) return r;
+  for (EdgeId a = 0; a < g.arc_count(); ++a) {
+    const auto& arc = g.arc(a);
+    if (!is_saturated(g, y, arc.tail) && !is_saturated(g, y, arc.head)) {
+      std::ostringstream os;
+      os << "arc " << a << " = (" << arc.tail << "->" << arc.head
+         << ") has no saturated endpoint";
+      return CheckResult::fail(os.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_fully_saturated(const Multigraph& g,
+                                  const FractionalMatching& y) {
+  if (auto r = check_feasible(g, y); !r) return r;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!is_saturated(g, y, v)) {
+      std::ostringstream os;
+      os << "node " << v << " is unsaturated: y[v] = " << y.node_sum(g, v);
+      return CheckResult::fail(os.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_fully_saturated(const Digraph& g,
+                                  const FractionalMatching& y) {
+  if (auto r = check_feasible(g, y); !r) return r;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!is_saturated(g, y, v)) {
+      std::ostringstream os;
+      os << "node " << v << " is unsaturated: y[v] = " << y.node_sum(g, v);
+      return CheckResult::fail(os.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+std::vector<NodeId> saturated_nodes(const Multigraph& g,
+                                    const FractionalMatching& y) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (is_saturated(g, y, v)) out.push_back(v);
+  }
+  return out;
+}
+
+bool is_integral(const FractionalMatching& y) {
+  const Rational kZero{0};
+  for (EdgeId e = 0; e < y.edge_count(); ++e) {
+    if (y.weight(e) != kZero && y.weight(e) != kOne) return false;
+  }
+  return true;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,55 @@
+// Verifiers for fractional matchings.
+//
+// Maximal fractional matching is a *locally checkable* problem (Section 2 of
+// the paper): feasibility and maximality can be verified by inspecting each
+// node's constant-radius neighbourhood. These checkers are the ground truth
+// used by the test suite, the lower-bound certificate validator, and the
+// simulation pipeline; the algorithms under test never get to self-certify.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+/// Result of a check, with a human-readable reason on failure.
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+
+  static CheckResult pass() { return {true, ""}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+/// Weights in [0,1] and y[v] <= 1 everywhere.
+CheckResult check_feasible(const Multigraph& g, const FractionalMatching& y);
+CheckResult check_feasible(const Digraph& g, const FractionalMatching& y);
+
+/// Every edge has at least one saturated endpoint (assumes feasibility; runs
+/// it first and reports its failure if any).
+CheckResult check_maximal(const Multigraph& g, const FractionalMatching& y);
+CheckResult check_maximal(const Digraph& g, const FractionalMatching& y);
+
+/// Every node is saturated (the conclusion of Lemma 2 on loopy graphs).
+CheckResult check_fully_saturated(const Multigraph& g,
+                                  const FractionalMatching& y);
+CheckResult check_fully_saturated(const Digraph& g,
+                                  const FractionalMatching& y);
+
+/// True iff y[v] == 1.
+bool is_saturated(const Multigraph& g, const FractionalMatching& y, NodeId v);
+bool is_saturated(const Digraph& g, const FractionalMatching& y, NodeId v);
+
+/// The saturated nodes of (g, y).
+std::vector<NodeId> saturated_nodes(const Multigraph& g,
+                                    const FractionalMatching& y);
+
+/// True iff y is 0/1-valued (an integral matching).
+bool is_integral(const FractionalMatching& y);
+
+}  // namespace ldlb

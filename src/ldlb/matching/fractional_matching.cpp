@@ -1,0 +1,26 @@
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+Rational FractionalMatching::node_sum(const Multigraph& g, NodeId v) const {
+  LDLB_REQUIRE(edge_count() == g.edge_count());
+  Rational sum;
+  for (EdgeId e : g.incident_edges(v)) sum += weight(e);
+  return sum;
+}
+
+Rational FractionalMatching::node_sum(const Digraph& g, NodeId v) const {
+  LDLB_REQUIRE(edge_count() == g.arc_count());
+  Rational sum;
+  for (EdgeId a : g.out_arcs(v)) sum += weight(a);
+  for (EdgeId a : g.in_arcs(v)) sum += weight(a);
+  return sum;
+}
+
+Rational FractionalMatching::total_weight() const {
+  Rational sum;
+  for (EdgeId e = 0; e < edge_count(); ++e) sum += weight(e);
+  return sum;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,67 @@
+// Fractional matchings (Section 1.2 of the paper).
+//
+// A fractional matching on G = (V, E) is y : E → [0,1] with
+// y[v] := Σ_{e ∋ v} y(e) ≤ 1 for every node v. A node is *saturated* when
+// y[v] = 1; y is *maximal* when every edge has at least one saturated
+// endpoint; y has *maximum weight* when Σ_e y(e) is maximised.
+//
+// Loop conventions follow Section 3.5: in an (EC) multigraph an undirected
+// loop contributes its weight once to y[v]; in a (PO) digraph a directed
+// loop contributes twice (once through its tail end, once through its head
+// end) — this is forced by lift-invariance, since the loop unrolls into a
+// path whose copies each see one in-arc and one out-arc.
+//
+// All weights are exact rationals (see util/rational.hpp).
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/util/rational.hpp"
+
+namespace ldlb {
+
+/// Edge weights indexed by EdgeId of the host graph.
+class FractionalMatching {
+ public:
+  FractionalMatching() = default;
+  /// All-zero weights for a graph with `edge_count` edges.
+  explicit FractionalMatching(EdgeId edge_count)
+      : weights_(static_cast<std::size_t>(edge_count)) {}
+  explicit FractionalMatching(std::vector<Rational> weights)
+      : weights_(std::move(weights)) {}
+
+  [[nodiscard]] EdgeId edge_count() const {
+    return static_cast<EdgeId>(weights_.size());
+  }
+
+  [[nodiscard]] const Rational& weight(EdgeId e) const {
+    LDLB_REQUIRE(e >= 0 && e < edge_count());
+    return weights_[static_cast<std::size_t>(e)];
+  }
+  void set_weight(EdgeId e, Rational w) {
+    LDLB_REQUIRE(e >= 0 && e < edge_count());
+    weights_[static_cast<std::size_t>(e)] = std::move(w);
+  }
+  void add_weight(EdgeId e, const Rational& w) {
+    LDLB_REQUIRE(e >= 0 && e < edge_count());
+    weights_[static_cast<std::size_t>(e)] += w;
+  }
+
+  /// y[v] for a multigraph host (a loop counts once).
+  [[nodiscard]] Rational node_sum(const Multigraph& g, NodeId v) const;
+  /// y[v] for a digraph host (a loop counts twice).
+  [[nodiscard]] Rational node_sum(const Digraph& g, NodeId v) const;
+
+  /// Total weight Σ_e y(e).
+  [[nodiscard]] Rational total_weight() const;
+
+  friend bool operator==(const FractionalMatching&,
+                         const FractionalMatching&) = default;
+
+ private:
+  std::vector<Rational> weights_;
+};
+
+}  // namespace ldlb

@@ -1,0 +1,99 @@
+#include "ldlb/matching/hopcroft_karp.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace ldlb {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+class Solver {
+ public:
+  explicit Solver(const BipartiteGraph& g)
+      : g_(g),
+        adj_(static_cast<std::size_t>(g.left_count)),
+        match_left_(static_cast<std::size_t>(g.left_count), kNoNode),
+        match_right_(static_cast<std::size_t>(g.right_count), kNoNode),
+        dist_(static_cast<std::size_t>(g.left_count), 0) {
+    for (const auto& [l, r] : g.edges) {
+      LDLB_REQUIRE(l >= 0 && l < g.left_count);
+      LDLB_REQUIRE(r >= 0 && r < g.right_count);
+      adj_[static_cast<std::size_t>(l)].push_back(r);
+    }
+  }
+
+  BipartiteMatching solve() {
+    int size = 0;
+    while (bfs()) {
+      for (NodeId l = 0; l < g_.left_count; ++l) {
+        if (match_left_[static_cast<std::size_t>(l)] == kNoNode && dfs(l)) {
+          ++size;
+        }
+      }
+    }
+    return {match_left_, match_right_, size};
+  }
+
+ private:
+  // Layers free left nodes at distance 0 and alternating-path layers after;
+  // returns true if an augmenting path exists.
+  bool bfs() {
+    std::deque<NodeId> queue;
+    bool reachable_free_right = false;
+    for (NodeId l = 0; l < g_.left_count; ++l) {
+      if (match_left_[static_cast<std::size_t>(l)] == kNoNode) {
+        dist_[static_cast<std::size_t>(l)] = 0;
+        queue.push_back(l);
+      } else {
+        dist_[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    while (!queue.empty()) {
+      NodeId l = queue.front();
+      queue.pop_front();
+      for (NodeId r : adj_[static_cast<std::size_t>(l)]) {
+        NodeId next = match_right_[static_cast<std::size_t>(r)];
+        if (next == kNoNode) {
+          reachable_free_right = true;
+        } else if (dist_[static_cast<std::size_t>(next)] == kInf) {
+          dist_[static_cast<std::size_t>(next)] =
+              dist_[static_cast<std::size_t>(l)] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return reachable_free_right;
+  }
+
+  bool dfs(NodeId l) {
+    for (NodeId r : adj_[static_cast<std::size_t>(l)]) {
+      NodeId next = match_right_[static_cast<std::size_t>(r)];
+      if (next == kNoNode ||
+          (dist_[static_cast<std::size_t>(next)] ==
+               dist_[static_cast<std::size_t>(l)] + 1 &&
+           dfs(next))) {
+        match_left_[static_cast<std::size_t>(l)] = r;
+        match_right_[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist_[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  }
+
+  const BipartiteGraph& g_;
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<NodeId> match_left_;
+  std::vector<NodeId> match_right_;
+  std::vector<int> dist_;
+};
+
+}  // namespace
+
+BipartiteMatching hopcroft_karp(const BipartiteGraph& g) {
+  return Solver{g}.solve();
+}
+
+}  // namespace ldlb

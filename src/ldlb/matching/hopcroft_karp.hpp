@@ -1,0 +1,35 @@
+// Hopcroft–Karp maximum bipartite matching (centralised baseline).
+//
+// Used by the exact maximum-weight fractional matching solver (via the
+// bipartite double cover; see max_fractional.hpp) — the ground-truth
+// optimum against which the §1.2 approximation benchmarks compare the
+// distributed algorithms' outputs.
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/multigraph.hpp"
+
+namespace ldlb {
+
+/// A bipartite graph: `left` nodes 0..left_count-1, `right` nodes
+/// 0..right_count-1, edges as (left, right) pairs (parallels allowed; they
+/// never help a matching but are tolerated).
+struct BipartiteGraph {
+  NodeId left_count = 0;
+  NodeId right_count = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+/// Maximum-cardinality matching; match_left[l] = matched right node or
+/// kNoNode, and symmetrically.
+struct BipartiteMatching {
+  std::vector<NodeId> match_left;
+  std::vector<NodeId> match_right;
+  int size = 0;
+};
+
+/// O(E√V) Hopcroft–Karp.
+BipartiteMatching hopcroft_karp(const BipartiteGraph& g);
+
+}  // namespace ldlb

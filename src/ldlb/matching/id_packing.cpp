@@ -1,0 +1,47 @@
+#include "ldlb/matching/id_packing.hpp"
+
+namespace ldlb {
+
+namespace {
+
+std::vector<Rational> run_with_keys(const Ball& ball,
+                                    const std::vector<std::uint64_t>& keys,
+                                    int phases) {
+  std::vector<int> ranks = ranks_of_ids(keys);
+  FractionalMatching y = rank_seeded_packing(ball.graph, ranks, phases);
+  std::vector<Rational> out;
+  for (EdgeId e : ball.graph.incident_edges(ball.center)) {
+    out.push_back(y.weight(e));
+  }
+  return out;
+}
+
+}  // namespace
+
+RankPackingId::RankPackingId(int phases) : phases_(phases) {
+  LDLB_REQUIRE(phases >= 0);
+}
+
+int RankPackingId::radius(int) const { return 2 * (phases_ + 1); }
+
+std::vector<Rational> RankPackingId::run(
+    const Ball& ball, const std::vector<std::uint64_t>& ids) {
+  return run_with_keys(ball, ids, phases_);
+}
+
+ParityQuirkPacking::ParityQuirkPacking(int phases) : phases_(phases) {
+  LDLB_REQUIRE(phases >= 0);
+}
+
+int ParityQuirkPacking::radius(int) const { return 2 * (phases_ + 1); }
+
+std::vector<Rational> ParityQuirkPacking::run(
+    const Ball& ball, const std::vector<std::uint64_t>& ids) {
+  std::vector<std::uint64_t> keys = ids;
+  for (std::uint64_t& k : keys) {
+    if (k % 2 == 1) k += (std::uint64_t{1} << 40);  // odd ids after even ids
+  }
+  return run_with_keys(ball, keys, phases_);
+}
+
+}  // namespace ldlb

@@ -1,0 +1,55 @@
+// ID-model maximal-FM view algorithms used by the OI ⇐ ID machinery
+// (Section 5.4) and its tests and benchmarks.
+//
+// Both algorithms delegate to the rank-seeded packing process (see
+// core/sim_po_oi.hpp) — what differs is how node identifiers become ranks:
+//
+//   * RankPackingId ranks nodes by identifier value. It only uses the
+//     *relative order* of identifiers, so it is order-invariant (an OI
+//     algorithm presented at the ID interface).
+//
+//   * ParityQuirkPacking ranks nodes by the key  id  (even ids) /
+//     id + 2^40 (odd ids): all even identifiers come before all odd ones.
+//     It is a perfectly correct maximal-FM algorithm — the keys are just
+//     another total order — but it is *not* order-invariant: relabelling
+//     identifiers in an order-preserving way can flip parities and change
+//     the output. This is exactly the kind of "tricky identifier use"
+//     (Section 5.2) the Naor–Stockmeyer extraction must neutralise, and it
+//     does: restricted to an all-even (or all-odd) identifier set, the quirk
+//     disappears and the algorithm becomes order-invariant.
+#pragma once
+
+#include "ldlb/local/id_model.hpp"
+
+namespace ldlb {
+
+/// Order-invariant ID algorithm: ranks = identifier order.
+class RankPackingId : public IdViewAlgorithm {
+ public:
+  explicit RankPackingId(int phases);
+  [[nodiscard]] int radius(int max_degree) const override;
+  std::vector<Rational> run(const Ball& ball,
+                            const std::vector<std::uint64_t>& ids) override;
+  [[nodiscard]] std::string name() const override { return "RankPackingId"; }
+
+ private:
+  int phases_;
+};
+
+/// Correct but order-sensitive ID algorithm: even identifiers outrank odd
+/// ones regardless of value.
+class ParityQuirkPacking : public IdViewAlgorithm {
+ public:
+  explicit ParityQuirkPacking(int phases);
+  [[nodiscard]] int radius(int max_degree) const override;
+  std::vector<Rational> run(const Ball& ball,
+                            const std::vector<std::uint64_t>& ids) override;
+  [[nodiscard]] std::string name() const override {
+    return "ParityQuirkPacking";
+  }
+
+ private:
+  int phases_;
+};
+
+}  // namespace ldlb

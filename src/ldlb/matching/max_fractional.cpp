@@ -1,0 +1,63 @@
+#include "ldlb/matching/max_fractional.hpp"
+
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/hopcroft_karp.hpp"
+
+namespace ldlb {
+
+MaxFractionalResult max_fractional_matching(const Multigraph& g) {
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    LDLB_REQUIRE_MSG(!g.edge(e).is_loop(),
+                     "max_fractional_matching requires a loopless graph");
+  }
+  // Bipartite double cover: left = v⁺, right = v⁻. Edge e = {u, v} becomes
+  // edge 2e   : u⁺ — v⁻
+  // edge 2e+1 : v⁺ — u⁻
+  BipartiteGraph b;
+  b.left_count = g.node_count();
+  b.right_count = g.node_count();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    b.edges.push_back({ed.u, ed.v});
+    b.edges.push_back({ed.v, ed.u});
+  }
+  BipartiteMatching m = hopcroft_karp(b);
+
+  // Pull back: y(e) = ([u⁺ matched to v⁻] + [v⁺ matched to u⁻]) / 2. With
+  // parallel edges, credit the matched pair to the first edge joining the
+  // pair (the optimum is per node pair anyway).
+  MaxFractionalResult out;
+  out.matching = FractionalMatching(g.edge_count());
+  std::vector<bool> plus_used(static_cast<std::size_t>(g.node_count()), false);
+  std::vector<bool> minus_used(static_cast<std::size_t>(g.node_count()), false);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    Rational w;
+    if (!plus_used[static_cast<std::size_t>(ed.u)] &&
+        !minus_used[static_cast<std::size_t>(ed.v)] &&
+        m.match_left[static_cast<std::size_t>(ed.u)] == ed.v) {
+      w += Rational(1, 2);
+      plus_used[static_cast<std::size_t>(ed.u)] = true;
+      minus_used[static_cast<std::size_t>(ed.v)] = true;
+    }
+    if (!plus_used[static_cast<std::size_t>(ed.v)] &&
+        !minus_used[static_cast<std::size_t>(ed.u)] &&
+        m.match_left[static_cast<std::size_t>(ed.v)] == ed.u) {
+      w += Rational(1, 2);
+      plus_used[static_cast<std::size_t>(ed.v)] = true;
+      minus_used[static_cast<std::size_t>(ed.u)] = true;
+    }
+    out.matching.set_weight(e, w);
+  }
+  out.weight = Rational(m.size, 2);
+  LDLB_ENSURE_MSG(out.matching.total_weight() == out.weight,
+                  "double-cover pullback lost weight");
+  LDLB_ENSURE(check_feasible(g, out.matching).ok);
+  return out;
+}
+
+Rational max_fractional_weight(const Multigraph& g) {
+  return max_fractional_matching(g).weight;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,29 @@
+// Exact maximum-weight fractional matchings (Section 1.2 baseline).
+//
+// The maximum-weight FM of a loopless multigraph is half-integral and its
+// weight equals half the maximum matching of the bipartite double cover
+// B(G): nodes v⁺, v⁻ for every v, edges {u⁺, v⁻} and {v⁺, u⁻} for every
+// edge {u, v}. We solve B(G) with Hopcroft–Karp and pull the matching back
+// as weights in {0, 1/2, 1}. This is the centralised ground truth for the
+// §1.2 claims: a maximal FM is a 1/2-approximation of the maximum-weight
+// FM, and exact maximum-weight FMs cannot be computed locally at all
+// (Ω(n) on odd paths).
+#pragma once
+
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+/// Exact optimum; requires a loopless multigraph.
+struct MaxFractionalResult {
+  FractionalMatching matching;  ///< half-integral optimal weights
+  Rational weight;              ///< its total weight (= ν(B(G)) / 2)
+};
+
+MaxFractionalResult max_fractional_matching(const Multigraph& g);
+
+/// Just the optimal weight.
+Rational max_fractional_weight(const Multigraph& g);
+
+}  // namespace ldlb

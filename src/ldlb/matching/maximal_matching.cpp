@@ -1,0 +1,284 @@
+#include "ldlb/matching/maximal_matching.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ldlb/matching/checker.hpp"
+
+namespace ldlb {
+
+ForestDecomposition forest_decomposition(const IdGraph& g) {
+  LDLB_REQUIRE(g.valid());
+  const NodeId n = g.graph.node_count();
+  ForestDecomposition out;
+  // Orient toward the higher id; number each node's outgoing edges.
+  std::vector<int> out_index(static_cast<std::size_t>(n), 0);
+  for (EdgeId e = 0; e < g.graph.edge_count(); ++e) {
+    const auto& ed = g.graph.edge(e);
+    LDLB_REQUIRE_MSG(!ed.is_loop(), "forest decomposition needs simple graphs");
+    NodeId tail = g.ids[static_cast<std::size_t>(ed.u)] <
+                          g.ids[static_cast<std::size_t>(ed.v)]
+                      ? ed.u
+                      : ed.v;
+    NodeId head = tail == ed.u ? ed.v : ed.u;
+    int i = out_index[static_cast<std::size_t>(tail)]++;
+    if (static_cast<std::size_t>(i) >= out.parents.size()) {
+      out.parents.resize(static_cast<std::size_t>(i) + 1,
+                         std::vector<NodeId>(static_cast<std::size_t>(n),
+                                             kNoNode));
+      out.parent_edges.resize(static_cast<std::size_t>(i) + 1,
+                              std::vector<EdgeId>(static_cast<std::size_t>(n),
+                                                  kNoEdge));
+    }
+    out.parents[static_cast<std::size_t>(i)][static_cast<std::size_t>(tail)] =
+        head;
+    out.parent_edges[static_cast<std::size_t>(i)]
+                    [static_cast<std::size_t>(tail)] = e;
+  }
+  return out;
+}
+
+std::vector<Color> cole_vishkin_3color(const std::vector<NodeId>& parent,
+                                       const std::vector<std::uint64_t>& ids,
+                                       int* rounds) {
+  const std::size_t n = parent.size();
+  LDLB_REQUIRE(ids.size() == n);
+  int r = 0;
+  std::vector<std::uint64_t> color = ids;
+
+  auto max_color = [&] {
+    std::uint64_t m = 0;
+    for (std::uint64_t c : color) m = std::max(m, c);
+    return m;
+  };
+
+  // Bit-ranking iterations: colours shrink from K bits to O(log K) bits.
+  while (max_color() >= 6) {
+    std::vector<std::uint64_t> next(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t mine = color[v];
+      std::uint64_t theirs =
+          parent[v] == kNoNode ? (mine ^ 1)
+                               : color[static_cast<std::size_t>(parent[v])];
+      std::uint64_t diff = mine ^ theirs;
+      LDLB_ENSURE_MSG(diff != 0, "adjacent equal colours in Cole-Vishkin");
+      unsigned i = static_cast<unsigned>(__builtin_ctzll(diff));
+      next[v] = 2 * i + ((mine >> i) & 1);
+    }
+    color = std::move(next);
+    ++r;
+  }
+
+  // Reduce 6 -> 3 by three shift-down + recolour steps.
+  for (std::uint64_t kill = 5; kill >= 3; --kill) {
+    // Shift down: everyone adopts the parent's colour; roots rotate.
+    std::vector<std::uint64_t> shifted(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      shifted[v] = parent[v] == kNoNode
+                       ? (color[v] + 1) % 3
+                       : color[static_cast<std::size_t>(parent[v])];
+    }
+    // Nodes holding `kill` pick the smallest colour in {0,1,2} free at
+    // their parent and (uniform, post-shift) children.
+    std::vector<std::uint64_t> next = shifted;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (shifted[v] != kill && shifted[v] > 2) {
+        // Still a big colour from the ranking phase? Cannot happen: after
+        // ranking, colours are < 6 and shift-down preserves that.
+        LDLB_ENSURE(shifted[v] < 6);
+      }
+      if (shifted[v] == kill) {
+        std::set<std::uint64_t> banned;
+        if (parent[v] != kNoNode) {
+          banned.insert(shifted[static_cast<std::size_t>(parent[v])]);
+        }
+        // After shift-down all children of v hold v's old colour.
+        banned.insert(color[v] % 6);
+        std::uint64_t pick = 0;
+        while (banned.count(pick) != 0) ++pick;
+        LDLB_ENSURE(pick <= 2);
+        next[v] = pick;
+      }
+    }
+    color = std::move(next);
+    r += 2;
+  }
+
+  std::vector<Color> out(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    LDLB_ENSURE(color[v] <= 2);
+    out[v] = static_cast<Color>(color[v]);
+    if (parent[v] != kNoNode) {
+      LDLB_ENSURE_MSG(color[v] != color[static_cast<std::size_t>(parent[v])],
+                      "Cole-Vishkin produced adjacent equal colours");
+    }
+  }
+  if (rounds != nullptr) *rounds = r;
+  return out;
+}
+
+MatchingRun panconesi_rizzi_matching(const IdGraph& g) {
+  const NodeId n = g.graph.node_count();
+  MatchingRun run;
+  run.matching = FractionalMatching(g.graph.edge_count());
+  run.rounds = 1;  // orientation / decomposition round
+
+  ForestDecomposition forests = forest_decomposition(g);
+
+  // Colour every forest (in parallel; rounds = the max, which is equal
+  // across forests since the iteration count depends only on the id range).
+  int cv_rounds = 0;
+  std::vector<std::vector<Color>> colors;
+  for (const auto& parent : forests.parents) {
+    int rr = 0;
+    colors.push_back(cole_vishkin_3color(parent, g.ids, &rr));
+    cv_rounds = std::max(cv_rounds, rr);
+  }
+  run.rounds += cv_rounds;
+
+  std::vector<bool> matched(static_cast<std::size_t>(n), false);
+  for (std::size_t i = 0; i < forests.parents.size(); ++i) {
+    for (Color c = 0; c <= 2; ++c) {
+      // One proposal step: unmatched colour-c nodes propose to their F_i
+      // parent; an unmatched parent accepts its smallest-id proposer.
+      std::map<NodeId, NodeId> accepted;  // parent -> proposer
+      for (NodeId v = 0; v < n; ++v) {
+        if (matched[static_cast<std::size_t>(v)]) continue;
+        if (colors[i][static_cast<std::size_t>(v)] != c) continue;
+        NodeId p = forests.parents[i][static_cast<std::size_t>(v)];
+        if (p == kNoNode || matched[static_cast<std::size_t>(p)]) continue;
+        auto it = accepted.find(p);
+        if (it == accepted.end() ||
+            g.ids[static_cast<std::size_t>(v)] <
+                g.ids[static_cast<std::size_t>(it->second)]) {
+          accepted[p] = v;
+        }
+      }
+      for (const auto& [p, v] : accepted) {
+        matched[static_cast<std::size_t>(p)] = true;
+        matched[static_cast<std::size_t>(v)] = true;
+        run.matching.set_weight(
+            forests.parent_edges[i][static_cast<std::size_t>(v)],
+            Rational(1));
+      }
+      run.rounds += 1;
+    }
+  }
+  LDLB_ENSURE(is_maximal_matching(g.graph, run.matching));
+  return run;
+}
+
+MatchingRun israeli_itai_matching(const Multigraph& g, Rng& rng) {
+  const NodeId n = g.node_count();
+  MatchingRun run;
+  run.matching = FractionalMatching(g.edge_count());
+  std::vector<bool> matched(static_cast<std::size_t>(n), false);
+
+  auto has_active_edge = [&] {
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& ed = g.edge(e);
+      if (ed.is_loop()) continue;
+      if (!matched[static_cast<std::size_t>(ed.u)] &&
+          !matched[static_cast<std::size_t>(ed.v)]) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (has_active_edge()) {
+    ++run.rounds;
+    // Heads propose to a random unmatched neighbour; tails accept a random
+    // incoming proposal.
+    std::vector<bool> proposer(static_cast<std::size_t>(n), false);
+    std::vector<EdgeId> proposal(static_cast<std::size_t>(n), kNoEdge);
+    for (NodeId v = 0; v < n; ++v) {
+      if (matched[static_cast<std::size_t>(v)]) continue;
+      proposer[static_cast<std::size_t>(v)] = rng.next_bool();
+      if (!proposer[static_cast<std::size_t>(v)]) continue;
+      std::vector<EdgeId> candidates;
+      for (EdgeId e : g.incident_edges(v)) {
+        if (g.edge(e).is_loop()) continue;
+        NodeId w = g.other_endpoint(e, v);
+        if (!matched[static_cast<std::size_t>(w)]) candidates.push_back(e);
+      }
+      if (!candidates.empty()) {
+        proposal[static_cast<std::size_t>(v)] = candidates[static_cast<std::size_t>(
+            rng.next_below(candidates.size()))];
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (matched[static_cast<std::size_t>(v)] ||
+          proposer[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      std::vector<EdgeId> incoming;
+      for (EdgeId e : g.incident_edges(v)) {
+        if (g.edge(e).is_loop()) continue;
+        NodeId w = g.other_endpoint(e, v);
+        if (proposal[static_cast<std::size_t>(w)] == e &&
+            !matched[static_cast<std::size_t>(w)]) {
+          incoming.push_back(e);
+        }
+      }
+      if (incoming.empty()) continue;
+      EdgeId pick = incoming[static_cast<std::size_t>(
+          rng.next_below(incoming.size()))];
+      NodeId w = g.other_endpoint(pick, v);
+      matched[static_cast<std::size_t>(v)] = true;
+      matched[static_cast<std::size_t>(w)] = true;
+      run.matching.set_weight(pick, Rational(1));
+    }
+  }
+  LDLB_ENSURE(is_maximal_matching(g, run.matching));
+  return run;
+}
+
+MatchingRun ec_greedy_matching(const Multigraph& g) {
+  LDLB_REQUIRE(g.has_proper_edge_coloring());
+  Color max_color = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    max_color = std::max(max_color, g.edge(e).color);
+  }
+  MatchingRun run;
+  run.matching = FractionalMatching(g.edge_count());
+  std::vector<bool> matched(static_cast<std::size_t>(g.node_count()), false);
+  for (Color c = 0; c <= max_color; ++c) {
+    ++run.rounds;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& ed = g.edge(e);
+      if (ed.color != c || ed.is_loop()) continue;
+      if (!matched[static_cast<std::size_t>(ed.u)] &&
+          !matched[static_cast<std::size_t>(ed.v)]) {
+        matched[static_cast<std::size_t>(ed.u)] = true;
+        matched[static_cast<std::size_t>(ed.v)] = true;
+        run.matching.set_weight(e, Rational(1));
+      }
+    }
+  }
+  return run;
+}
+
+bool is_maximal_matching(const Multigraph& g, const FractionalMatching& y) {
+  if (!is_integral(y)) return false;
+  if (!check_feasible(g, y).ok) return false;
+  std::vector<bool> matched(static_cast<std::size_t>(g.node_count()), false);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (y.weight(e) == Rational(1)) {
+      matched[static_cast<std::size_t>(g.edge(e).u)] = true;
+      matched[static_cast<std::size_t>(g.edge(e).v)] = true;
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    if (ed.is_loop()) continue;
+    if (!matched[static_cast<std::size_t>(ed.u)] &&
+        !matched[static_cast<std::size_t>(ed.v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,69 @@
+// Maximal (integral) matching algorithms — the §1.1 landscape the paper
+// situates itself in.
+//
+//   * Panconesi–Rizzi [25]: deterministic O(Δ + log* n) in the ID model —
+//     the algorithm whose Δ-term the paper conjectures necessary. Built
+//     from an id-orientation pseudoforest decomposition and Cole–Vishkin
+//     colour reduction, then 3·Δ conflict-free proposal steps.
+//   * Israeli–Itai [14]: simple randomised O(log n) matching.
+//   * EC greedy: colour-class sweep in the EC model (k rounds) — the
+//     integral sibling of SeqColorPacking; maximal matching is possible in
+//     EC even though it is impossible in ID/OI/PO-style anonymous models
+//     without the colouring (cf. Figure 1's discussion).
+//
+// These are round-faithful synchronous simulations: each loop iteration
+// corresponds to a constant number of LOCAL rounds and the reported round
+// counts are what the §1.1 benchmark plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldlb/local/id_model.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+
+/// A matching (0/1 weights) together with the rounds spent computing it.
+struct MatchingRun {
+  FractionalMatching matching;
+  int rounds = 0;
+};
+
+/// Pseudoforest decomposition by id-orientation: every edge points to its
+/// higher-id endpoint; the i-th outgoing edge of each node goes to forest i.
+/// Since ids increase along parent pointers, each F_i is a rooted forest.
+struct ForestDecomposition {
+  /// parents[i][v] = v's parent in forest i (kNoNode if none).
+  std::vector<std::vector<NodeId>> parents;
+  /// parent_edges[i][v] = the edge to that parent (kNoEdge if none).
+  std::vector<std::vector<EdgeId>> parent_edges;
+};
+
+/// Decomposes into at most Δ rooted forests (1 LOCAL round).
+ForestDecomposition forest_decomposition(const IdGraph& g);
+
+/// Cole–Vishkin 3-colouring of a rooted forest given unique ids as initial
+/// colours. `rounds` (if non-null) receives the number of LOCAL rounds
+/// (bit-ranking iterations + 3 shift-down/recolour steps, 2 rounds each).
+std::vector<Color> cole_vishkin_3color(const std::vector<NodeId>& parent,
+                                       const std::vector<std::uint64_t>& ids,
+                                       int* rounds);
+
+/// Panconesi–Rizzi maximal matching, O(Δ + log* n) rounds.
+MatchingRun panconesi_rizzi_matching(const IdGraph& g);
+
+/// Randomised Israeli–Itai-style maximal matching; O(log n) rounds w.h.p.
+MatchingRun israeli_itai_matching(const Multigraph& g, Rng& rng);
+
+/// EC-model greedy maximal matching: one round per colour class. Requires
+/// a proper edge colouring; loops are skipped (a loop cannot be in an
+/// integral matching of a simple lift... it would match a node to itself),
+/// so the result is maximal only on loop-free graphs.
+MatchingRun ec_greedy_matching(const Multigraph& g);
+
+/// True iff y is a 0/1 matching and no edge has both endpoints unmatched.
+bool is_maximal_matching(const Multigraph& g, const FractionalMatching& y);
+
+}  // namespace ldlb

@@ -1,0 +1,108 @@
+#include "ldlb/matching/proposal_packing.hpp"
+
+#include <algorithm>
+
+namespace ldlb {
+
+namespace {
+
+constexpr const char* kSat = "SAT";
+
+class Node final : public PoNodeState {
+ public:
+  explicit Node(const PoNodeContext& ctx) : residual_(1) {
+    for (Color c : ctx.out_colors) ends_.push_back({{true, c}, {}});
+    for (Color c : ctx.in_colors) ends_.push_back({{false, c}, {}});
+  }
+
+  std::map<PoEnd, Message> send(int) override {
+    sent_sat_this_round_.clear();
+    std::map<PoEnd, Message> out;
+    int open = open_count();
+    if (open == 0) return out;
+    if (saturated()) {
+      for (auto& end : ends_) {
+        if (end.open) {
+          out[end.id] = kSat;
+          sent_sat_this_round_.push_back(end.id);
+        }
+      }
+      return out;
+    }
+    Rational offer = residual_ / Rational(open);
+    last_offer_ = offer;
+    for (auto& end : ends_) {
+      if (end.open) out[end.id] = offer.to_string();
+    }
+    return out;
+  }
+
+  void receive(int, const std::map<PoEnd, Message>& inbox) override {
+    const bool i_offered = !saturated();
+    for (auto& end : ends_) {
+      if (!end.open) continue;
+      auto it = inbox.find(end.id);
+      // A silent peer halted earlier; it can only have halted after closing
+      // the shared end, which requires a SAT to have passed — but SATs close
+      // ends on both sides simultaneously, so silence cannot occur on an
+      // open end. Treat it defensively as a close.
+      if (it == inbox.end()) {
+        end.open = false;
+        continue;
+      }
+      if (it->second == kSat) {
+        end.open = false;
+        continue;
+      }
+      if (i_offered) {
+        Rational peer = Rational::from_string(it->second);
+        Rational gain = Rational::min(last_offer_, peer);
+        end.weight += gain;
+        residual_ -= gain;
+      }
+    }
+    // Ends through which we announced SAT are now closed (the peer saw it).
+    for (const PoEnd& id : sent_sat_this_round_) {
+      for (auto& end : ends_) {
+        if (end.id == id) end.open = false;
+      }
+    }
+  }
+
+  [[nodiscard]] bool halted() const override { return open_count() == 0; }
+
+  [[nodiscard]] std::map<PoEnd, Rational> output() const override {
+    std::map<PoEnd, Rational> out;
+    for (const auto& end : ends_) out[end.id] = end.weight;
+    return out;
+  }
+
+ private:
+  struct End {
+    PoEnd id;
+    Rational weight;
+    bool open = true;
+  };
+
+  [[nodiscard]] int open_count() const {
+    return static_cast<int>(
+        std::count_if(ends_.begin(), ends_.end(),
+                      [](const End& e) { return e.open; }));
+  }
+
+  [[nodiscard]] bool saturated() const { return residual_.is_zero(); }
+
+  std::vector<End> ends_;
+  Rational residual_;
+  Rational last_offer_;
+  std::vector<PoEnd> sent_sat_this_round_;
+};
+
+}  // namespace
+
+std::unique_ptr<PoNodeState> ProposalPacking::make_node(
+    const PoNodeContext& ctx) {
+  return std::make_unique<Node>(ctx);
+}
+
+}  // namespace ldlb

@@ -1,0 +1,74 @@
+#include "ldlb/matching/seq_color_packing.hpp"
+
+#include <algorithm>
+
+namespace ldlb {
+
+namespace {
+
+class Node final : public EcNodeState {
+ public:
+  Node(std::vector<Color> colors, int num_colors)
+      : colors_(std::move(colors)), residual_(1) {
+    last_round_ = 0;
+    for (Color c : colors_) {
+      LDLB_REQUIRE_MSG(c >= 0 && c < num_colors,
+                       "edge colour " << c << " out of range [0, "
+                                      << num_colors << ")");
+      last_round_ = std::max(last_round_, c + 1);
+    }
+  }
+
+  std::map<Color, Message> send(int round) override {
+    Color c = round - 1;
+    std::map<Color, Message> out;
+    if (has_end(c)) out[c] = residual_.to_string();
+    return out;
+  }
+
+  void receive(int round, const std::map<Color, Message>& inbox) override {
+    Color c = round - 1;
+    if (has_end(c)) {
+      auto it = inbox.find(c);
+      LDLB_ENSURE_MSG(it != inbox.end(),
+                      "peer on colour " << c << " sent no residual");
+      Rational peer = Rational::from_string(it->second);
+      Rational w = Rational::min(residual_, peer);
+      weights_[c] = w;
+      residual_ -= w;
+    }
+    rounds_done_ = round;
+  }
+
+  [[nodiscard]] bool halted() const override {
+    return rounds_done_ >= last_round_;
+  }
+
+  [[nodiscard]] std::map<Color, Rational> output() const override {
+    return weights_;
+  }
+
+ private:
+  [[nodiscard]] bool has_end(Color c) const {
+    return std::binary_search(colors_.begin(), colors_.end(), c);
+  }
+
+  std::vector<Color> colors_;  // sorted by the simulator
+  Rational residual_;
+  std::map<Color, Rational> weights_;
+  int last_round_ = 0;
+  int rounds_done_ = 0;
+};
+
+}  // namespace
+
+SeqColorPacking::SeqColorPacking(int num_colors) : num_colors_(num_colors) {
+  LDLB_REQUIRE(num_colors >= 0);
+}
+
+std::unique_ptr<EcNodeState> SeqColorPacking::make_node(
+    const EcNodeContext& ctx) {
+  return std::make_unique<Node>(ctx.incident_colors, num_colors_);
+}
+
+}  // namespace ldlb

@@ -1,0 +1,84 @@
+#include "ldlb/matching/two_phase_packing.hpp"
+
+#include <algorithm>
+
+namespace ldlb {
+
+namespace {
+
+class Node final : public EcNodeState {
+ public:
+  Node(std::vector<Color> colors, int num_colors)
+      : colors_(std::move(colors)), num_colors_(num_colors), residual_(1) {
+    int max_color = -1;
+    for (Color c : colors_) {
+      LDLB_REQUIRE(c >= 0 && c < num_colors);
+      max_color = std::max(max_color, c);
+    }
+    // Rounds 1..k are sweep 1, k+1..2k sweep 2; we can halt after our own
+    // highest colour's sweep-2 round.
+    last_round_ = max_color < 0 ? 0 : num_colors_ + max_color + 1;
+  }
+
+  std::map<Color, Message> send(int round) override {
+    Color c = color_of_round(round);
+    std::map<Color, Message> out;
+    if (has_end(c)) out[c] = residual_.to_string();
+    return out;
+  }
+
+  void receive(int round, const std::map<Color, Message>& inbox) override {
+    Color c = color_of_round(round);
+    if (has_end(c)) {
+      auto it = inbox.find(c);
+      LDLB_ENSURE(it != inbox.end());
+      Rational peer = Rational::from_string(it->second);
+      Rational take = Rational::min(residual_, peer);
+      if (round <= num_colors_) take *= Rational(1, 2);  // sweep 1: half
+      weights_[c] += take;
+      residual_ -= take;
+    }
+    rounds_done_ = round;
+  }
+
+  [[nodiscard]] bool halted() const override {
+    return rounds_done_ >= last_round_;
+  }
+
+  [[nodiscard]] std::map<Color, Rational> output() const override {
+    std::map<Color, Rational> out;
+    for (Color c : colors_) {
+      auto it = weights_.find(c);
+      out[c] = it == weights_.end() ? Rational(0) : it->second;
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] Color color_of_round(int round) const {
+    return round <= num_colors_ ? round - 1 : round - num_colors_ - 1;
+  }
+  [[nodiscard]] bool has_end(Color c) const {
+    return std::binary_search(colors_.begin(), colors_.end(), c);
+  }
+
+  std::vector<Color> colors_;
+  int num_colors_;
+  Rational residual_;
+  std::map<Color, Rational> weights_;
+  int last_round_ = 0;
+  int rounds_done_ = 0;
+};
+
+}  // namespace
+
+TwoPhasePacking::TwoPhasePacking(int num_colors) : num_colors_(num_colors) {
+  LDLB_REQUIRE(num_colors >= 0);
+}
+
+std::unique_ptr<EcNodeState> TwoPhasePacking::make_node(
+    const EcNodeContext& ctx) {
+  return std::make_unique<Node>(ctx.incident_colors, num_colors_);
+}
+
+}  // namespace ldlb

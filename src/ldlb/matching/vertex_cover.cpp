@@ -1,0 +1,64 @@
+#include "ldlb/matching/vertex_cover.hpp"
+
+#include <algorithm>
+
+#include "ldlb/matching/checker.hpp"
+
+namespace ldlb {
+
+std::vector<NodeId> vertex_cover_from_packing(const Multigraph& g,
+                                              const FractionalMatching& y) {
+  auto maximal = check_maximal(g, y);
+  LDLB_REQUIRE_MSG(maximal.ok,
+                   "vertex cover needs a maximal edge packing: "
+                       << maximal.reason);
+  return saturated_nodes(g, y);
+}
+
+bool is_vertex_cover(const Multigraph& g, const std::vector<NodeId>& cover) {
+  std::vector<bool> in(static_cast<std::size_t>(g.node_count()), false);
+  for (NodeId v : cover) in[static_cast<std::size_t>(v)] = true;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!in[static_cast<std::size_t>(ed.u)] &&
+        !in[static_cast<std::size_t>(ed.v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Branch and bound on the remaining edge list: pick an uncovered edge, and
+// branch on covering it with either endpoint.
+int solve(const Multigraph& g, std::vector<bool>& in, int chosen, int best) {
+  if (chosen >= best) return best;
+  EdgeId pick = kNoEdge;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!in[static_cast<std::size_t>(ed.u)] &&
+        !in[static_cast<std::size_t>(ed.v)]) {
+      pick = e;
+      break;
+    }
+  }
+  if (pick == kNoEdge) return chosen;  // covered everything
+  const auto& ed = g.edge(pick);
+  for (NodeId v : {ed.u, ed.v}) {
+    in[static_cast<std::size_t>(v)] = true;
+    best = std::min(best, solve(g, in, chosen + 1, best));
+    in[static_cast<std::size_t>(v)] = false;
+    if (ed.is_loop()) break;  // both endpoints are the same node
+  }
+  return best;
+}
+
+}  // namespace
+
+int min_vertex_cover_size(const Multigraph& g) {
+  std::vector<bool> in(static_cast<std::size_t>(g.node_count()), false);
+  return solve(g, in, 0, g.node_count());
+}
+
+}  // namespace ldlb

@@ -1,0 +1,31 @@
+// Vertex cover via maximal edge packing — the application that motivated
+// the O(Δ)-round upper bound [3, 4] whose optimality the paper proves.
+//
+// If y is a *maximal* fractional matching (edge packing), the saturated
+// nodes form a vertex cover (every edge has a saturated endpoint) of size
+// at most 2·OPT:  |C| = Σ_{v sat} y[v] ≤ Σ_v y[v] = 2 Σ_e y(e) ≤ 2 τ(G),
+// since any fractional matching weighs at most the minimum vertex cover by
+// LP duality. An exact (exponential-time, small-n) minimum vertex cover is
+// provided so benchmarks can report true approximation ratios.
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+/// The saturated nodes of a maximal FM; throws if y is not maximal (the
+/// returned set would not be a cover).
+std::vector<NodeId> vertex_cover_from_packing(const Multigraph& g,
+                                              const FractionalMatching& y);
+
+/// True iff `cover` touches every edge.
+bool is_vertex_cover(const Multigraph& g, const std::vector<NodeId>& cover);
+
+/// Exact minimum vertex cover size by branch and bound (keep n modest,
+/// ~ up to 30 nodes / moderate density).
+int min_vertex_cover_size(const Multigraph& g);
+
+}  // namespace ldlb

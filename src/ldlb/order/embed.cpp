@@ -1,0 +1,38 @@
+#include "ldlb/order/embed.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ldlb::order {
+
+std::vector<TreeCoord> embed_view(const DiViewTree& view,
+                                  const TreeCoord& origin) {
+  std::vector<TreeCoord> coords(view.nodes.size());
+  if (view.nodes.empty()) return coords;
+  coords[0] = origin;
+  // Nodes are stored in BFS order, so parents precede children.
+  for (std::size_t i = 1; i < view.nodes.size(); ++i) {
+    const auto& node = view.nodes[i];
+    Letter l = static_cast<Letter>(node.color + 1);
+    if (!node.via_forward) l = -l;
+    coords[i] = step(coords[static_cast<std::size_t>(node.parent)], l);
+  }
+  return coords;
+}
+
+std::vector<int> canonical_ranks(const DiViewTree& view) {
+  std::vector<TreeCoord> coords = embed_view(view);
+  std::vector<int> idx(coords.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+    return tree_less(coords[static_cast<std::size_t>(a)],
+                     coords[static_cast<std::size_t>(b)]);
+  });
+  std::vector<int> ranks(coords.size());
+  for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+    ranks[static_cast<std::size_t>(idx[pos])] = static_cast<int>(pos);
+  }
+  return ranks;
+}
+
+}  // namespace ldlb::order

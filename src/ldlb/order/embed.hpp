@@ -1,0 +1,31 @@
+// Embedding PO view trees into the ordered tree (T, ≺) — the heart of the
+// PO ⇐ OI simulation (Section 5.3, Figure 9).
+//
+// A radius-t view τ_t(UG, v) of a PO graph embeds into T by placing v at an
+// arbitrary node and letting the arc colours dictate the rest (each node of
+// T has exactly one out- and one in-arc per colour). We place v at the
+// origin; by Lemma 4 (homogeneity), any other placement gives an
+// order-isomorphic result — the property tests check this by re-embedding
+// at random translates. The nodes of the view then inherit the linear order
+// ≺ of T, which is what an order-invariant algorithm consumes.
+#pragma once
+
+#include <vector>
+
+#include "ldlb/cover/universal_cover.hpp"
+#include "ldlb/order/tree_order.hpp"
+
+namespace ldlb::order {
+
+/// T-coordinates of each view-tree node under the embedding that puts the
+/// root at `origin` (defaults to the identity). Arc colours are 0-based in
+/// the digraph and 1-based in Letters.
+std::vector<TreeCoord> embed_view(const DiViewTree& view,
+                                  const TreeCoord& origin = {});
+
+/// Ranks of the view-tree nodes in the inherited homogeneous order:
+/// ranks[i] = position of view node i (0-based; all distinct). Independent
+/// of the embedding origin by Lemma 4.
+std::vector<int> canonical_ranks(const DiViewTree& view);
+
+}  // namespace ldlb::order

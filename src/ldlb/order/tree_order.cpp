@@ -1,0 +1,95 @@
+#include "ldlb/order/tree_order.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ldlb::order {
+
+TreeCoord step(TreeCoord coord, Letter letter) {
+  LDLB_REQUIRE(letter != 0);
+  if (!coord.empty() && coord.back() == -letter) {
+    coord.pop_back();
+  } else {
+    coord.push_back(letter);
+  }
+  return coord;
+}
+
+TreeCoord concat(const TreeCoord& a, const TreeCoord& b) {
+  TreeCoord out = a;
+  for (Letter l : b) out = step(std::move(out), l);
+  return out;
+}
+
+TreeCoord inverse(const TreeCoord& a) {
+  TreeCoord out(a.rbegin(), a.rend());
+  for (Letter& l : out) l = -l;
+  return out;
+}
+
+std::vector<Letter> path_steps(const TreeCoord& x, const TreeCoord& y) {
+  std::size_t lcp = 0;
+  while (lcp < x.size() && lcp < y.size() && x[lcp] == y[lcp]) ++lcp;
+  std::vector<Letter> steps;
+  steps.reserve((x.size() - lcp) + (y.size() - lcp));
+  // Up from x to the least common ancestor...
+  for (std::size_t i = x.size(); i-- > lcp;) steps.push_back(-x[i]);
+  // ...then down to y.
+  for (std::size_t i = lcp; i < y.size(); ++i) steps.push_back(y[i]);
+  return steps;
+}
+
+namespace {
+
+// Rank of an end (colour, direction) at a node: outgoing before incoming,
+// then by colour. Any fixed PO-invariant order works for Lemma 4; this is
+// ours.
+int end_key_entering(Letter s) {
+  // Arrived via +c: we entered through the head, i.e. the (c, in) end;
+  // via -c: through the tail, i.e. the (c, out) end.
+  int c = s > 0 ? s : -s;
+  bool in = s > 0;
+  return 2 * (c - 1) + (in ? 1 : 0);
+}
+
+int end_key_leaving(Letter s) {
+  // Leaving via +c uses the (c, out) end; via -c the (c, in) end.
+  int c = s > 0 ? s : -s;
+  bool in = s < 0;
+  return 2 * (c - 1) + (in ? 1 : 0);
+}
+
+}  // namespace
+
+std::int64_t bracket(const TreeCoord& x, const TreeCoord& y) {
+  std::vector<Letter> steps = path_steps(x, y);
+  std::int64_t total = 0;
+  // Edge terms: the path traverses the arc tail->head exactly when the step
+  // is positive, and tail ≺_e head.
+  for (Letter s : steps) total += s > 0 ? 1 : -1;
+  // Node terms at interior nodes: compare the entering end with the leaving
+  // end under ≺_v. Reducedness guarantees they differ.
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    int enter = end_key_entering(steps[i]);
+    int leave = end_key_leaving(steps[i + 1]);
+    LDLB_ENSURE(enter != leave);
+    total += enter < leave ? 1 : -1;
+  }
+  return total;
+}
+
+bool tree_less(const TreeCoord& x, const TreeCoord& y) {
+  return bracket(x, y) > 0;
+}
+
+std::string to_string(const TreeCoord& coord) {
+  if (coord.empty()) return "e";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < coord.size(); ++i) {
+    if (i > 0) os << ".";
+    os << (coord[i] > 0 ? "+" : "-") << (coord[i] > 0 ? coord[i] : -coord[i]);
+  }
+  return os.str();
+}
+
+}  // namespace ldlb::order

@@ -1,0 +1,67 @@
+// The homogeneous linear order on the infinite 2d-regular d-edge-coloured
+// PO-tree T (Lemma 4 and Appendix A of the paper).
+//
+// T is the Cayley graph of the free group on d generators: nodes are reduced
+// words over the letters {g_1..g_d, g_1^{-1}..g_d^{-1}}, and for each colour
+// c there is an arc w -> w·g_c. A node therefore has exactly one outgoing
+// and one incoming arc of every colour (degree 2d).
+//
+// Appendix A.2 defines, for nodes x and y, the integer
+//
+//   ⟦x→y⟧ = Σ_{e ∈ E(x→y)} [x ≺_e y]  +  Σ_{v ∈ V_in(x→y)} [x ≺_v y]
+//
+// over the unique simple path x→y, where [P] = ±1 (Iverson), ≺_e orders the
+// endpoints of an arc (tail first), and ≺_v orders the ends at a node by
+// (colour, direction) with "out before in". The linear order is then
+//
+//   x ≺ y  ⇔  ⟦x→y⟧ > 0.
+//
+// ⟦x→y⟧ depends only on the *step sequence* of the path — not on where the
+// path sits in T — which is exactly why the order is homogeneous: every left
+// translation of T (and those act transitively) preserves it. The property
+// tests verify antisymmetry, oddness, totality, transitivity (the Appendix
+// A.2 argument) and translation invariance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb::order {
+
+/// One step in T: +c walks forward along the colour-(c-1) arc (we are the
+/// tail), -c walks backward along it (we are the head). Colours are 1-based
+/// in this encoding so that negation is meaningful.
+using Letter = std::int32_t;
+
+/// A node of T: a reduced word (no adjacent cancelling letters), read as the
+/// path from the origin.
+using TreeCoord = std::vector<Letter>;
+
+/// Appends a step to a coordinate, cancelling a backtrack if needed.
+TreeCoord step(TreeCoord coord, Letter letter);
+
+/// Concatenation (group multiplication) with reduction: the node reached by
+/// walking `b`'s path starting from node `a`. Left-translating by `a` maps
+/// node `b` to `concat(a, b)`.
+TreeCoord concat(const TreeCoord& a, const TreeCoord& b);
+
+/// Group inverse: the word walked backwards.
+TreeCoord inverse(const TreeCoord& a);
+
+/// The step sequence of the unique simple path from x to y (up to the
+/// longest common prefix, then down); empty when x == y.
+std::vector<Letter> path_steps(const TreeCoord& x, const TreeCoord& y);
+
+/// ⟦x→y⟧ of Appendix A.2. Zero iff x == y; odd otherwise.
+std::int64_t bracket(const TreeCoord& x, const TreeCoord& y);
+
+/// The homogeneous linear order: x ≺ y ⇔ ⟦x→y⟧ > 0.
+bool tree_less(const TreeCoord& x, const TreeCoord& y);
+
+/// Debug rendering, e.g. "+2.-1.+3" ("e" for the origin).
+std::string to_string(const TreeCoord& coord);
+
+}  // namespace ldlb::order

@@ -1,0 +1,284 @@
+#include "ldlb/util/bigint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+namespace {
+constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid overflow on INT64_MIN by working in uint64.
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+  normalize();
+}
+
+BigInt BigInt::from_string(const std::string& text) {
+  LDLB_REQUIRE_MSG(!text.empty(), "empty string is not a number");
+  std::size_t i = 0;
+  bool neg = false;
+  if (text[0] == '-' || text[0] == '+') {
+    neg = text[0] == '-';
+    i = 1;
+  }
+  LDLB_REQUIRE_MSG(i < text.size(), "sign without digits: " << text);
+  BigInt result;
+  const BigInt ten{10};
+  for (; i < text.size(); ++i) {
+    LDLB_REQUIRE_MSG(std::isdigit(static_cast<unsigned char>(text[i])),
+                     "malformed integer literal: " << text);
+    result *= ten;
+    result += BigInt{text[i] - '0'};
+  }
+  if (neg && !result.is_zero()) result.negative_ = true;
+  return result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.negative_ = false;
+  return r;
+}
+
+BigInt BigInt::negated() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+void BigInt::trim(std::vector<std::uint32_t>& limbs) {
+  while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+}
+
+void BigInt::normalize() {
+  trim(limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::mag_cmp(const std::vector<std::uint32_t>& a,
+                    const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::mag_add(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::mag_sub(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  LDLB_ENSURE(mag_cmp(a, b) >= 0);
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  trim(out);
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::mag_mul(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(a[i]) * b[j] +
+                          out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  trim(out);
+  return out;
+}
+
+std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>
+BigInt::mag_divmod(const std::vector<std::uint32_t>& a,
+                   const std::vector<std::uint32_t>& b) {
+  LDLB_REQUIRE_MSG(!b.empty(), "division by zero");
+  if (mag_cmp(a, b) < 0) return {{}, a};
+
+  // Bit-by-bit long division: simple and fully portable. Operands in this
+  // library are at most a few dozen limbs, so O(bits * limbs) is fine.
+  std::vector<std::uint32_t> quotient(a.size(), 0);
+  std::vector<std::uint32_t> remainder;
+  for (std::size_t bit = a.size() * 32; bit-- > 0;) {
+    // remainder = remainder * 2 + bit_of(a, bit)
+    std::uint32_t carry = (a[bit / 32] >> (bit % 32)) & 1u;
+    for (std::size_t i = 0; i < remainder.size(); ++i) {
+      std::uint32_t next_carry = remainder[i] >> 31;
+      remainder[i] = (remainder[i] << 1) | carry;
+      carry = next_carry;
+    }
+    if (carry != 0) remainder.push_back(carry);
+    trim(remainder);
+    if (mag_cmp(remainder, b) >= 0) {
+      remainder = mag_sub(remainder, b);
+      quotient[bit / 32] |= (std::uint32_t{1} << (bit % 32));
+    }
+  }
+  trim(quotient);
+  return {quotient, remainder};
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = mag_add(limbs_, rhs.limbs_);
+  } else if (mag_cmp(limbs_, rhs.limbs_) >= 0) {
+    limbs_ = mag_sub(limbs_, rhs.limbs_);
+  } else {
+    limbs_ = mag_sub(rhs.limbs_, limbs_);
+    negative_ = rhs.negative_;
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = mag_mul(limbs_, rhs.limbs_);
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  bool neg = negative_ != rhs.negative_;
+  limbs_ = mag_divmod(limbs_, rhs.limbs_).first;
+  negative_ = neg;
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  // Sign of the remainder follows the dividend (truncated division).
+  bool neg = negative_;
+  limbs_ = mag_divmod(limbs_, rhs.limbs_).second;
+  negative_ = neg;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.negative_ != rhs.negative_) {
+    return lhs.negative_ ? std::strong_ordering::less
+                         : std::strong_ordering::greater;
+  }
+  int mag = BigInt::mag_cmp(lhs.limbs_, rhs.limbs_);
+  if (lhs.negative_) mag = -mag;
+  if (mag < 0) return std::strong_ordering::less;
+  if (mag > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::pow2(unsigned k) {
+  BigInt r;
+  r.limbs_.assign(k / 32 + 1, 0);
+  r.limbs_[k / 32] = std::uint32_t{1} << (k % 32);
+  r.normalize();
+  return r;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> mag = limbs_;
+  std::string digits;
+  const std::vector<std::uint32_t> ten{10};
+  while (!mag.empty()) {
+    auto [q, r] = mag_divmod(mag, ten);
+    digits.push_back(static_cast<char>('0' + (r.empty() ? 0 : r[0])));
+    mag = std::move(q);
+  }
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+bool BigInt::fits_int64() const {
+  if (limbs_.size() < 2) return true;
+  if (limbs_.size() > 2) return false;
+  std::uint64_t mag = (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  return negative_ ? mag <= (std::uint64_t{1} << 63)
+                   : mag < (std::uint64_t{1} << 63);
+}
+
+std::int64_t BigInt::to_int64() const {
+  LDLB_REQUIRE_MSG(fits_int64(), "BigInt does not fit into int64: "
+                                     << to_string());
+  std::uint64_t mag = 0;
+  if (!limbs_.empty()) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return negative_ ? -static_cast<std::int64_t>(mag - 1) - 1
+                   : static_cast<std::int64_t>(mag);
+}
+
+std::size_t BigInt::hash() const {
+  std::size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0;
+  for (std::uint32_t limb : limbs_) {
+    h ^= limb + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_string();
+}
+
+}  // namespace ldlb

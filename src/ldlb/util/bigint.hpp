@@ -1,0 +1,121 @@
+// Arbitrary-precision signed integers.
+//
+// Edge weights in fractional matchings are exact rationals (see
+// rational.hpp); their numerators and denominators can grow with the number
+// of communication rounds (e.g. repeated halving yields denominators 2^k for
+// k up to Θ(Δ)), so fixed-width integers are not safe for the parameter
+// ranges the benchmarks sweep. BigInt is a compact sign-magnitude integer on
+// 32-bit limbs with full arithmetic, comparison, gcd, and decimal I/O. It is
+// deliberately simple (schoolbook multiplication / long division): operands
+// in this library stay small (tens of limbs), so asymptotically fancy
+// algorithms would be wasted complexity.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ldlb {
+
+/// Arbitrary-precision signed integer (sign + magnitude on uint32 limbs).
+///
+/// Invariants: `limbs_` has no trailing zero limbs; zero is represented as an
+/// empty limb vector with `negative_ == false`.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from a machine integer.
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses a decimal string, optionally signed ("-123", "+7", "0").
+  /// Throws ContractViolation on malformed input.
+  static BigInt from_string(const std::string& text);
+
+  /// True iff the value is zero.
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  /// True iff the value is strictly negative.
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  /// Sign as -1, 0 or +1.
+  [[nodiscard]] int sign() const {
+    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  /// Absolute value.
+  [[nodiscard]] BigInt abs() const;
+  /// Arithmetic negation.
+  [[nodiscard]] BigInt negated() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (rounds toward zero), like C++ integer division.
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder matching truncated division: (a/b)*b + a%b == a.
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+  BigInt operator-() const { return negated(); }
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) {
+    return lhs.negative_ == rhs.negative_ && lhs.limbs_ == rhs.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& lhs,
+                                          const BigInt& rhs);
+
+  /// Greatest common divisor; result is non-negative. gcd(0,0) == 0.
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// 2^k for k >= 0.
+  static BigInt pow2(unsigned k);
+
+  /// Decimal representation.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Value as int64 if it fits; throws ContractViolation otherwise.
+  [[nodiscard]] std::int64_t to_int64() const;
+  /// True iff the value fits into int64.
+  [[nodiscard]] bool fits_int64() const;
+
+  /// Hash suitable for unordered containers.
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  // Magnitude helpers ignore signs.
+  static std::vector<std::uint32_t> mag_add(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> mag_sub(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mag_mul(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  static int mag_cmp(const std::vector<std::uint32_t>& a,
+                     const std::vector<std::uint32_t>& b);
+  // Long division of magnitudes; returns {quotient, remainder}.
+  static std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>
+  mag_divmod(const std::vector<std::uint32_t>& a,
+             const std::vector<std::uint32_t>& b);
+  static void trim(std::vector<std::uint32_t>& limbs);
+  void normalize();
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+  bool negative_ = false;             // false when zero
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace ldlb
+
+template <>
+struct std::hash<ldlb::BigInt> {
+  std::size_t operator()(const ldlb::BigInt& v) const noexcept {
+    return v.hash();
+  }
+};

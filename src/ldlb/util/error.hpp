@@ -1,0 +1,70 @@
+// Contract checking and error reporting for the ldlb library.
+//
+// Preconditions and invariants throw `ldlb::ContractViolation` so that both
+// library users and the test suite can observe violated contracts without
+// aborting the whole process. These checks guard *logic* errors; they are not
+// used for ordinary control flow.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ldlb {
+
+/// Thrown when a documented precondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace ldlb
+
+/// Precondition check: validates arguments at API boundaries.
+#define LDLB_REQUIRE(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::ldlb::detail::contract_fail("precondition", #expr, __FILE__,         \
+                                    __LINE__, "");                           \
+  } while (0)
+
+/// Precondition check with an explanatory message.
+#define LDLB_REQUIRE_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream ldlb_os_;                                           \
+      ldlb_os_ << msg;                                                       \
+      ::ldlb::detail::contract_fail("precondition", #expr, __FILE__,         \
+                                    __LINE__, ldlb_os_.str());               \
+    }                                                                        \
+  } while (0)
+
+/// Internal invariant check: validates the library's own state.
+#define LDLB_ENSURE(expr)                                                    \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::ldlb::detail::contract_fail("invariant", #expr, __FILE__, __LINE__,  \
+                                    "");                                     \
+  } while (0)
+
+/// Internal invariant check with an explanatory message.
+#define LDLB_ENSURE_MSG(expr, msg)                                           \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream ldlb_os_;                                           \
+      ldlb_os_ << msg;                                                       \
+      ::ldlb::detail::contract_fail("invariant", #expr, __FILE__, __LINE__,  \
+                                    ldlb_os_.str());                         \
+    }                                                                        \
+  } while (0)

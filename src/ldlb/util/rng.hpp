@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (random graph generation, randomised
+// distributed algorithms, property-test sweeps) flows through Rng so that
+// every test and benchmark is reproducible from a seed. The core generator
+// is splitmix64 feeding xoshiro256**.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+/// Deterministic PRNG (xoshiro256** seeded via splitmix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    LDLB_REQUIRE(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return v % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    LDLB_REQUIRE(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Fair coin.
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A fresh independent stream (for per-node randomness in Appendix B).
+  Rng split() { return Rng{next_u64() ^ 0xd1b54a32d192ed03ull}; }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace ldlb

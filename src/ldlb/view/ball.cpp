@@ -1,0 +1,42 @@
+#include "ldlb/view/ball.hpp"
+
+#include <algorithm>
+
+namespace ldlb {
+
+Ball extract_ball(const Multigraph& g, NodeId v, int radius) {
+  LDLB_REQUIRE(v >= 0 && v < g.node_count());
+  LDLB_REQUIRE(radius >= 0);
+  std::vector<int> dist = g.distances_from(v);
+
+  Ball ball;
+  ball.radius = radius;
+  std::vector<NodeId> to_ball(static_cast<std::size_t>(g.node_count()),
+                              kNoNode);
+  // The centre first so its ball-local id is 0; then the other nodes in host
+  // order for determinism.
+  to_ball[static_cast<std::size_t>(v)] = ball.graph.add_node();
+  ball.to_host.push_back(v);
+  ball.center = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (u == v) continue;
+    int d = dist[static_cast<std::size_t>(u)];
+    if (d >= 0 && d <= radius) {
+      to_ball[static_cast<std::size_t>(u)] = ball.graph.add_node();
+      ball.to_host.push_back(u);
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    int du = dist[static_cast<std::size_t>(ed.u)];
+    int dv = dist[static_cast<std::size_t>(ed.v)];
+    if (du < 0 || dv < 0) continue;
+    // Edge distance = min endpoint distance + 1 (Section 3.1).
+    if (std::min(du, dv) + 1 > radius) continue;
+    ball.graph.add_edge(to_ball[static_cast<std::size_t>(ed.u)],
+                        to_ball[static_cast<std::size_t>(ed.v)], ed.color);
+  }
+  return ball;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,27 @@
+// Radius-t neighbourhoods τ_t(G, v) (Section 3.1).
+//
+// τ_t(G, v) consists of the nodes within distance t of v together with the
+// edges within distance t, where the distance of an edge {u, w} from v is
+// min(dist(v,u), dist(v,w)) + 1. In particular τ_0(G, v) is the bare node v,
+// and a loop attached to v lies at distance 1 — the convention that makes
+// the base case of the lower bound work (Section 4.2).
+#pragma once
+
+#include <vector>
+
+#include "ldlb/graph/multigraph.hpp"
+
+namespace ldlb {
+
+/// A radius-t ball: a multigraph plus the mapping back to the host graph.
+struct Ball {
+  Multigraph graph;
+  NodeId center = kNoNode;             ///< ball-local id of the centre (always 0)
+  int radius = 0;
+  std::vector<NodeId> to_host;         ///< ball node -> host node
+};
+
+/// Extracts τ_t(g, v).
+Ball extract_ball(const Multigraph& g, NodeId v, int radius);
+
+}  // namespace ldlb

@@ -1,0 +1,203 @@
+#include "ldlb/view/isomorphism.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <tuple>
+
+namespace ldlb {
+
+namespace {
+
+// colour -> (other endpoint, edge id) at node v.
+std::map<Color, std::pair<NodeId, EdgeId>> ends_at(const Multigraph& g,
+                                                   NodeId v) {
+  std::map<Color, std::pair<NodeId, EdgeId>> out;
+  for (EdgeId e : g.incident_edges(v)) {
+    out[g.edge(e).color] = {g.other_endpoint(e, v), e};
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> rooted_isomorphism(const Multigraph& g,
+                                                      NodeId root_g,
+                                                      const Multigraph& h,
+                                                      NodeId root_h) {
+  if (!g.has_proper_edge_coloring() || !h.has_proper_edge_coloring()) {
+    return std::nullopt;
+  }
+  if (!g.is_connected() || g.node_count() != h.node_count() ||
+      g.edge_count() != h.edge_count()) {
+    return std::nullopt;
+  }
+  std::vector<NodeId> phi(static_cast<std::size_t>(g.node_count()), kNoNode);
+  std::vector<NodeId> used(static_cast<std::size_t>(h.node_count()), kNoNode);
+  phi[static_cast<std::size_t>(root_g)] = root_h;
+  used[static_cast<std::size_t>(root_h)] = root_g;
+  std::deque<NodeId> queue{root_g};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    NodeId u2 = phi[static_cast<std::size_t>(u)];
+    auto ends_g = ends_at(g, u);
+    auto ends_h = ends_at(h, u2);
+    if (ends_g.size() != ends_h.size()) return std::nullopt;
+    for (const auto& [color, wg] : ends_g) {
+      auto it = ends_h.find(color);
+      if (it == ends_h.end()) return std::nullopt;
+      NodeId w = wg.first;
+      NodeId w2 = it->second.first;
+      NodeId& img = phi[static_cast<std::size_t>(w)];
+      if (img == kNoNode) {
+        if (used[static_cast<std::size_t>(w2)] != kNoNode) return std::nullopt;
+        img = w2;
+        used[static_cast<std::size_t>(w2)] = w;
+        queue.push_back(w);
+      } else if (img != w2) {
+        return std::nullopt;
+      }
+    }
+  }
+  // g connected => everything matched; node/edge counts equal and ends match
+  // locally, so phi is an isomorphism.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (phi[static_cast<std::size_t>(v)] == kNoNode) return std::nullopt;
+  }
+  return phi;
+}
+
+bool rooted_isomorphic(const Multigraph& g, NodeId root_g, const Multigraph& h,
+                       NodeId root_h) {
+  return rooted_isomorphism(g, root_g, h, root_h).has_value();
+}
+
+namespace {
+
+std::map<std::tuple<int, Color>, NodeId> arc_ends_at(const Digraph& g,
+                                                     NodeId v) {
+  std::map<std::tuple<int, Color>, NodeId> out;
+  for (EdgeId a : g.out_arcs(v)) out[{0, g.arc(a).color}] = g.arc(a).head;
+  for (EdgeId a : g.in_arcs(v)) out[{1, g.arc(a).color}] = g.arc(a).tail;
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> rooted_isomorphism(const Digraph& g,
+                                                      NodeId root_g,
+                                                      const Digraph& h,
+                                                      NodeId root_h) {
+  if (!g.has_proper_po_coloring() || !h.has_proper_po_coloring()) {
+    return std::nullopt;
+  }
+  if (!g.underlying_multigraph().is_connected() ||
+      g.node_count() != h.node_count() || g.arc_count() != h.arc_count()) {
+    return std::nullopt;
+  }
+  std::vector<NodeId> phi(static_cast<std::size_t>(g.node_count()), kNoNode);
+  std::vector<NodeId> used(static_cast<std::size_t>(h.node_count()), kNoNode);
+  phi[static_cast<std::size_t>(root_g)] = root_h;
+  used[static_cast<std::size_t>(root_h)] = root_g;
+  std::deque<NodeId> queue{root_g};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    NodeId u2 = phi[static_cast<std::size_t>(u)];
+    auto ends_g = arc_ends_at(g, u);
+    auto ends_h = arc_ends_at(h, u2);
+    if (ends_g.size() != ends_h.size()) return std::nullopt;
+    for (const auto& [key, w] : ends_g) {
+      auto it = ends_h.find(key);
+      if (it == ends_h.end()) return std::nullopt;
+      NodeId w2 = it->second;
+      NodeId& img = phi[static_cast<std::size_t>(w)];
+      if (img == kNoNode) {
+        if (used[static_cast<std::size_t>(w2)] != kNoNode) return std::nullopt;
+        img = w2;
+        used[static_cast<std::size_t>(w2)] = w;
+        queue.push_back(w);
+      } else if (img != w2) {
+        return std::nullopt;
+      }
+    }
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (phi[static_cast<std::size_t>(v)] == kNoNode) return std::nullopt;
+  }
+  return phi;
+}
+
+bool rooted_isomorphic(const Digraph& g, NodeId root_g, const Digraph& h,
+                       NodeId root_h) {
+  return rooted_isomorphism(g, root_g, h, root_h).has_value();
+}
+
+bool balls_isomorphic(const Ball& a, const Ball& b) {
+  return a.radius == b.radius &&
+         rooted_isomorphic(a.graph, a.center, b.graph, b.center);
+}
+
+std::string canonical_tree_encoding(const Multigraph& g, NodeId root) {
+  LDLB_REQUIRE_MSG(g.is_forest_ignoring_loops(),
+                   "canonical encoding needs a tree-with-loops");
+  LDLB_REQUIRE(g.is_connected());
+
+  // Iterative post-order so that deep adversary trees cannot overflow the
+  // stack. state: 0 = enter, 1 = combine children.
+  struct Frame {
+    NodeId node;
+    EdgeId via;
+    int state;
+  };
+  std::vector<Frame> stack{{root, kNoEdge, 0}};
+  // Completed subtree encodings; on combine, the top `child_count` entries
+  // belong to the current frame.
+  std::vector<std::string> done_stack;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.state == 0) {
+      stack.push_back({f.node, f.via, 1});
+      for (EdgeId e : g.incident_edges(f.node)) {
+        if (e == f.via || g.edge(e).is_loop()) continue;
+        stack.push_back({g.other_endpoint(e, f.node), e, 0});
+      }
+    } else {
+      // Children results are on done_stack (count = number of non-loop,
+      // non-parent edges).
+      std::vector<std::string> parts;
+      for (EdgeId e : g.incident_edges(f.node)) {
+        if (g.edge(e).is_loop()) {
+          parts.push_back("l" + std::to_string(g.edge(e).color) + ";");
+        }
+      }
+      int child_count = 0;
+      for (EdgeId e : g.incident_edges(f.node)) {
+        if (e != f.via && !g.edge(e).is_loop()) ++child_count;
+      }
+      // Pop that many child encodings; annotate with the colour of the edge
+      // used. The children were pushed in incident order and processed LIFO,
+      // but we sort all parts anyway, so order does not matter. Each child's
+      // encoding already starts with its connecting colour.
+      for (int i = 0; i < child_count; ++i) {
+        parts.push_back(std::move(done_stack.back()));
+        done_stack.pop_back();
+      }
+      std::sort(parts.begin(), parts.end());
+      std::string enc;
+      if (f.via != kNoEdge) {
+        enc += "c" + std::to_string(g.edge(f.via).color);
+      }
+      enc += "(";
+      for (const auto& p : parts) enc += p;
+      enc += ")";
+      done_stack.push_back(std::move(enc));
+    }
+  }
+  LDLB_ENSURE(done_stack.size() == 1);
+  return std::move(done_stack.back());
+}
+
+}  // namespace ldlb

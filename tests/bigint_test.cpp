@@ -1,0 +1,155 @@
+// Unit and property tests for ldlb::BigInt.
+#include "ldlb/util/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.to_int64(), 0);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{42}, std::int64_t{-12345678901234},
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt b{v};
+    EXPECT_TRUE(b.fits_int64());
+    EXPECT_EQ(b.to_int64(), v) << v;
+  }
+}
+
+TEST(BigInt, StringRoundTrip) {
+  for (const char* s :
+       {"0", "1", "-1", "999999999999999999999999999999",
+        "-123456789012345678901234567890123456789"}) {
+    EXPECT_EQ(BigInt::from_string(s).to_string(), s);
+  }
+}
+
+TEST(BigInt, FromStringAcceptsPlus) {
+  EXPECT_EQ(BigInt::from_string("+7").to_int64(), 7);
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_string(""), ContractViolation);
+  EXPECT_THROW(BigInt::from_string("-"), ContractViolation);
+  EXPECT_THROW(BigInt::from_string("12x"), ContractViolation);
+}
+
+TEST(BigInt, NegativeZeroNormalises) {
+  BigInt a{5};
+  a -= BigInt{5};
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_FALSE(a.is_negative());
+  EXPECT_EQ(BigInt::from_string("-0"), BigInt{0});
+}
+
+TEST(BigInt, BasicArithmetic) {
+  BigInt a{1000000007};
+  BigInt b{998244353};
+  EXPECT_EQ((a + b).to_int64(), 1000000007LL + 998244353LL);
+  EXPECT_EQ((a - b).to_int64(), 1000000007LL - 998244353LL);
+  EXPECT_EQ((b - a).to_int64(), 998244353LL - 1000000007LL);
+  EXPECT_EQ((a * b).to_string(), "998244359987710471");
+}
+
+TEST(BigInt, TruncatedDivisionSignConventions) {
+  EXPECT_EQ((BigInt{7} / BigInt{2}).to_int64(), 3);
+  EXPECT_EQ((BigInt{-7} / BigInt{2}).to_int64(), -3);
+  EXPECT_EQ((BigInt{7} / BigInt{-2}).to_int64(), -3);
+  EXPECT_EQ((BigInt{-7} / BigInt{-2}).to_int64(), 3);
+  EXPECT_EQ((BigInt{7} % BigInt{2}).to_int64(), 1);
+  EXPECT_EQ((BigInt{-7} % BigInt{2}).to_int64(), -1);
+  EXPECT_EQ((BigInt{7} % BigInt{-2}).to_int64(), 1);
+  EXPECT_EQ((BigInt{-7} % BigInt{-2}).to_int64(), -1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt{1} / BigInt{0}, ContractViolation);
+  EXPECT_THROW(BigInt{1} % BigInt{0}, ContractViolation);
+}
+
+TEST(BigInt, Pow2) {
+  EXPECT_EQ(BigInt::pow2(0).to_int64(), 1);
+  EXPECT_EQ(BigInt::pow2(10).to_int64(), 1024);
+  EXPECT_EQ(BigInt::pow2(64).to_string(), "18446744073709551616");
+  EXPECT_EQ(BigInt::pow2(100).to_string(), "1267650600228229401496703205376");
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt{12}, BigInt{18}).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt{-12}, BigInt{18}).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{5}).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{0}).to_int64(), 0);
+  EXPECT_EQ(
+      BigInt::gcd(BigInt::pow2(90), BigInt::pow2(40) * BigInt{3}).to_string(),
+      BigInt::pow2(40).to_string());
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt{-2}, BigInt{1});
+  EXPECT_LT(BigInt{-5}, BigInt{-2});
+  EXPECT_GT(BigInt::pow2(70), BigInt::pow2(69));
+  EXPECT_LT(-BigInt::pow2(70), -BigInt::pow2(69));
+  EXPECT_EQ(BigInt{3} <=> BigInt{3}, std::strong_ordering::equal);
+}
+
+TEST(BigInt, LargeDoesNotFitInt64) {
+  EXPECT_FALSE(BigInt::pow2(70).fits_int64());
+  EXPECT_THROW(BigInt::pow2(70).to_int64(), ContractViolation);
+}
+
+// Property: arithmetic agrees with int64 on random small operands.
+TEST(BigInt, RandomisedAgreesWithInt64) {
+  Rng rng{12345};
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t a = rng.next_in(-1000000000, 1000000000);
+    std::int64_t b = rng.next_in(-1000000000, 1000000000);
+    BigInt ba{a}, bb{b};
+    EXPECT_EQ((ba + bb).to_int64(), a + b);
+    EXPECT_EQ((ba - bb).to_int64(), a - b);
+    EXPECT_EQ((ba * bb).to_int64(), a * b);
+    if (b != 0) {
+      EXPECT_EQ((ba / bb).to_int64(), a / b);
+      EXPECT_EQ((ba % bb).to_int64(), a % b);
+    }
+    EXPECT_EQ(ba < bb, a < b);
+    EXPECT_EQ(ba == bb, a == b);
+  }
+}
+
+// Property: (a/b)*b + a%b == a on random big operands.
+TEST(BigInt, DivModIdentityOnBigOperands) {
+  Rng rng{999};
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt{rng.next_in(-1000000, 1000000)} * BigInt::pow2(
+                   static_cast<unsigned>(rng.next_in(0, 80)));
+    BigInt b = BigInt{rng.next_in(1, 1000000)} * BigInt::pow2(
+                   static_cast<unsigned>(rng.next_in(0, 40)));
+    if (rng.next_bool()) b = -b;
+    BigInt q = a / b;
+    BigInt r = a % b;
+    EXPECT_EQ(q * b + r, a) << a << " / " << b;
+    EXPECT_LT(r.abs(), b.abs());
+  }
+}
+
+TEST(BigInt, HashEqualValuesEqualHashes) {
+  EXPECT_EQ((BigInt{7} + BigInt{5}).hash(), BigInt{12}.hash());
+  EXPECT_EQ(BigInt::from_string("12").hash(), BigInt{12}.hash());
+}
+
+}  // namespace
+}  // namespace ldlb

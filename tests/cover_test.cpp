@@ -1,0 +1,226 @@
+// Tests for covering maps, lifts, universal covers, factor graphs, and
+// loopiness (Sections 3.4–3.5, Figure 3, Definition 1).
+#include <gtest/gtest.h>
+
+#include "ldlb/cover/covering_map.hpp"
+#include "ldlb/cover/factor_graph.hpp"
+#include "ldlb/cover/lift.hpp"
+#include "ldlb/cover/loopiness.hpp"
+#include "ldlb/cover/universal_cover.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(CoveringMap, IdentityIsCovering) {
+  Multigraph g = greedy_edge_coloring(make_cycle(5));
+  std::vector<NodeId> id(5);
+  for (NodeId v = 0; v < 5; ++v) id[static_cast<std::size_t>(v)] = v;
+  EXPECT_TRUE(is_covering_map(g, g, id));
+}
+
+TEST(CoveringMap, K2CoversTheSingleLoopNode) {
+  // The canonical half-loop example: K2 (one colour-c edge) covers a single
+  // node with a colour-c loop; the loop counts once in the degree.
+  Multigraph loop = make_loop_star(1);
+  Multigraph k2(2);
+  k2.add_edge(0, 1, 0);
+  EXPECT_TRUE(is_covering_map(k2, loop, {0, 0}));
+}
+
+TEST(CoveringMap, RejectsDegreeMismatch) {
+  Multigraph path = greedy_edge_coloring(make_path(3));
+  Multigraph edge(2);
+  edge.add_edge(0, 1, 0);
+  // Middle node of the path has degree 2, image would have degree 1.
+  EXPECT_FALSE(is_covering_map(path, edge, {0, 1, 0}));
+}
+
+TEST(CoveringMap, RejectsColourMismatch) {
+  Multigraph a(2), b(2);
+  a.add_edge(0, 1, 0);
+  b.add_edge(0, 1, 1);
+  EXPECT_FALSE(is_covering_map(a, b, {0, 1}));
+}
+
+TEST(CoveringMap, DirectedLoopCoveredByCycle) {
+  // A directed n-cycle covers the single directed loop (PO convention).
+  Digraph loop = make_directed_cycle(1);
+  for (NodeId n : {2, 3, 6}) {
+    Digraph cyc = make_directed_cycle(n);
+    std::vector<NodeId> alpha(static_cast<std::size_t>(n), 0);
+    EXPECT_TRUE(is_covering_map(cyc, loop, alpha)) << n;
+  }
+}
+
+TEST(Lift, UnfoldLoopDoublesAndIsCovering) {
+  // Covering validity is asserted inside unfold_loop; check the shape too.
+  Multigraph g = make_loop_star(3);
+  TwoLift gg = unfold_loop(g, 1);
+  EXPECT_EQ(gg.graph.node_count(), 2);
+  EXPECT_EQ(gg.graph.edge_count(), 2 * 2 + 1);
+  // The joining edge is last and carries the unfolded loop's colour.
+  const auto& join = gg.graph.edge(gg.graph.edge_count() - 1);
+  EXPECT_FALSE(join.is_loop());
+  EXPECT_EQ(join.color, 1);
+  EXPECT_EQ(gg.graph.degree(gg.copy0(0)), 3);
+  EXPECT_EQ(gg.graph.degree(gg.copy1(0)), 3);
+}
+
+TEST(Lift, UnfoldRejectsNonLoop) {
+  Multigraph g = greedy_edge_coloring(make_path(2));
+  EXPECT_THROW(unfold_loop(g, 0), ContractViolation);
+}
+
+TEST(Lift, InvolutionLiftIsSimple) {
+  Rng rng{61};
+  for (int trial = 0; trial < 6; ++trial) {
+    Multigraph g = make_loopy_tree(5, 5, rng);
+    Lift lifted = involution_lift(g, 8);
+    EXPECT_TRUE(lifted.graph.is_simple());
+    EXPECT_EQ(lifted.graph.node_count(), g.node_count() * 8);
+  }
+}
+
+TEST(Lift, RandomPermutationLiftValidates) {
+  Rng rng{62};
+  Multigraph g = greedy_edge_coloring(make_random_graph(8, 0.4, rng));
+  Lift lifted = random_permutation_lift(g, 5, rng);
+  EXPECT_EQ(lifted.graph.node_count(), g.node_count() * 5);
+  EXPECT_EQ(lifted.graph.edge_count(), g.edge_count() * 5);
+}
+
+TEST(UniversalCover, TreeIsItsOwnCover) {
+  Rng rng{63};
+  Multigraph t = greedy_edge_coloring(make_random_tree(10, rng));
+  ViewTree view = universal_cover_view(t, 0, 20);  // deeper than diameter
+  EXPECT_EQ(view.size(), t.node_count());
+}
+
+TEST(UniversalCover, CycleUnrollsToPath) {
+  Multigraph c = greedy_edge_coloring(make_cycle(4));
+  ViewTree view = universal_cover_view(c, 0, 3);
+  // Radius-3 view of an (infinite) path: 1 + 2 + 2 + 2 nodes.
+  EXPECT_EQ(view.size(), 7);
+  Multigraph as_graph = view.to_multigraph();
+  EXPECT_TRUE(as_graph.is_forest_ignoring_loops());
+  EXPECT_TRUE(as_graph.is_simple());
+}
+
+TEST(UniversalCover, HalfLoopBehavesLikeK2) {
+  // A single half-loop node: UG = K2; deeper truncations stay 2 nodes.
+  Multigraph g = make_loop_star(1);
+  ViewTree view = universal_cover_view(g, 0, 5);
+  EXPECT_EQ(view.size(), 2);
+}
+
+TEST(UniversalCover, DirectedLoopUnrollsToLine) {
+  Digraph g = make_directed_cycle(1);
+  DiViewTree view = universal_cover_view(g, 0, 3);
+  EXPECT_EQ(view.size(), 7);  // root + 3 forward + 3 backward
+  Digraph line = view.to_digraph();
+  EXPECT_TRUE(line.has_proper_po_coloring());
+}
+
+TEST(UniversalCover, LoopStarGrowsLikeRegularTree) {
+  // Δ half-loops: UG is the Δ-regular tree.
+  Multigraph g = make_loop_star(3);
+  ViewTree view = universal_cover_view(g, 0, 2);
+  EXPECT_EQ(view.size(), 1 + 3 + 3 * 2);
+}
+
+TEST(FactorGraph, VertexTransitiveCollapsesToOneNode) {
+  // A cycle with a 2-colouring alternating 0/1 (even length).
+  Multigraph c(6);
+  for (NodeId v = 0; v < 6; ++v) c.add_edge(v, (v + 1) % 6, v % 2);
+  ASSERT_TRUE(c.has_proper_edge_coloring());
+  FactorGraph fg = factor_graph(c);
+  EXPECT_EQ(fg.graph.node_count(), 1);
+  EXPECT_EQ(fg.graph.loop_count(0), 2);  // two half-loops, colours 0 and 1
+}
+
+TEST(FactorGraph, K2CollapsesToHalfLoop) {
+  Multigraph k2(2);
+  k2.add_edge(0, 1, 0);
+  FactorGraph fg = factor_graph(k2);
+  EXPECT_EQ(fg.graph.node_count(), 1);
+  EXPECT_EQ(fg.graph.loop_count(0), 1);
+  EXPECT_EQ(fg.graph.degree(0), 1);  // half-loop counts once (Figure 3)
+}
+
+TEST(FactorGraph, AsymmetricGraphIsItsOwnFactor) {
+  // A path with distinct colours has no non-trivial symmetry.
+  Multigraph p(3);
+  p.add_edge(0, 1, 0);
+  p.add_edge(1, 2, 1);
+  FactorGraph fg = factor_graph(p);
+  EXPECT_EQ(fg.graph.node_count(), 3);
+}
+
+TEST(FactorGraph, IdempotentOnQuotients) {
+  Rng rng{64};
+  for (int trial = 0; trial < 6; ++trial) {
+    Multigraph g = make_loopy_tree(6, 5, rng);
+    FactorGraph fg = factor_graph(g);
+    FactorGraph fg2 = factor_graph(fg.graph);
+    EXPECT_EQ(fg2.graph.node_count(), fg.graph.node_count());
+    EXPECT_EQ(fg2.graph.edge_count(), fg.graph.edge_count());
+  }
+}
+
+TEST(FactorGraph, LiftsShareTheFactorGraph) {
+  // FG of a lift equals FG of the base — the factor graph is the common
+  // minimal object below both.
+  Rng rng{65};
+  Multigraph g = make_loopy_tree(4, 4, rng);
+  FactorGraph base_fg = factor_graph(g);
+  Lift lifted = involution_lift(g, 8);
+  FactorGraph lift_fg = factor_graph(lifted.graph);
+  EXPECT_EQ(lift_fg.graph.node_count(), base_fg.graph.node_count());
+  EXPECT_EQ(lift_fg.graph.edge_count(), base_fg.graph.edge_count());
+}
+
+TEST(FactorGraph, DirectedCycleCollapses) {
+  Digraph c = make_directed_cycle(5);
+  DiFactorGraph fg = factor_graph(c);
+  EXPECT_EQ(fg.graph.node_count(), 1);
+  ASSERT_EQ(fg.graph.arc_count(), 1);
+  EXPECT_TRUE(fg.graph.arc(0).is_loop());
+}
+
+TEST(Loopiness, LoopStarIsDeltaLoopy) {
+  for (int d : {1, 3, 6}) {
+    EXPECT_EQ(loopiness(make_loop_star(d)), d);
+  }
+}
+
+TEST(Loopiness, LoopyTreeMeetsConstruction) {
+  Rng rng{66};
+  Multigraph g = make_loopy_tree(8, 6, rng);
+  EXPECT_GE(loopiness(g), 1);
+}
+
+TEST(Loopiness, SimpleAsymmetricGraphIsZeroLoopy) {
+  Multigraph p(3);
+  p.add_edge(0, 1, 0);
+  p.add_edge(1, 2, 1);
+  EXPECT_EQ(loopiness(p), 0);
+}
+
+TEST(Loopiness, VertexTransitiveCycleIsLoopyDespiteSimplicity) {
+  // Figure 4's moral: loopiness is about the *factor graph*, not about
+  // loops literally present in the input.
+  Multigraph c(6);
+  for (NodeId v = 0; v < 6; ++v) c.add_edge(v, (v + 1) % 6, v % 2);
+  EXPECT_EQ(loopiness(c), 2);
+}
+
+TEST(Loopiness, DirectedLoopCounting) {
+  Digraph g = make_directed_cycle(4);
+  EXPECT_EQ(loopiness(g), 1);
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,95 @@
+// Tests for Appendix B: graph enumeration, the randomised algorithm's
+// failure model, the Lemma 10 search, and failure amplification.
+#include "ldlb/core/derandomize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/matching/checker.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(Derandomize, EnumeratesAllSimpleGraphs) {
+  EXPECT_EQ(all_simple_graphs(0).size(), 1u);
+  EXPECT_EQ(all_simple_graphs(1).size(), 1u);
+  EXPECT_EQ(all_simple_graphs(3).size(), 8u);    // 2^3
+  EXPECT_EQ(all_simple_graphs(4).size(), 64u);   // 2^6
+  for (const auto& g : all_simple_graphs(4)) {
+    EXPECT_TRUE(g.is_simple());
+    EXPECT_EQ(g.node_count(), 4);
+  }
+}
+
+TEST(Derandomize, DistinctPrioritiesGiveCorrectOutput) {
+  RandomPriorityPacking a{8, 16};
+  Multigraph base = make_path(4);
+  IdGraph g = with_sequential_ids(base);
+  std::map<std::uint64_t, std::uint64_t> rho{
+      {0, 100}, {1, 7}, {2, 45}, {3, 23}};
+  FixedTapeAlgorithm fixed{a, rho};
+  EXPECT_TRUE(correct_on(g, fixed));
+}
+
+TEST(Derandomize, PriorityCollisionIsDeclaredFailure) {
+  RandomPriorityPacking a{8, 16};
+  Multigraph base = make_path(3);
+  IdGraph g = with_sequential_ids(base);
+  std::map<std::uint64_t, std::uint64_t> rho{{0, 5}, {1, 5}, {2, 9}};
+  FixedTapeAlgorithm fixed{a, rho};
+  EXPECT_FALSE(correct_on(g, fixed));
+}
+
+TEST(Derandomize, Lemma10SearchFindsGoodAssignment) {
+  // With 16-bit priorities on 4 ids, a random assignment is collision-free
+  // (hence correct on all 64 graphs) with overwhelming probability; the
+  // search must succeed almost immediately.
+  RandomPriorityPacking a{10, 16};
+  Rng rng{91};
+  auto result = find_good_tape_assignment(a, 4, rng, /*max_sets=*/4,
+                                          /*samples_per_set=*/20);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->ids.size(), 4u);
+  // Independent re-validation on every graph.
+  FixedTapeAlgorithm fixed{a, result->rho};
+  for (const Multigraph& g : all_simple_graphs(4)) {
+    IdGraph idg;
+    idg.graph = g;
+    idg.ids = result->ids;
+    EXPECT_TRUE(correct_on(idg, fixed));
+  }
+}
+
+TEST(Derandomize, Lemma10SearchReportsExhaustion) {
+  // With 1-bit priorities on 4 ids every assignment collides (pigeonhole),
+  // so the search must exhaust and say so.
+  RandomPriorityPacking a{4, 1};
+  Rng rng{92};
+  auto result = find_good_tape_assignment(a, 4, rng, /*max_sets=*/2,
+                                          /*samples_per_set=*/8);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Derandomize, FailureAmplifiesOnDisjointUnions) {
+  // Appendix B: P(fail on q disjoint copies) = 1 - (1-p)^q. With 3-bit
+  // priorities on a single edge, p = P(two equal draws) = 1/8; at q = 16
+  // the failure probability is ~88%. Check the empirical curve is
+  // monotone and brackets the analytic values loosely.
+  RandomPriorityPacking a{4, 3};
+  Multigraph edge(2);
+  edge.add_edge(0, 1);
+  Rng rng{93};
+  double p1 = measure_amplification(a, edge, 1, 400, rng);
+  double p4 = measure_amplification(a, edge, 4, 400, rng);
+  double p16 = measure_amplification(a, edge, 16, 400, rng);
+  EXPECT_NEAR(p1, 1.0 / 8, 0.08);
+  EXPECT_NEAR(p4, 1 - std::pow(1 - 1.0 / 8, 4), 0.12);
+  EXPECT_NEAR(p16, 1 - std::pow(1 - 1.0 / 8, 16), 0.12);
+  EXPECT_LT(p1, p4);
+  EXPECT_LT(p4, p16);
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,64 @@
+// Tests for the text graph format.
+#include "ldlb/graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/rng.hpp"
+#include "ldlb/view/isomorphism.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(GraphIo, MultigraphRoundTrip) {
+  Rng rng{171};
+  for (int trial = 0; trial < 10; ++trial) {
+    Multigraph g = make_loopy_tree(6, 5, rng);
+    Multigraph back = multigraph_from_string(graph_to_string(g));
+    ASSERT_EQ(back.node_count(), g.node_count());
+    ASSERT_EQ(back.edge_count(), g.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_EQ(back.edge(e).u, g.edge(e).u);
+      EXPECT_EQ(back.edge(e).v, g.edge(e).v);
+      EXPECT_EQ(back.edge(e).color, g.edge(e).color);
+    }
+  }
+}
+
+TEST(GraphIo, UncolouredEdgesSurvive) {
+  Multigraph g = make_path(3);
+  Multigraph back = multigraph_from_string(graph_to_string(g));
+  EXPECT_EQ(back.edge(0).color, kUncoloured);
+}
+
+TEST(GraphIo, DigraphRoundTrip) {
+  Rng rng{172};
+  Digraph g = make_random_po_graph(9, 0.4, rng);
+  Digraph back = digraph_from_string(graph_to_string(g));
+  ASSERT_EQ(back.arc_count(), g.arc_count());
+  for (EdgeId a = 0; a < g.arc_count(); ++a) {
+    EXPECT_EQ(back.arc(a).tail, g.arc(a).tail);
+    EXPECT_EQ(back.arc(a).head, g.arc(a).head);
+    EXPECT_EQ(back.arc(a).color, g.arc(a).color);
+  }
+}
+
+TEST(GraphIo, MalformedInputRejected) {
+  EXPECT_THROW(multigraph_from_string(""), ContractViolation);
+  EXPECT_THROW(multigraph_from_string("digraph 1 0\n"), ContractViolation);
+  EXPECT_THROW(multigraph_from_string("multigraph 2 1\n"), ContractViolation);
+  EXPECT_THROW(multigraph_from_string("multigraph 2 1\ne 0 5 0\n"),
+               ContractViolation);  // endpoint out of range
+  EXPECT_THROW(digraph_from_string("multigraph 1 0\n"), ContractViolation);
+}
+
+TEST(GraphIo, EmptyGraphs) {
+  Multigraph g;
+  Multigraph back = multigraph_from_string(graph_to_string(g));
+  EXPECT_EQ(back.node_count(), 0);
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,78 @@
+// Tests for the eq.-(1) locality auditor, including its agreement with the
+// Section-4 adversary's certificates.
+#include "ldlb/core/locality_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/core/adversary.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/matching/two_phase_packing.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(LocalityAudit, CorrectAlgorithmCleanAtItsRunTime) {
+  // SeqColorPacking with k colours is k-local; auditing at radius k must
+  // find nothing on any corpus.
+  Rng rng{221};
+  std::vector<Multigraph> corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.push_back(make_loopy_tree(6, 5, rng));
+  }
+  SeqColorPacking alg{5};
+  auto violations = audit_locality(alg, corpus, /*radius=*/5, 6);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(LocalityAudit, CertificatePairsReproduceAsViolations) {
+  // Feed the auditor the adversary's level-i pair at radius i: the
+  // certificate's witnesses must appear among the violations.
+  const int delta = 5;
+  TwoPhasePacking alg{delta};
+  LowerBoundCertificate cert = run_adversary(alg, delta);
+  for (const auto& lv : cert.levels) {
+    std::vector<Multigraph> corpus{lv.g, lv.h};
+    auto violations =
+        audit_locality(alg, corpus, lv.level, 2 * delta + 1);
+    bool found_witness = false;
+    for (const auto& v : violations) {
+      if ((v.graph_a != v.graph_b) &&
+          ((v.node_a == lv.g_node && v.node_b == lv.h_node) ||
+           (v.node_a == lv.h_node && v.node_b == lv.g_node))) {
+        found_witness = true;
+      }
+    }
+    EXPECT_TRUE(found_witness) << "level " << lv.level;
+  }
+}
+
+TEST(LocalityAudit, SymmetricNodesMustAgree) {
+  // All nodes of a colour-symmetric cycle have isomorphic balls at every
+  // radius, so a correct anonymous algorithm must output identically —
+  // zero violations even at radius 0.
+  Multigraph c(6);
+  for (NodeId v = 0; v < 6; ++v) c.add_edge(v, (v + 1) % 6, v % 2);
+  SeqColorPacking alg{2};
+  auto violations = audit_locality(alg, {c}, 0, 3);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(LocalityAudit, DetectsRadiusZeroDifferencesAcrossGraphs) {
+  // The base-case pair (G_0, H_0) differs in degree, so radius-1 balls
+  // differ — but at radius 0 both witnesses are bare nodes... with
+  // different degrees, so the balls are still non-isomorphic only via
+  // edges; τ_0 is a single node and IS isomorphic. The outputs (weights of
+  // incident ends) differ in arity, hence as maps — a radius-0 violation.
+  const int delta = 4;
+  SeqColorPacking alg{delta};
+  Multigraph g0 = make_loop_star(delta);
+  Multigraph h0 = g0.without_edge(0);
+  auto violations = audit_locality(alg, {g0, h0}, 0, delta + 1);
+  EXPECT_FALSE(violations.empty());
+}
+
+}  // namespace
+}  // namespace ldlb

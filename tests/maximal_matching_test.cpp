@@ -1,0 +1,232 @@
+// Tests for the §1.1 maximal matching suite: forest decomposition,
+// Cole–Vishkin, Panconesi–Rizzi, Israeli–Itai, EC greedy — plus the exact
+// baselines (Hopcroft–Karp, max-weight FM, vertex cover).
+#include "ldlb/matching/maximal_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/hopcroft_karp.hpp"
+#include "ldlb/matching/max_fractional.hpp"
+#include "ldlb/matching/vertex_cover.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(ForestDecomposition, CoversAllEdgesWithAcyclicForests) {
+  Rng rng{51};
+  for (int trial = 0; trial < 8; ++trial) {
+    IdGraph g = with_sequential_ids(make_random_graph(15, 0.3, rng));
+    rng.shuffle(g.ids);
+    ForestDecomposition fd = forest_decomposition(g);
+    // Every edge appears exactly once as somebody's parent edge.
+    std::vector<int> seen(static_cast<std::size_t>(g.graph.edge_count()), 0);
+    for (const auto& pe : fd.parent_edges) {
+      for (EdgeId e : pe) {
+        if (e != kNoEdge) ++seen[static_cast<std::size_t>(e)];
+      }
+    }
+    for (int s : seen) EXPECT_EQ(s, 1);
+    // Parent pointers strictly increase ids => forests are acyclic.
+    for (const auto& parent : fd.parents) {
+      for (NodeId v = 0; v < g.graph.node_count(); ++v) {
+        NodeId p = parent[static_cast<std::size_t>(v)];
+        if (p != kNoNode) {
+          EXPECT_LT(g.ids[static_cast<std::size_t>(v)],
+                    g.ids[static_cast<std::size_t>(p)]);
+        }
+      }
+    }
+    // At most Δ forests.
+    EXPECT_LE(static_cast<int>(fd.parents.size()), g.graph.max_degree());
+  }
+}
+
+TEST(ColeVishkin, Produces3ColoringOnPaths) {
+  // A long path as a single pseudoforest: parent = next node.
+  const std::size_t n = 300;
+  std::vector<NodeId> parent(n);
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    parent[v] = v + 1 < n ? static_cast<NodeId>(v + 1) : kNoNode;
+    ids[v] = 1000003ull * v + 17;  // scrambled but distinct
+  }
+  int rounds = 0;
+  auto colors = cole_vishkin_3color(parent, ids, &rounds);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    EXPECT_NE(colors[v], colors[v + 1]);
+    EXPECT_GE(colors[v], 0);
+    EXPECT_LE(colors[v], 2);
+  }
+  // log* convergence: a handful of ranking iterations plus 3 fixed steps.
+  EXPECT_LE(rounds, 5 + 6);
+}
+
+TEST(ColeVishkin, RoundsGrowVerySlowlyWithIdRange) {
+  // Doubling the bit-length of ids adds O(1) iterations (log*): compare a
+  // 16-bit and a 60-bit id space on the same path.
+  const std::size_t n = 64;
+  std::vector<NodeId> parent(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    parent[v] = v + 1 < n ? static_cast<NodeId>(v + 1) : kNoNode;
+  }
+  std::vector<std::uint64_t> small_ids(n), big_ids(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    small_ids[v] = v * 7 + 3;
+    big_ids[v] = (std::uint64_t{1} << 59) + v * 1234567891011ull;
+  }
+  int small_rounds = 0, big_rounds = 0;
+  cole_vishkin_3color(parent, small_ids, &small_rounds);
+  cole_vishkin_3color(parent, big_ids, &big_rounds);
+  EXPECT_LE(big_rounds - small_rounds, 2);
+}
+
+TEST(PanconesiRizzi, MaximalOnRandomGraphs) {
+  Rng rng{52};
+  for (int trial = 0; trial < 10; ++trial) {
+    IdGraph g = with_sequential_ids(make_random_graph(20, 0.25, rng));
+    rng.shuffle(g.ids);
+    MatchingRun run = panconesi_rizzi_matching(g);
+    EXPECT_TRUE(is_maximal_matching(g.graph, run.matching));
+    EXPECT_GT(run.rounds, 0);
+  }
+}
+
+TEST(PanconesiRizzi, RoundsScaleWithDeltaNotN) {
+  // Fixed Δ = 3, growing n: rounds should stay within a narrow band
+  // (O(Δ + log* n) — and log* is effectively constant).
+  Rng rng{53};
+  int rounds_small = 0, rounds_big = 0;
+  {
+    IdGraph g = with_sequential_ids(make_random_bounded_degree(30, 3, 0.8, rng));
+    rounds_small = panconesi_rizzi_matching(g).rounds;
+  }
+  {
+    IdGraph g = with_sequential_ids(make_random_bounded_degree(300, 3, 0.8, rng));
+    rounds_big = panconesi_rizzi_matching(g).rounds;
+  }
+  EXPECT_LE(rounds_big, rounds_small + 8);
+}
+
+TEST(IsraeliItai, MaximalOnRandomGraphs) {
+  Rng rng{54};
+  for (int trial = 0; trial < 10; ++trial) {
+    Multigraph g = make_random_graph(25, 0.2, rng);
+    MatchingRun run = israeli_itai_matching(g, rng);
+    EXPECT_TRUE(is_maximal_matching(g, run.matching));
+  }
+}
+
+TEST(EcGreedy, MaximalAndRoundsEqualColours) {
+  Rng rng{55};
+  Multigraph g = greedy_edge_coloring(make_random_graph(20, 0.3, rng));
+  MatchingRun run = ec_greedy_matching(g);
+  EXPECT_TRUE(is_maximal_matching(g, run.matching));
+  EXPECT_EQ(run.rounds, colors_used(g));
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnEvenCycle) {
+  // C6 as bipartite: sides alternate.
+  BipartiteGraph b;
+  b.left_count = 3;
+  b.right_count = 3;
+  b.edges = {{0, 0}, {0, 2}, {1, 0}, {1, 1}, {2, 1}, {2, 2}};
+  BipartiteMatching m = hopcroft_karp(b);
+  EXPECT_EQ(m.size, 3);
+}
+
+TEST(HopcroftKarp, StarMatchesOne) {
+  BipartiteGraph b;
+  b.left_count = 1;
+  b.right_count = 5;
+  for (NodeId r = 0; r < 5; ++r) b.edges.push_back({0, r});
+  EXPECT_EQ(hopcroft_karp(b).size, 1);
+}
+
+TEST(HopcroftKarp, KnownAugmentingCase) {
+  // Two lefts both preferring right 0; augmenting path must rescue.
+  BipartiteGraph b;
+  b.left_count = 2;
+  b.right_count = 2;
+  b.edges = {{0, 0}, {1, 0}, {1, 1}};
+  EXPECT_EQ(hopcroft_karp(b).size, 2);
+}
+
+TEST(MaxFractional, OddCycleGetsHalfEverywhere) {
+  // ν_f(C5) = 5/2, achieved by 1/2 on every edge.
+  Multigraph g = make_cycle(5);
+  MaxFractionalResult r = max_fractional_matching(g);
+  EXPECT_EQ(r.weight, Rational(5, 2));
+  EXPECT_TRUE(check_fully_saturated(g, r.matching).ok);
+}
+
+TEST(MaxFractional, PathOptimum) {
+  // ν_f(P4, 3 edges) = integral maximum = 2.
+  Multigraph g = make_path(4);
+  EXPECT_EQ(max_fractional_weight(g), Rational(2));
+}
+
+TEST(MaxFractional, CompleteGraphOptimum) {
+  // ν_f(K4) = 2; ν_f(K5) = 5/2 (odd clique: half-integral).
+  EXPECT_EQ(max_fractional_weight(make_complete(4)), Rational(2));
+  EXPECT_EQ(max_fractional_weight(make_complete(5)), Rational(5, 2));
+}
+
+TEST(MaxFractional, ParallelEdgesHandled) {
+  // Two parallel edges between the same pair: the optimum is still 1 (the
+  // node constraints bind per node, not per edge).
+  Multigraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  MaxFractionalResult r = max_fractional_matching(g);
+  EXPECT_EQ(r.weight, Rational(1));
+  EXPECT_TRUE(check_feasible(g, r.matching).ok);
+}
+
+TEST(MaxFractional, RejectsLoops) {
+  EXPECT_THROW(max_fractional_matching(make_loop_star(1)), ContractViolation);
+}
+
+TEST(MaxFractional, DominatesAnyMaximalMatchingByAtMostTwo) {
+  // §1.2: a maximal FM is a 1/2-approximation of the maximum weight.
+  Rng rng{56};
+  for (int trial = 0; trial < 10; ++trial) {
+    Multigraph g = make_random_graph(16, 0.3, rng);
+    if (g.edge_count() == 0) continue;
+    Rational opt = max_fractional_weight(g);
+    MatchingRun run = israeli_itai_matching(g, rng);
+    Rational got = run.matching.total_weight();
+    EXPECT_LE(opt, got * Rational(2));
+    EXPECT_LE(got, opt);
+  }
+}
+
+TEST(VertexCover, SaturatedNodesCoverAndTwoApproximate) {
+  Rng rng{57};
+  for (int trial = 0; trial < 8; ++trial) {
+    Multigraph g = make_random_graph(14, 0.3, rng);
+    MatchingRun run = israeli_itai_matching(g, rng);
+    auto cover = vertex_cover_from_packing(g, run.matching);
+    EXPECT_TRUE(is_vertex_cover(g, cover));
+    int opt = min_vertex_cover_size(g);
+    EXPECT_LE(static_cast<int>(cover.size()), 2 * opt);
+  }
+}
+
+TEST(VertexCover, ExactSolverKnownValues) {
+  EXPECT_EQ(min_vertex_cover_size(make_star(5)), 1);
+  EXPECT_EQ(min_vertex_cover_size(make_cycle(5)), 3);
+  EXPECT_EQ(min_vertex_cover_size(make_complete(5)), 4);
+  EXPECT_EQ(min_vertex_cover_size(make_path(4)), 2);
+}
+
+TEST(VertexCover, RejectsNonMaximalPacking) {
+  Multigraph g = make_path(3);
+  FractionalMatching zero(g.edge_count());
+  EXPECT_THROW(vertex_cover_from_packing(g, zero), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,210 @@
+// Tests for the EC multigraph type: loop conventions, distances, colouring
+// validation, and structural predicates.
+#include "ldlb/graph/multigraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(Multigraph, EmptyGraph) {
+  Multigraph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(Multigraph, LoopCountsOnceInDegree) {
+  // Section 3.5: an undirected loop contributes +1 to the degree.
+  Multigraph g(1);
+  g.add_edge(0, 0, 0);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.loop_count(0), 1);
+  g.add_edge(0, 0, 1);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.loop_count(0), 2);
+}
+
+TEST(Multigraph, LoopStarMatchesBaseCaseShape) {
+  // G_0 of Section 4.2: one node with Δ differently coloured loops.
+  Multigraph g = make_loop_star(5);
+  EXPECT_EQ(g.node_count(), 1);
+  EXPECT_EQ(g.degree(0), 5);
+  EXPECT_TRUE(g.has_proper_edge_coloring());
+  EXPECT_EQ(g.color_count(), 5);
+}
+
+TEST(Multigraph, OtherEndpoint) {
+  Multigraph g(3);
+  EdgeId e01 = g.add_edge(0, 1);
+  EdgeId loop = g.add_edge(2, 2);
+  EXPECT_EQ(g.other_endpoint(e01, 0), 1);
+  EXPECT_EQ(g.other_endpoint(e01, 1), 0);
+  EXPECT_EQ(g.other_endpoint(loop, 2), 2);
+  EXPECT_THROW(g.other_endpoint(e01, 2), ContractViolation);
+}
+
+TEST(Multigraph, NeighborsDedupeParallelsAndIncludeSelfForLoops) {
+  Multigraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // parallel
+  g.add_edge(0, 0);  // loop
+  g.add_edge(0, 2);
+  auto nbrs = g.neighbors(0);
+  EXPECT_EQ(nbrs, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Multigraph, ProperColoringDetectsAdjacentDuplicates) {
+  Multigraph g(3);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);  // same colour at node 1
+  EXPECT_FALSE(g.has_proper_edge_coloring());
+  g.set_color(1, 1);
+  EXPECT_TRUE(g.has_proper_edge_coloring());
+}
+
+TEST(Multigraph, UncolouredEdgeIsNotProper) {
+  Multigraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.has_proper_edge_coloring());
+}
+
+TEST(Multigraph, DistancesIgnoreLoopsAndParallels) {
+  Multigraph g = make_path(4);
+  g.add_edge(1, 1, 7);
+  g.add_edge(1, 2, 9);  // parallel to the path edge
+  auto d = g.distances_from(0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Multigraph, DisconnectedDistanceIsMinusOne) {
+  Multigraph g(3);
+  g.add_edge(0, 1);
+  auto d = g.distances_from(0);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Multigraph, SimplePredicates) {
+  EXPECT_TRUE(make_path(5).is_simple());
+  EXPECT_TRUE(make_cycle(5).is_simple());
+  Multigraph loopy(1);
+  loopy.add_edge(0, 0);
+  EXPECT_FALSE(loopy.is_simple());
+  Multigraph par(2);
+  par.add_edge(0, 1);
+  par.add_edge(0, 1);
+  EXPECT_FALSE(par.is_simple());
+}
+
+TEST(Multigraph, ForestIgnoringLoops) {
+  Multigraph g = make_path(4);
+  g.add_edge(2, 2);
+  EXPECT_TRUE(g.is_forest_ignoring_loops());
+  g.add_edge(0, 3);  // closes a cycle
+  EXPECT_FALSE(g.is_forest_ignoring_loops());
+  EXPECT_FALSE(make_cycle(3).is_forest_ignoring_loops());
+}
+
+TEST(Multigraph, WithoutEdge) {
+  Multigraph g = make_loop_star(3);
+  Multigraph h = g.without_edge(1);
+  EXPECT_EQ(h.edge_count(), 2);
+  EXPECT_EQ(h.degree(0), 2);
+  // Remaining colours are 0 and 2.
+  EXPECT_EQ(h.edge(0).color, 0);
+  EXPECT_EQ(h.edge(1).color, 2);
+}
+
+TEST(Multigraph, AppendDisjoint) {
+  Multigraph g = make_path(3);
+  Multigraph h = make_cycle(3);
+  NodeId offset = g.append_disjoint(h);
+  EXPECT_EQ(offset, 3);
+  EXPECT_EQ(g.node_count(), 6);
+  EXPECT_EQ(g.edge_count(), 2 + 3);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_EQ(g.degree(offset), 2);
+}
+
+TEST(Generators, PathCycleStarComplete) {
+  EXPECT_EQ(make_path(1).edge_count(), 0);
+  EXPECT_EQ(make_path(5).edge_count(), 4);
+  EXPECT_EQ(make_cycle(5).edge_count(), 5);
+  EXPECT_EQ(make_star(4).max_degree(), 4);
+  EXPECT_EQ(make_complete(5).edge_count(), 10);
+  EXPECT_EQ(make_complete_bipartite(2, 3).edge_count(), 6);
+  EXPECT_THROW(make_cycle(2), ContractViolation);
+}
+
+TEST(Generators, PerfectTree) {
+  Multigraph t = make_perfect_tree(2, 3);
+  EXPECT_EQ(t.node_count(), 1 + 2 + 4 + 8);
+  EXPECT_TRUE(t.is_forest_ignoring_loops());
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.max_degree(), 3);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng{1};
+  for (int n : {1, 2, 10, 50}) {
+    Multigraph t = make_random_tree(n, rng);
+    EXPECT_EQ(t.edge_count(), n - 1);
+    EXPECT_TRUE(t.is_connected());
+    EXPECT_TRUE(t.is_forest_ignoring_loops());
+  }
+}
+
+TEST(Generators, RandomRegularIsRegularAndSimple) {
+  Rng rng{2};
+  for (auto [n, d] : {std::pair{8, 3}, {10, 4}, {6, 5}}) {
+    Multigraph g = make_random_regular(n, d, rng);
+    EXPECT_TRUE(g.is_simple());
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
+  }
+}
+
+TEST(Generators, RandomBoundedDegreeRespectsBound) {
+  Rng rng{3};
+  Multigraph g = make_random_bounded_degree(50, 4, 0.8, rng);
+  EXPECT_LE(g.max_degree(), 4);
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(Generators, LoopyTreeIsRegularWithLoopsAndProperlyColoured) {
+  Rng rng{4};
+  Multigraph g = make_loopy_tree(12, 8, rng);
+  EXPECT_TRUE(g.has_proper_edge_coloring());
+  EXPECT_TRUE(g.is_forest_ignoring_loops());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(g.degree(v), 8);
+    EXPECT_GE(g.loop_count(v), 1);
+  }
+}
+
+
+TEST(Generators, CirculantIsRegularSimple) {
+  for (auto [n, d] : {std::pair{10, 4}, {12, 5}, {8, 7}, {16, 8}}) {
+    Multigraph g = make_circulant(n, d);
+    EXPECT_TRUE(g.is_simple()) << n << "," << d;
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
+  }
+  EXPECT_THROW(make_circulant(7, 3), ContractViolation);  // odd n*d
+}
+
+TEST(Generators, DenseRandomRegularViaSwitching) {
+  Rng rng{9};
+  for (auto [n, d] : {std::pair{64, 16}, {96, 32}}) {
+    Multigraph g = make_random_regular(n, d, rng);
+    EXPECT_TRUE(g.is_simple());
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
+  }
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,92 @@
+// Tests for the PO full-information gather and the literal §5.5 chain:
+// ID → OI → PO → EC → adversary.
+#include "ldlb/local/po_full_info.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/core/adversary.hpp"
+#include "ldlb/core/sim_ec_po.hpp"
+#include "ldlb/core/sim_oi_id.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/id_packing.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(PoView, SerializeParseRoundTrip) {
+  PoView leaf;
+  PoView root;
+  root.children[{true, 0}] = leaf;
+  root.children[{false, 2}] = leaf;
+  std::string text = root.serialize();
+  EXPECT_EQ(PoView::parse(text), root);
+  EXPECT_EQ(root.size(), 3);
+  EXPECT_THROW(PoView::parse("(o1"), ContractViolation);
+  EXPECT_THROW(PoView::parse(""), ContractViolation);
+}
+
+TEST(PoFromOi, MatchesGraphLevelSimulation) {
+  // The message-passing form computes exactly what simulate_oi_on_po
+  // computes (both are eq. (4) of the paper).
+  for (NodeId n : {3, 6}) {
+    Digraph g = make_directed_cycle(n);
+    RankSeededPacking ref_aoi{3};
+    FractionalMatching ref = simulate_oi_on_po(g, ref_aoi);
+    RankSeededPacking aoi{3};
+    PoFromOi alg{aoi};
+    RunResult run = run_po(g, alg, 20);
+    EXPECT_TRUE(run.matching == ref);
+    EXPECT_TRUE(check_maximal(g, run.matching).ok);
+    // Round-preserving: exactly the OI radius.
+    EXPECT_EQ(run.rounds, aoi.radius(g.max_degree()));
+  }
+}
+
+TEST(PoFromOi, DirectedLoopGathersTheLine) {
+  Digraph g = make_directed_cycle(1);
+  RankSeededPacking aoi{2};
+  PoFromOi alg{aoi};
+  RunResult run = run_po(g, alg, 20);
+  EXPECT_TRUE(check_feasible(g, run.matching).ok);
+}
+
+TEST(FullChain, IdToOiToPoToEcDefeatedByAdversary) {
+  // The paper's §5.5, executed literally: an ID-model algorithm is
+  // transported through the OI ⇐ ID pool assignment (IdAsOi), the PO ⇐ OI
+  // canonical-order gather (PoFromOi), and the EC ⇐ PO arc doubling
+  // (EcFromPo); the Section-4 adversary then certifies the lower bound
+  // against the result — every reduction in one run.
+  std::vector<std::uint64_t> pool;
+  for (std::uint64_t i = 0; i < 400000; ++i) pool.push_back(i);
+  RankPackingId id_alg{2};
+  IdAsOi oi{id_alg, pool};
+  PoFromOi po{oi};
+  EcFromPo ec{po};
+
+  const int delta = 3;
+  AdversaryOptions opts;
+  opts.max_rounds = 100;
+  LowerBoundCertificate cert = run_adversary(ec, delta, opts);
+  EXPECT_EQ(cert.certified_radius(), delta - 2);
+  EXPECT_TRUE(certificate_is_valid(cert, ec, /*check_loopiness=*/false));
+}
+
+TEST(FullChain, InsufficientPhasesAreDiagnosed) {
+  // With too few OI phases the transported algorithm is not maximal on the
+  // adversary's graphs; the machinery must reject it loudly (propagation
+  // finds an unsaturated node), not emit a bogus certificate.
+  std::vector<std::uint64_t> pool;
+  for (std::uint64_t i = 0; i < 40000; ++i) pool.push_back(i);
+  RankPackingId id_alg{1};
+  IdAsOi oi{id_alg, pool};
+  PoFromOi po{oi};
+  EcFromPo ec{po};
+  AdversaryOptions opts;
+  opts.max_rounds = 100;
+  EXPECT_THROW(run_adversary(ec, 3, opts), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ldlb

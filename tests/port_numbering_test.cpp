@@ -1,0 +1,106 @@
+// Tests for the PO1 ⇄ PO2 equivalence of Figure 2: port numberings versus
+// PO edge colourings.
+#include "ldlb/graph/port_numbering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(PortNumbering, CanonicalPortsAreValid) {
+  Rng rng{101};
+  Digraph g = make_random_po_graph(10, 0.4, rng);
+  PortNumbering pn = canonical_ports(g);
+  EXPECT_TRUE(pn.is_valid_for(g));
+}
+
+TEST(PortNumbering, LoopOccupiesTwoPorts) {
+  Digraph g = make_directed_cycle(1);
+  PortNumbering pn = canonical_ports(g);
+  ASSERT_EQ(pn.ports.size(), 1u);
+  EXPECT_EQ(pn.ports[0].size(), 2u);  // PO convention: degree 2
+  EXPECT_TRUE(pn.is_valid_for(g));
+}
+
+TEST(PortNumbering, ColoringFromPortsIsProper) {
+  Rng rng{102};
+  for (int trial = 0; trial < 6; ++trial) {
+    Digraph g = make_random_po_graph(12, 0.3, rng);
+    PortNumbering pn = canonical_ports(g);
+    Digraph colored = po_coloring_from_ports(g, pn);
+    EXPECT_TRUE(colored.has_proper_po_coloring());
+    EXPECT_EQ(colored.arc_count(), g.arc_count());
+  }
+}
+
+TEST(PortNumbering, PortsFromColoringRoundTrip) {
+  // colouring -> ports -> pair-colouring -> ports: the rebuilt numbering
+  // must be valid, enumerate the same arc-ends per node, and keep the
+  // out-arc order (out-arcs sort by tail port, which the pair colour's
+  // leading component preserves). In-arc order may legitimately change:
+  // the pair colour leads with the *other* endpoint's port.
+  Rng rng{103};
+  Digraph g = make_random_po_graph(10, 0.4, rng);
+  PortNumbering pn = ports_from_po_coloring(g);
+  EXPECT_TRUE(pn.is_valid_for(g));
+  Digraph recolored = po_coloring_from_ports(g, pn);
+  PortNumbering pn2 = ports_from_po_coloring(recolored);
+  ASSERT_TRUE(pn2.is_valid_for(recolored));
+  ASSERT_EQ(pn.ports.size(), pn2.ports.size());
+  for (std::size_t v = 0; v < pn.ports.size(); ++v) {
+    ASSERT_EQ(pn.ports[v].size(), pn2.ports[v].size());
+    // Same out-arc order; same in-arc set.
+    std::vector<EdgeId> out1, out2;
+    std::multiset<EdgeId> in1, in2;
+    for (const auto& p : pn.ports[v]) {
+      if (p.side == PortNumbering::Side::kTail) out1.push_back(p.arc);
+      else in1.insert(p.arc);
+    }
+    for (const auto& p : pn2.ports[v]) {
+      if (p.side == PortNumbering::Side::kTail) out2.push_back(p.arc);
+      else in2.insert(p.arc);
+    }
+    EXPECT_EQ(out1, out2) << "node " << v;
+    EXPECT_EQ(in1, in2) << "node " << v;
+  }
+}
+
+TEST(PortNumbering, OutArcsComeBeforeInArcs) {
+  // Figure 2b: first outgoing arcs ordered by colour, then incoming.
+  Digraph g(2);
+  g.add_arc(0, 1, 3);
+  g.add_arc(1, 0, 5);
+  PortNumbering pn = ports_from_po_coloring(g);
+  ASSERT_EQ(pn.ports[0].size(), 2u);
+  EXPECT_EQ(pn.ports[0][0].side, PortNumbering::Side::kTail);
+  EXPECT_EQ(pn.ports[0][1].side, PortNumbering::Side::kHead);
+}
+
+TEST(PortNumbering, InvalidNumberingRejected) {
+  Digraph g(2);
+  g.add_arc(0, 1, 0);
+  PortNumbering pn = canonical_ports(g);
+  pn.ports[0].clear();  // drop node 0's port
+  EXPECT_FALSE(pn.is_valid_for(g));
+  EXPECT_THROW(po_coloring_from_ports(g, pn), ContractViolation);
+}
+
+TEST(PortNumbering, PairColouringSeparatesParallelArcs) {
+  // Two parallel arcs 0 -> 1: ports distinguish them, so the pair colouring
+  // must give them distinct colours.
+  Digraph g(2);
+  g.add_arc(0, 1, kUncoloured);
+  g.add_arc(0, 1, kUncoloured);
+  PortNumbering pn = canonical_ports(g);
+  Digraph colored = po_coloring_from_ports(g, pn);
+  EXPECT_NE(colored.arc(0).color, colored.arc(1).color);
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,106 @@
+// Parameterised property sweep of the Appendix-A order over the number of
+// colours d and the word length: Lemma 4's guarantees must hold for every
+// instantiation of the tree T, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "ldlb/order/tree_order.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+using order::bracket;
+using order::concat;
+using order::inverse;
+using order::Letter;
+using order::step;
+using order::TreeCoord;
+using order::tree_less;
+
+using Param = std::tuple<int /*d*/, int /*len*/>;
+
+class OrderProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  TreeCoord random_coord(Rng& rng) {
+    auto [d, len] = GetParam();
+    TreeCoord out;
+    int n = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(len) + 1));
+    for (int i = 0; i < n; ++i) {
+      Letter l = static_cast<Letter>(rng.next_in(1, d));
+      if (rng.next_bool()) l = -l;
+      out = step(std::move(out), l);
+    }
+    return out;
+  }
+};
+
+TEST_P(OrderProperty, GroupLaws) {
+  Rng rng{201};
+  for (int i = 0; i < 150; ++i) {
+    TreeCoord a = random_coord(rng), b = random_coord(rng),
+              c = random_coord(rng);
+    EXPECT_EQ(concat(concat(a, b), c), concat(a, concat(b, c)));
+    EXPECT_TRUE(concat(a, inverse(a)).empty());
+    EXPECT_EQ(concat(a, TreeCoord{}), a);
+  }
+}
+
+TEST_P(OrderProperty, BracketAntisymmetricAndOdd) {
+  Rng rng{202};
+  for (int i = 0; i < 300; ++i) {
+    TreeCoord x = random_coord(rng), y = random_coord(rng);
+    EXPECT_EQ(bracket(x, y), -bracket(y, x));
+    if (x != y) EXPECT_NE(bracket(x, y) % 2, 0);
+  }
+}
+
+TEST_P(OrderProperty, Transitivity) {
+  Rng rng{203};
+  for (int i = 0; i < 600; ++i) {
+    TreeCoord x = random_coord(rng), y = random_coord(rng),
+              z = random_coord(rng);
+    if (x == y || y == z || x == z) continue;
+    if (tree_less(x, y) && tree_less(y, z)) EXPECT_TRUE(tree_less(x, z));
+  }
+}
+
+TEST_P(OrderProperty, HomogeneityUnderAllTranslations) {
+  Rng rng{204};
+  for (int i = 0; i < 300; ++i) {
+    TreeCoord x = random_coord(rng), y = random_coord(rng),
+              t = random_coord(rng);
+    EXPECT_EQ(bracket(x, y), bracket(concat(t, x), concat(t, y)));
+  }
+}
+
+TEST_P(OrderProperty, PathStepsComposeAndInvert) {
+  Rng rng{205};
+  for (int i = 0; i < 200; ++i) {
+    TreeCoord x = random_coord(rng), y = random_coord(rng);
+    auto fwd = order::path_steps(x, y);
+    auto bwd = order::path_steps(y, x);
+    ASSERT_EQ(fwd.size(), bwd.size());
+    for (std::size_t k = 0; k < fwd.size(); ++k) {
+      EXPECT_EQ(fwd[k], -bwd[bwd.size() - 1 - k]);
+    }
+    // |⟦x→y⟧| <= (#edges) + (#interior nodes) = 2m - 1.
+    if (!fwd.empty()) {
+      EXPECT_LE(std::abs(bracket(x, y)),
+                2 * static_cast<std::int64_t>(fwd.size()) - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrderProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(4, 10, 24)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "D" + std::to_string(std::get<0>(info.param)) + "Len" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ldlb

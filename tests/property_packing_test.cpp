@@ -1,0 +1,162 @@
+// Parameterised property sweep: every maximal-FM algorithm × every graph
+// family × several seeds must satisfy the problem invariants —
+// feasibility, maximality, full saturation on loopy inputs, and
+// lift-invariance for the anonymous algorithms.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ldlb/core/sim_ec_po.hpp"
+#include "ldlb/cover/lift.hpp"
+#include "ldlb/cover/loopiness.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/proposal_packing.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/matching/two_phase_packing.hpp"
+
+namespace ldlb {
+namespace {
+
+enum class Algo { kSeqColor, kTwoPhase, kSimulatedPo };
+enum class Family { kPath, kCycle, kStar, kTree, kRandom, kLoopyTree,
+                    kComplete };
+
+std::string algo_name(Algo a) {
+  switch (a) {
+    case Algo::kSeqColor: return "SeqColor";
+    case Algo::kTwoPhase: return "TwoPhase";
+    case Algo::kSimulatedPo: return "SimulatedPo";
+  }
+  return "?";
+}
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kPath: return "Path";
+    case Family::kCycle: return "Cycle";
+    case Family::kStar: return "Star";
+    case Family::kTree: return "Tree";
+    case Family::kRandom: return "Random";
+    case Family::kLoopyTree: return "LoopyTree";
+    case Family::kComplete: return "Complete";
+  }
+  return "?";
+}
+
+Multigraph make_family(Family f, std::uint64_t seed) {
+  Rng rng{seed};
+  switch (f) {
+    case Family::kPath: return greedy_edge_coloring(make_path(9));
+    case Family::kCycle: return greedy_edge_coloring(make_cycle(8));
+    case Family::kStar: return greedy_edge_coloring(make_star(6));
+    case Family::kTree:
+      return greedy_edge_coloring(make_random_tree(14, rng));
+    case Family::kRandom:
+      return greedy_edge_coloring(make_random_graph(14, 0.3, rng));
+    case Family::kLoopyTree: return make_loopy_tree(7, 6, rng);
+    case Family::kComplete: return greedy_edge_coloring(make_complete(6));
+  }
+  return Multigraph{};
+}
+
+using Param = std::tuple<Algo, Family, std::uint64_t>;
+
+class PackingProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  RunResult run_on(const Multigraph& g) {
+    int k = 0;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      k = std::max(k, g.edge(e).color + 1);
+    }
+    switch (std::get<0>(GetParam())) {
+      case Algo::kSeqColor: {
+        SeqColorPacking alg{k};
+        return run_ec(g, alg, k + 1);
+      }
+      case Algo::kTwoPhase: {
+        TwoPhasePacking alg{k};
+        return run_ec(g, alg, 2 * k + 1);
+      }
+      case Algo::kSimulatedPo: {
+        ProposalPacking po;
+        EcFromPo alg{po};
+        return run_ec(g, alg,
+                      proposal_packing_round_budget(g.node_count(),
+                                                    2 * g.edge_count()));
+      }
+    }
+    LDLB_ENSURE(false);
+  }
+};
+
+TEST_P(PackingProperty, OutputIsMaximalFm) {
+  Multigraph g = make_family(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  RunResult r = run_on(g);
+  auto feasible = check_feasible(g, r.matching);
+  EXPECT_TRUE(feasible.ok) << feasible.reason;
+  auto maximal = check_maximal(g, r.matching);
+  EXPECT_TRUE(maximal.ok) << maximal.reason;
+}
+
+TEST_P(PackingProperty, LoopyInputsAreFullySaturated) {
+  // Lemma 2: whenever the input is loopy, every node ends saturated.
+  Multigraph g = make_family(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  if (!g.is_connected()) GTEST_SKIP() << "loopiness needs connectivity";
+  if (loopiness(g) < 1) GTEST_SKIP() << "family not loopy";
+  RunResult r = run_on(g);
+  auto sat = check_fully_saturated(g, r.matching);
+  EXPECT_TRUE(sat.ok) << sat.reason;
+}
+
+TEST_P(PackingProperty, LiftInvariance) {
+  // eq. (2): node outputs pull back along covering maps.
+  Multigraph g = make_family(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  Rng rng{std::get<2>(GetParam()) + 99};
+  Lift lifted = g.is_simple() ? random_permutation_lift(g, 4, rng)
+                              : involution_lift(g, 12);
+  RunResult base = run_on(g);
+  RunResult lift_run = run_on(lifted.graph);
+  for (NodeId v = 0; v < lifted.graph.node_count(); ++v) {
+    NodeId bv = lifted.alpha[static_cast<std::size_t>(v)];
+    for (EdgeId le : lifted.graph.incident_edges(v)) {
+      Color c = lifted.graph.edge(le).color;
+      for (EdgeId be : g.incident_edges(bv)) {
+        if (g.edge(be).color == c) {
+          ASSERT_EQ(lift_run.matching.weight(le), base.matching.weight(be))
+              << "node " << v << " colour " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PackingProperty, WeightsDependOnlyOnViews) {
+  // Determinism: two runs agree exactly (anonymous algorithms are pure
+  // functions of the coloured topology).
+  Multigraph g = make_family(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  RunResult a = run_on(g);
+  RunResult b = run_on(g);
+  EXPECT_TRUE(a.matching == b.matching);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PackingProperty,
+    ::testing::Combine(::testing::Values(Algo::kSeqColor, Algo::kTwoPhase,
+                                         Algo::kSimulatedPo),
+                       ::testing::Values(Family::kPath, Family::kCycle,
+                                         Family::kStar, Family::kTree,
+                                         Family::kRandom, Family::kLoopyTree,
+                                         Family::kComplete),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return algo_name(std::get<0>(info.param)) +
+             family_name(std::get<1>(info.param)) + "Seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,108 @@
+// Unit and property tests for ldlb::Rational.
+#include "ldlb/util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.to_string(), "0");
+}
+
+TEST(Rational, ReducesToLowestTerms) {
+  Rational r{6, 8};
+  EXPECT_EQ(r.num().to_int64(), 3);
+  EXPECT_EQ(r.den().to_int64(), 4);
+  EXPECT_EQ(r.to_string(), "3/4");
+}
+
+TEST(Rational, NormalisesDenominatorSign) {
+  Rational r{1, -2};
+  EXPECT_EQ(r.to_string(), "-1/2");
+  EXPECT_EQ(Rational(-1, -2).to_string(), "1/2");
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), ContractViolation);
+}
+
+TEST(Rational, FromString) {
+  EXPECT_EQ(Rational::from_string("3/4"), Rational(3, 4));
+  EXPECT_EQ(Rational::from_string("-6/8"), Rational(-3, 4));
+  EXPECT_EQ(Rational::from_string("5"), Rational(5));
+}
+
+TEST(Rational, StringRoundTrip) {
+  Rng rng{7};
+  for (int i = 0; i < 500; ++i) {
+    Rational r{rng.next_in(-10000, 10000), rng.next_in(1, 10000)};
+    EXPECT_EQ(Rational::from_string(r.to_string()), r);
+  }
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), ContractViolation);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_EQ(Rational::min(Rational(2, 5), Rational(3, 7)), Rational(2, 5));
+  EXPECT_EQ(Rational::max(Rational(2, 5), Rational(3, 7)), Rational(3, 7));
+}
+
+TEST(Rational, FieldAxiomsRandomised) {
+  Rng rng{42};
+  auto rand_rat = [&] {
+    return Rational{rng.next_in(-50, 50), rng.next_in(1, 50)};
+  };
+  for (int i = 0; i < 500; ++i) {
+    Rational a = rand_rat(), b = rand_rat(), c = rand_rat();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!a.is_zero()) EXPECT_EQ(a / a, Rational(1));
+  }
+}
+
+// Repeated halving — the weight pattern the packing algorithms produce —
+// stays exact far beyond double precision.
+TEST(Rational, DeepDyadicsStayExact) {
+  Rational r{1};
+  for (int i = 0; i < 200; ++i) r *= Rational(1, 2);
+  Rational back = r;
+  for (int i = 0; i < 200; ++i) back *= Rational(2);
+  EXPECT_EQ(back, Rational(1));
+  EXPECT_EQ(r.den(), BigInt::pow2(200));
+}
+
+TEST(Rational, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-3, 4).to_double(), -0.75);
+  EXPECT_NEAR(Rational(1, 3).to_double(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Rational, HashConsistentWithEquality) {
+  EXPECT_EQ(Rational(2, 4).hash(), Rational(1, 2).hash());
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,141 @@
+// Tests for the O(Δ)-round EC-model maximal fractional matching algorithm.
+#include "ldlb/matching/seq_color_packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/cover/lift.hpp"
+#include "ldlb/cover/loopiness.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+
+namespace ldlb {
+namespace {
+
+RunResult run_packing(const Multigraph& g) {
+  int k = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    k = std::max(k, g.edge(e).color + 1);
+  }
+  SeqColorPacking alg{k};
+  return run_ec(g, alg, k + 1);
+}
+
+TEST(SeqColorPacking, SingleEdgeGetsFullWeight) {
+  Multigraph g(2);
+  g.add_edge(0, 1, 0);
+  RunResult r = run_packing(g);
+  EXPECT_EQ(r.matching.weight(0), Rational(1));
+  EXPECT_TRUE(check_maximal(g, r.matching).ok);
+  EXPECT_EQ(r.rounds, 1);
+}
+
+TEST(SeqColorPacking, LoopSaturatesItsNode) {
+  // Lemma 2 in action: the loop takes the node's full residual.
+  Multigraph g = make_loop_star(1);
+  RunResult r = run_packing(g);
+  EXPECT_EQ(r.matching.weight(0), Rational(1));
+  EXPECT_TRUE(check_fully_saturated(g, r.matching).ok);
+}
+
+TEST(SeqColorPacking, BaseCaseStarFirstLoopWins) {
+  // On G_0 the colour-0 loop is processed first and takes the whole
+  // residual; the rest get zero.
+  Multigraph g = make_loop_star(4);
+  RunResult r = run_packing(g);
+  EXPECT_EQ(r.matching.weight(0), Rational(1));
+  for (EdgeId e = 1; e < 4; ++e) EXPECT_EQ(r.matching.weight(e), Rational(0));
+}
+
+TEST(SeqColorPacking, PathProducesMaximalFm) {
+  Multigraph g = greedy_edge_coloring(make_path(7));
+  RunResult r = run_packing(g);
+  EXPECT_TRUE(check_maximal(g, r.matching).ok)
+      << check_maximal(g, r.matching).reason;
+}
+
+TEST(SeqColorPacking, RoundsEqualColourSpan) {
+  Multigraph g = greedy_edge_coloring(make_complete(6));
+  RunResult r = run_packing(g);
+  EXPECT_TRUE(check_maximal(g, r.matching).ok);
+  // Greedy colouring of K6 uses colours 0..k-1; runtime is the number of
+  // colour rounds — the O(Δ) upper bound Theorem 1 matches.
+  EXPECT_EQ(r.rounds, colors_used(g));
+}
+
+TEST(SeqColorPacking, MaximalOnManyGraphFamilies) {
+  Rng rng{77};
+  std::vector<Multigraph> graphs;
+  graphs.push_back(greedy_edge_coloring(make_cycle(9)));
+  graphs.push_back(greedy_edge_coloring(make_star(6)));
+  graphs.push_back(greedy_edge_coloring(make_complete_bipartite(3, 5)));
+  graphs.push_back(greedy_edge_coloring(make_perfect_tree(3, 3)));
+  for (int i = 0; i < 10; ++i) {
+    graphs.push_back(
+        greedy_edge_coloring(make_random_graph(20, 0.2, rng)));
+    graphs.push_back(greedy_edge_coloring(make_random_tree(25, rng)));
+    graphs.push_back(make_loopy_tree(8, 6, rng));
+  }
+  for (const auto& g : graphs) {
+    RunResult r = run_packing(g);
+    auto check = check_maximal(g, r.matching);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(SeqColorPacking, FullySaturatesLoopyGraphs) {
+  // Lemma 2: on loopy EC graphs every node must end up saturated.
+  Rng rng{5};
+  for (int i = 0; i < 8; ++i) {
+    Multigraph g = make_loopy_tree(10, 7, rng);
+    ASSERT_GE(loopiness(g), 1);
+    RunResult r = run_packing(g);
+    auto check = check_fully_saturated(g, r.matching);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(SeqColorPacking, LiftInvariance) {
+  // eq. (2): running on a lift gives the pulled-back output. This is the
+  // property the adversary exploits.
+  Rng rng{6};
+  for (int trial = 0; trial < 6; ++trial) {
+    Multigraph g = make_loopy_tree(6, 5, rng);
+    // Up to 4 loops per node, so an involution lift needs k >= 8.
+    Lift lifted = involution_lift(g, 8);
+    RunResult base = run_packing(g);
+    RunResult lift_run = run_packing(lifted.graph);
+    // Compare weights end-by-end through the covering map: for each lifted
+    // node and colour, the incident edge weight equals the base weight.
+    for (NodeId v = 0; v < lifted.graph.node_count(); ++v) {
+      NodeId bv = lifted.alpha[static_cast<std::size_t>(v)];
+      for (EdgeId le : lifted.graph.incident_edges(v)) {
+        Color c = lifted.graph.edge(le).color;
+        // Find the base edge of the same colour at bv.
+        for (EdgeId be : g.incident_edges(bv)) {
+          if (g.edge(be).color == c) {
+            EXPECT_EQ(lift_run.matching.weight(le), base.matching.weight(be))
+                << "node " << v << " colour " << c;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SeqColorPacking, WeightsAreDyadicRationals) {
+  // min() operations on residuals starting from 1 keep weights dyadic-free
+  // of surprises; verify they are valid rationals in [0,1] with denominator
+  // a product of small primes (sanity of exact arithmetic plumbing).
+  Rng rng{8};
+  Multigraph g = greedy_edge_coloring(make_random_graph(15, 0.3, rng));
+  RunResult r = run_packing(g);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_GE(r.matching.weight(e).sign(), 0);
+    EXPECT_LE(r.matching.weight(e), Rational(1));
+  }
+}
+
+}  // namespace
+}  // namespace ldlb

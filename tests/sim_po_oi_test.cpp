@@ -1,0 +1,135 @@
+// Tests for the PO ⇐ OI simulation (Section 5.3): the rank-seeded OI
+// algorithm, the per-view simulation, and agreement with a global reference
+// run.
+#include "ldlb/core/sim_po_oi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+std::vector<int> identity_ranks(NodeId n) {
+  std::vector<int> r(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) r[static_cast<std::size_t>(v)] = v;
+  return r;
+}
+
+TEST(RankSeededPacking, MutualMinMatchesGloballyMinimalPair) {
+  // Path 0-1-2 with ranks 0,1,2: node 0 and node 1 point at each other
+  // (0 is globally minimal), so edge {0,1} gets weight 1 in phase 0; the
+  // proposal phase then leaves {1,2} at 0 (node 1 saturated).
+  Multigraph g = make_path(3);
+  FractionalMatching y = rank_seeded_packing(g, identity_ranks(3), 2);
+  EXPECT_EQ(y.weight(0), Rational(1));
+  EXPECT_EQ(y.weight(1), Rational(0));
+  EXPECT_TRUE(check_maximal(g, y).ok);
+}
+
+TEST(RankSeededPacking, RankOrderChangesTheResult) {
+  // Same path, ranks 1,2,0: now 1 and 2 are mutual minima.
+  Multigraph g = make_path(3);
+  FractionalMatching y = rank_seeded_packing(g, {1, 2, 0}, 2);
+  EXPECT_EQ(y.weight(0), Rational(0));
+  EXPECT_EQ(y.weight(1), Rational(1));
+}
+
+TEST(RankSeededPacking, MaximalOnRandomGraphsWithEnoughPhases) {
+  Rng rng{41};
+  for (int trial = 0; trial < 12; ++trial) {
+    Multigraph g = make_random_graph(12, 0.3, rng);
+    std::vector<int> ranks = identity_ranks(g.node_count());
+    rng.shuffle(ranks);
+    FractionalMatching y =
+        rank_seeded_packing(g, ranks, 4 * (g.node_count() + g.edge_count()));
+    auto check = check_maximal(g, y);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(RankSeededPacking, FeasibleAtEveryTruncation) {
+  // Intermediate states are feasible FMs (weights only grow toward 1).
+  Rng rng{42};
+  Multigraph g = make_random_graph(10, 0.4, rng);
+  std::vector<int> ranks = identity_ranks(g.node_count());
+  for (int phases = 0; phases < 6; ++phases) {
+    FractionalMatching y = rank_seeded_packing(g, ranks, phases);
+    EXPECT_TRUE(check_feasible(g, y).ok);
+  }
+}
+
+TEST(SimPoOi, DirectedCycleViaOiSimulation) {
+  // The OI simulation must produce a consistent maximal FM on directed
+  // cycles — the canonical symmetric instances.
+  for (NodeId n : {3, 5, 8}) {
+    Digraph g = make_directed_cycle(n);
+    RankSeededPacking aoi{4};
+    FractionalMatching y = simulate_oi_on_po(g, aoi);
+    auto check = check_maximal(g, y);
+    EXPECT_TRUE(check.ok) << "n=" << n << ": " << check.reason;
+  }
+}
+
+TEST(SimPoOi, ConvergedPhasesGiveMaximalOnSmallPoGraphs) {
+  Rng rng{43};
+  for (int trial = 0; trial < 6; ++trial) {
+    Digraph g = make_random_po_graph(7, 0.35, rng);
+    if (g.max_degree() > 4) continue;  // keep view sizes tame
+    RankSeededPacking aoi{6};
+    FractionalMatching y = simulate_oi_on_po(g, aoi);
+    EXPECT_TRUE(check_feasible(g, y).ok);
+    auto check = check_maximal(g, y);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(SimPoOi, DirectedLoopGetsConsistentWeight) {
+  // One directed loop: the per-view outputs of the two ends must agree
+  // (the paper's UG argument); the node is saturated by the unrolled line.
+  Digraph g = make_directed_cycle(1);
+  RankSeededPacking aoi{4};
+  FractionalMatching y = simulate_oi_on_po(g, aoi);
+  EXPECT_TRUE(check_feasible(g, y).ok);
+  auto check = check_maximal(g, y);
+  EXPECT_TRUE(check.ok) << check.reason;
+}
+
+TEST(SimPoOi, MatchesGlobalReferenceRunOnTrees) {
+  // On a tree G, UG = G, so the per-view simulation must reproduce the
+  // global rank-seeded run under the same (canonical) order. We check
+  // output feasibility + maximality rather than exact equality because the
+  // canonical order on the views differs from an arbitrary global ranking.
+  Rng rng{44};
+  for (int trial = 0; trial < 6; ++trial) {
+    Multigraph tree = make_random_tree(8, rng);
+    Digraph g(tree.node_count());
+    for (EdgeId e = 0; e < tree.edge_count(); ++e) {
+      g.add_arc(tree.edge(e).u, tree.edge(e).v, 0);
+    }
+    // Make the colouring PO-proper.
+    Digraph colored(g.node_count());
+    {
+      std::vector<int> out_used(static_cast<std::size_t>(g.node_count()), 0);
+      std::vector<int> in_used(static_cast<std::size_t>(g.node_count()), 0);
+      for (EdgeId a = 0; a < g.arc_count(); ++a) {
+        const auto& arc = g.arc(a);
+        Color c = std::max(out_used[static_cast<std::size_t>(arc.tail)],
+                           in_used[static_cast<std::size_t>(arc.head)]);
+        colored.add_arc(arc.tail, arc.head, c);
+        out_used[static_cast<std::size_t>(arc.tail)] = c + 1;
+        in_used[static_cast<std::size_t>(arc.head)] = c + 1;
+      }
+    }
+    ASSERT_TRUE(colored.has_proper_po_coloring());
+    RankSeededPacking aoi{8};
+    FractionalMatching y = simulate_oi_on_po(colored, aoi);
+    auto check = check_maximal(colored, y);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,89 @@
+// Cross-cutting properties of the Section-5 simulations: round preservation
+// of the EC ⇐ PO wrapper, message accounting, and the doubling relation
+// between native and simulated runs.
+#include <gtest/gtest.h>
+
+#include "ldlb/core/sim_ec_oi.hpp"
+#include "ldlb/core/sim_ec_po.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/proposal_packing.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(SimulationPreservation, EcFromPoPreservesRoundsExactly) {
+  // §5.1 claims the simulation is run-time preserving: running the PO
+  // algorithm natively on the doubled digraph takes exactly as many rounds
+  // as running the wrapper on the EC graph.
+  Rng rng{161};
+  for (int trial = 0; trial < 8; ++trial) {
+    Multigraph g = greedy_edge_coloring(make_random_graph(12, 0.3, rng));
+    DoubledGraph doubled = double_ec_graph(g);
+
+    ProposalPacking po_native;
+    RunResult native = run_po(
+        doubled.digraph, po_native,
+        proposal_packing_round_budget(g.node_count(), 2 * g.edge_count()));
+
+    ProposalPacking po_inner;
+    EcFromPo wrapped{po_inner};
+    RunResult simulated = run_ec(
+        g, wrapped,
+        proposal_packing_round_budget(g.node_count(), 2 * g.edge_count()));
+
+    EXPECT_EQ(native.rounds, simulated.rounds);
+    // And the outputs fold identically: y_EC(e) = y(a1) + y(a2).
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      auto [a1, a2] = doubled.arc_of_edge[static_cast<std::size_t>(e)];
+      Rational folded = native.matching.weight(a1);
+      folded += a2 == kNoEdge ? native.matching.weight(a1)
+                              : native.matching.weight(a2);
+      EXPECT_EQ(simulated.matching.weight(e), folded) << "edge " << e;
+    }
+  }
+}
+
+TEST(SimulationPreservation, MessageBytesAccounted) {
+  Multigraph g = greedy_edge_coloring(make_path(4));
+  SeqColorPacking alg{colors_used(g)};
+  RunResult r = run_ec(g, alg, 10);
+  EXPECT_GT(r.messages, 0);
+  EXPECT_GT(r.message_bytes, 0);
+  // Residuals are tiny decimal strings here; bytes stay small per message.
+  EXPECT_LE(r.message_bytes, r.messages * 16);
+}
+
+TEST(SimulationPreservation, WrapperMessagesCarryBothHalves) {
+  // The wrapper packs the (out, in) pair into one EC message, so the EC
+  // message count is at most the native PO count (two directions share a
+  // packet) while bytes grow by the framing.
+  Rng rng{162};
+  Multigraph g = greedy_edge_coloring(make_cycle(8));
+  DoubledGraph doubled = double_ec_graph(g);
+
+  ProposalPacking po_native;
+  RunResult native = run_po(doubled.digraph, po_native, 100);
+  ProposalPacking po_inner;
+  EcFromPo wrapped{po_inner};
+  RunResult simulated = run_ec(g, wrapped, 100);
+  EXPECT_LE(simulated.messages, native.messages);
+}
+
+TEST(SimulationPreservation, DoublingDegreeRelation) {
+  // §5.5 bookkeeping: an EC graph of max degree d yields a PO graph of max
+  // degree 2d (every end becomes an out-end plus an in-end).
+  Rng rng{163};
+  for (int trial = 0; trial < 6; ++trial) {
+    Multigraph g = greedy_edge_coloring(make_random_graph(10, 0.4, rng));
+    DoubledGraph doubled = double_ec_graph(g);
+    EXPECT_EQ(doubled.digraph.max_degree(), 2 * g.max_degree());
+  }
+}
+
+}  // namespace
+}  // namespace ldlb

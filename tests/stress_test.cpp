@@ -1,0 +1,103 @@
+// Randomised end-to-end stress: many seeds × random multigraphs through
+// the full pipeline (colouring → algorithm → checker → cover machinery),
+// asserting the cross-cutting invariants that tie the modules together.
+#include <gtest/gtest.h>
+
+#include "ldlb/cover/factor_graph.hpp"
+#include "ldlb/cover/lift.hpp"
+#include "ldlb/cover/universal_cover.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/view/ball.hpp"
+#include "ldlb/view/isomorphism.hpp"
+
+namespace ldlb {
+namespace {
+
+class StressSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+// A random multigraph with loops and parallels (the full generality of the
+// paper's graph class).
+Multigraph random_multigraph(Rng& rng) {
+  NodeId n = static_cast<NodeId>(rng.next_in(1, 12));
+  Multigraph g(n);
+  int extra = static_cast<int>(rng.next_in(0, 3 * n));
+  for (int i = 0; i < extra; ++i) {
+    NodeId u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    g.add_edge(u, v);  // may be loop or parallel
+  }
+  return greedy_edge_coloring(g);
+}
+
+TEST_P(StressSeed, PackingPipelineInvariants) {
+  Rng rng{GetParam()};
+  for (int trial = 0; trial < 10; ++trial) {
+    Multigraph g = random_multigraph(rng);
+    int k = 0;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      k = std::max(k, g.edge(e).color + 1);
+    }
+    SeqColorPacking alg{k};
+    RunResult r = run_ec(g, alg, k + 1);
+    // Core invariant: maximal FM, always.
+    auto maximal = check_maximal(g, r.matching);
+    ASSERT_TRUE(maximal.ok) << maximal.reason << "\n" << g.to_string();
+    // Rounds bounded by the colour count.
+    EXPECT_LE(r.rounds, k);
+    // Messages: at most 2 per edge-end pair per round.
+    EXPECT_LE(r.messages, 2ll * g.edge_count() * std::max(r.rounds, 1));
+  }
+}
+
+TEST_P(StressSeed, CoverMachineryInvariants) {
+  Rng rng{GetParam() + 1000};
+  for (int trial = 0; trial < 6; ++trial) {
+    Multigraph g = random_multigraph(rng);
+    if (!g.is_connected() || g.node_count() < 1) continue;
+    // Factor graph is a quotient: never larger, and idempotent.
+    FactorGraph fg = factor_graph(g);
+    EXPECT_LE(fg.graph.node_count(), g.node_count());
+    FactorGraph fg2 = factor_graph(fg.graph);
+    EXPECT_EQ(fg2.graph.node_count(), fg.graph.node_count());
+    // Universal cover views of g and of FG(g) around corresponding roots
+    // are isomorphic (both are views of the same tree).
+    ViewTree vg = universal_cover_view(g, 0, 3);
+    ViewTree vf = universal_cover_view(
+        fg.graph, fg.class_of[0], 3);
+    EXPECT_TRUE(rooted_isomorphic(vg.to_multigraph(), 0, vf.to_multigraph(),
+                                  0))
+        << g.to_string();
+  }
+}
+
+TEST_P(StressSeed, BallsOfLiftsMatchBase) {
+  // τ_t around a lifted node is isomorphic to τ_t around its image when t
+  // is below the lift's girth-ish horizon; here we use the view-tree form
+  // which is always safe.
+  Rng rng{GetParam() + 2000};
+  for (int trial = 0; trial < 5; ++trial) {
+    Multigraph g = random_multigraph(rng);
+    if (!g.is_connected()) continue;
+    if (!g.is_simple()) continue;  // permutation lifts need simple bases
+    Lift lifted = random_permutation_lift(g, 3, rng);
+    ViewTree base_view = universal_cover_view(g, 0, 3);
+    // Every preimage of node 0 has the same view.
+    for (NodeId v = 0; v < lifted.graph.node_count(); ++v) {
+      if (lifted.alpha[static_cast<std::size_t>(v)] != 0) continue;
+      ViewTree lift_view = universal_cover_view(lifted.graph, v, 3);
+      ASSERT_TRUE(rooted_isomorphic(base_view.to_multigraph(), 0,
+                                    lift_view.to_multigraph(), 0));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeed,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,211 @@
+// Property tests for the homogeneous linear order on the infinite coloured
+// tree (Appendix A / Lemma 4) and its view embeddings.
+#include "ldlb/order/tree_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ldlb/cover/universal_cover.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/order/embed.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+using order::bracket;
+using order::concat;
+using order::inverse;
+using order::Letter;
+using order::path_steps;
+using order::step;
+using order::TreeCoord;
+using order::tree_less;
+
+// Random reduced word over d colours, length up to `len`.
+TreeCoord random_coord(Rng& rng, int d, int len) {
+  TreeCoord out;
+  int n = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(len + 1)));
+  for (int i = 0; i < n; ++i) {
+    Letter l = static_cast<Letter>(rng.next_in(1, d));
+    if (rng.next_bool()) l = -l;
+    out = step(std::move(out), l);
+  }
+  return out;
+}
+
+TEST(TreeOrder, StepReducesBacktracks) {
+  TreeCoord w = step({}, 1);
+  w = step(w, 2);
+  w = step(w, -2);
+  EXPECT_EQ(w, (TreeCoord{1}));
+  w = step(w, -1);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TreeOrder, ConcatInverseIsIdentity) {
+  Rng rng{11};
+  for (int i = 0; i < 200; ++i) {
+    TreeCoord a = random_coord(rng, 3, 8);
+    EXPECT_TRUE(concat(a, inverse(a)).empty()) << order::to_string(a);
+    EXPECT_TRUE(concat(inverse(a), a).empty());
+  }
+}
+
+TEST(TreeOrder, PathStepsConnectsEndpoints) {
+  Rng rng{12};
+  for (int i = 0; i < 200; ++i) {
+    TreeCoord x = random_coord(rng, 3, 8);
+    TreeCoord y = random_coord(rng, 3, 8);
+    TreeCoord cur = x;
+    for (Letter l : path_steps(x, y)) cur = step(std::move(cur), l);
+    EXPECT_EQ(cur, y);
+  }
+}
+
+TEST(TreeOrder, BracketOfSelfIsZero) {
+  Rng rng{13};
+  for (int i = 0; i < 50; ++i) {
+    TreeCoord x = random_coord(rng, 4, 6);
+    EXPECT_EQ(bracket(x, x), 0);
+  }
+}
+
+TEST(TreeOrder, BracketAntisymmetric) {
+  // ⟦x→y⟧ = −⟦y→x⟧ (Appendix A.2, antisymmetry).
+  Rng rng{14};
+  for (int i = 0; i < 500; ++i) {
+    TreeCoord x = random_coord(rng, 3, 8);
+    TreeCoord y = random_coord(rng, 3, 8);
+    EXPECT_EQ(bracket(x, y), -bracket(y, x));
+  }
+}
+
+TEST(TreeOrder, BracketIsOddForDistinctNodes) {
+  // Appendix A.2: the edge sum is odd iff the node sum is even, so ⟦x→y⟧ is
+  // odd — in particular non-zero, giving totality.
+  Rng rng{15};
+  for (int i = 0; i < 500; ++i) {
+    TreeCoord x = random_coord(rng, 3, 8);
+    TreeCoord y = random_coord(rng, 3, 8);
+    if (x == y) continue;
+    EXPECT_NE(bracket(x, y) % 2, 0)
+        << order::to_string(x) << " vs " << order::to_string(y);
+  }
+}
+
+TEST(TreeOrder, Transitive) {
+  // The Appendix A.2 transitivity argument, checked exhaustively on random
+  // triples.
+  Rng rng{16};
+  for (int i = 0; i < 2000; ++i) {
+    TreeCoord x = random_coord(rng, 2, 6);
+    TreeCoord y = random_coord(rng, 2, 6);
+    TreeCoord z = random_coord(rng, 2, 6);
+    if (x == y || y == z || x == z) continue;
+    if (tree_less(x, y) && tree_less(y, z)) {
+      EXPECT_TRUE(tree_less(x, z))
+          << order::to_string(x) << " " << order::to_string(y) << " "
+          << order::to_string(z);
+    }
+  }
+}
+
+TEST(TreeOrder, HomogeneousUnderTranslation) {
+  // Lemma 4: left translation preserves the order — the bracket depends
+  // only on the step sequence of the path.
+  Rng rng{17};
+  for (int i = 0; i < 500; ++i) {
+    TreeCoord x = random_coord(rng, 3, 7);
+    TreeCoord y = random_coord(rng, 3, 7);
+    TreeCoord z = random_coord(rng, 3, 7);  // the translation
+    EXPECT_EQ(bracket(x, y), bracket(concat(z, x), concat(z, y)));
+  }
+}
+
+TEST(TreeOrder, StrictTotalOrderOnSamples) {
+  // Irreflexive, total, antisymmetric on a sample set — usable as a
+  // comparator.
+  Rng rng{18};
+  std::set<TreeCoord> sample;
+  for (int i = 0; i < 60; ++i) sample.insert(random_coord(rng, 2, 5));
+  for (const auto& a : sample) {
+    EXPECT_FALSE(tree_less(a, a));
+    for (const auto& b : sample) {
+      if (a == b) continue;
+      EXPECT_NE(tree_less(a, b), tree_less(b, a));
+    }
+  }
+}
+
+TEST(Embed, CoordsFollowArcColoursAndDirections) {
+  // A 2-node digraph 0 -> 1 (colour 0): from node 0 the child via the
+  // forward arc has coordinate (+1); from node 1 the child via the backward
+  // arc has coordinate (-1).
+  Digraph g(2);
+  g.add_arc(0, 1, 0);
+  DiViewTree from_tail = universal_cover_view(g, 0, 1);
+  auto coords = order::embed_view(from_tail);
+  ASSERT_EQ(coords.size(), 2u);
+  EXPECT_EQ(coords[1], (TreeCoord{1}));
+  DiViewTree from_head = universal_cover_view(g, 1, 1);
+  coords = order::embed_view(from_head);
+  ASSERT_EQ(coords.size(), 2u);
+  EXPECT_EQ(coords[1], (TreeCoord{-1}));
+}
+
+TEST(Embed, ViewCoordsAreDistinct) {
+  Rng rng{19};
+  Digraph g = make_random_po_graph(10, 0.4, rng);
+  if (g.node_count() == 0) GTEST_SKIP();
+  DiViewTree view = universal_cover_view(g, 0, 4);
+  auto coords = order::embed_view(view);
+  std::set<TreeCoord> unique(coords.begin(), coords.end());
+  EXPECT_EQ(unique.size(), coords.size());
+}
+
+TEST(Embed, RanksArePermutation) {
+  Rng rng{20};
+  Digraph g = make_random_po_graph(8, 0.4, rng);
+  DiViewTree view = universal_cover_view(g, 0, 3);
+  auto ranks = order::canonical_ranks(view);
+  std::set<int> seen(ranks.begin(), ranks.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), view.size());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), view.size() - 1);
+}
+
+TEST(Embed, RanksInvariantUnderEmbeddingOrigin) {
+  // Lemma 4's purpose: the ordered view does not depend on where the root
+  // was placed in T. Re-embed at random origins and compare induced orders.
+  Rng rng{21};
+  Digraph g = make_random_po_graph(8, 0.4, rng);
+  DiViewTree view = universal_cover_view(g, 0, 3);
+  auto base_coords = order::embed_view(view);
+  for (int trial = 0; trial < 10; ++trial) {
+    TreeCoord origin = random_coord(rng, 6, 6);
+    auto moved = order::embed_view(view, origin);
+    for (std::size_t a = 0; a < moved.size(); ++a) {
+      for (std::size_t b = 0; b < moved.size(); ++b) {
+        if (a == b) continue;
+        EXPECT_EQ(tree_less(base_coords[a], base_coords[b]),
+                  tree_less(moved[a], moved[b]));
+      }
+    }
+  }
+}
+
+TEST(Embed, DirectedLoopUnrollsIntoOrderedLine) {
+  // A single directed loop: the view is a path ... -> v -> v -> ...; its
+  // coordinates are powers of g_1 and the order must be total on them.
+  Digraph g = make_directed_cycle(1);
+  DiViewTree view = universal_cover_view(g, 0, 4);
+  EXPECT_EQ(view.size(), 9);  // root + 4 forward + 4 backward
+  auto ranks = order::canonical_ranks(view);
+  std::set<int> seen(ranks.begin(), ranks.end());
+  EXPECT_EQ(seen.size(), ranks.size());
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,92 @@
+// Tests for the fractional two-phase EC packing, including the adversary
+// run against it (fractional disagreement traces).
+#include "ldlb/matching/two_phase_packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/core/adversary.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+
+namespace ldlb {
+namespace {
+
+RunResult run_two_phase(const Multigraph& g) {
+  int k = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    k = std::max(k, g.edge(e).color + 1);
+  }
+  TwoPhasePacking alg{k};
+  return run_ec(g, alg, 2 * k + 1);
+}
+
+TEST(TwoPhasePacking, SingleEdgeFullWeightInTwoSweeps) {
+  Multigraph g(2);
+  g.add_edge(0, 1, 0);
+  RunResult r = run_two_phase(g);
+  // Sweep 1: 1/2; sweep 2: min(1/2, 1/2) more = 1.
+  EXPECT_EQ(r.matching.weight(0), Rational(1));
+  EXPECT_EQ(r.rounds, 2);
+}
+
+TEST(TwoPhasePacking, ProducesGenuinelyFractionalWeights) {
+  Multigraph g = greedy_edge_coloring(make_path(4));
+  RunResult r = run_two_phase(g);
+  EXPECT_TRUE(check_maximal(g, r.matching).ok);
+  bool fractional = false;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (r.matching.weight(e) != Rational(0) &&
+        r.matching.weight(e) != Rational(1)) {
+      fractional = true;
+    }
+  }
+  EXPECT_TRUE(fractional);
+}
+
+TEST(TwoPhasePacking, MaximalAcrossFamilies) {
+  Rng rng{111};
+  std::vector<Multigraph> graphs;
+  graphs.push_back(greedy_edge_coloring(make_cycle(8)));
+  graphs.push_back(greedy_edge_coloring(make_complete(5)));
+  for (int i = 0; i < 8; ++i) {
+    graphs.push_back(greedy_edge_coloring(make_random_graph(15, 0.3, rng)));
+    graphs.push_back(make_loopy_tree(7, 6, rng));
+  }
+  for (const auto& g : graphs) {
+    RunResult r = run_two_phase(g);
+    auto check = check_maximal(g, r.matching);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(TwoPhasePacking, SaturatesLoopyGraphs) {
+  Rng rng{112};
+  for (int i = 0; i < 5; ++i) {
+    Multigraph g = make_loopy_tree(6, 5, rng);
+    RunResult r = run_two_phase(g);
+    EXPECT_TRUE(check_fully_saturated(g, r.matching).ok);
+  }
+}
+
+TEST(TwoPhasePacking, AdversaryDefeatsItWithFractionalTraces) {
+  for (int delta : {3, 4, 5, 6}) {
+    TwoPhasePacking alg{delta};
+    LowerBoundCertificate cert = run_adversary(alg, delta);
+    EXPECT_EQ(cert.certified_radius(), delta - 2);
+    EXPECT_TRUE(certificate_is_valid(cert, alg, /*check_loopiness=*/false));
+    // The base case's disagreeing weights are non-integral (the removed
+    // loop absorbed only part of the residual in sweep 1).
+    bool fractional_witness = false;
+    for (const auto& lv : cert.levels) {
+      if (lv.g_weight != Rational(0) && lv.g_weight != Rational(1)) {
+        fractional_witness = true;
+      }
+    }
+    EXPECT_TRUE(fractional_witness) << "delta=" << delta;
+  }
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -1,0 +1,103 @@
+// Tests for the utility layer: deterministic RNG and contract macros.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng{7};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng{8};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.next_in(5, 5), 5);
+  EXPECT_THROW(rng.next_in(2, 1), ContractViolation);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{10};
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng{11};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent{12};
+  Rng child = parent.split();
+  // The child stream should not replay the parent's outputs.
+  Rng parent2{12};
+  parent2.split();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Contracts, RequireThrowsWithLocation) {
+  try {
+    LDLB_REQUIRE_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsurePassesSilently) {
+  LDLB_ENSURE(2 + 2 == 4);
+  LDLB_REQUIRE(true);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ldlb
