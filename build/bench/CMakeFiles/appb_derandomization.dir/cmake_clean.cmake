@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appb_derandomization.dir/appb_derandomization.cpp.o"
+  "CMakeFiles/appb_derandomization.dir/appb_derandomization.cpp.o.d"
+  "appb_derandomization"
+  "appb_derandomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appb_derandomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appb_derandomization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_factor_graph.dir/fig3_factor_graph.cpp.o"
+  "CMakeFiles/fig3_factor_graph.dir/fig3_factor_graph.cpp.o.d"
+  "fig3_factor_graph"
+  "fig3_factor_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_factor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_base_case.dir/fig5_base_case.cpp.o"
+  "CMakeFiles/fig5_base_case.dir/fig5_base_case.cpp.o.d"
+  "fig5_base_case"
+  "fig5_base_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_base_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_unfold_mix.dir/fig6_unfold_mix.cpp.o"
+  "CMakeFiles/fig6_unfold_mix.dir/fig6_unfold_mix.cpp.o.d"
+  "fig6_unfold_mix"
+  "fig6_unfold_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_unfold_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ec_po.dir/fig8_ec_po.cpp.o"
+  "CMakeFiles/fig8_ec_po.dir/fig8_ec_po.cpp.o.d"
+  "fig8_ec_po"
+  "fig8_ec_po.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ec_po.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_po_oi.dir/fig9_po_oi.cpp.o"
+  "CMakeFiles/fig9_po_oi.dir/fig9_po_oi.cpp.o.d"
+  "fig9_po_oi"
+  "fig9_po_oi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_po_oi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_po_oi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_information.dir/full_information.cpp.o"
+  "CMakeFiles/full_information.dir/full_information.cpp.o.d"
+  "full_information"
+  "full_information.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

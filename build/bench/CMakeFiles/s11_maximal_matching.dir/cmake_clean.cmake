@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s11_maximal_matching.dir/s11_maximal_matching.cpp.o"
+  "CMakeFiles/s11_maximal_matching.dir/s11_maximal_matching.cpp.o.d"
+  "s11_maximal_matching"
+  "s11_maximal_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s11_maximal_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s12_approximation.dir/s12_approximation.cpp.o"
+  "CMakeFiles/s12_approximation.dir/s12_approximation.cpp.o.d"
+  "s12_approximation"
+  "s12_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s12_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

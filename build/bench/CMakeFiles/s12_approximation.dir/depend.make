@@ -1,0 +1,2 @@
+# Empty dependencies file for s12_approximation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm1_linear_in_delta.dir/thm1_linear_in_delta.cpp.o"
+  "CMakeFiles/thm1_linear_in_delta.dir/thm1_linear_in_delta.cpp.o.d"
+  "thm1_linear_in_delta"
+  "thm1_linear_in_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm1_linear_in_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

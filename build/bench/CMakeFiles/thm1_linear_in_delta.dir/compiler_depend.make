@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thm1_linear_in_delta.
+# This may be replaced when dependencies are built.

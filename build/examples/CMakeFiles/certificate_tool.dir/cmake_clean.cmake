@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certificate_tool.dir/certificate_tool.cpp.o"
+  "CMakeFiles/certificate_tool.dir/certificate_tool.cpp.o.d"
+  "certificate_tool"
+  "certificate_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certificate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

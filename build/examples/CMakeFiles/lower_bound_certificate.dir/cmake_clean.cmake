@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_certificate.dir/lower_bound_certificate.cpp.o"
+  "CMakeFiles/lower_bound_certificate.dir/lower_bound_certificate.cpp.o.d"
+  "lower_bound_certificate"
+  "lower_bound_certificate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_certificate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_pipeline.dir/simulation_pipeline.cpp.o"
+  "CMakeFiles/simulation_pipeline.dir/simulation_pipeline.cpp.o.d"
+  "simulation_pipeline"
+  "simulation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

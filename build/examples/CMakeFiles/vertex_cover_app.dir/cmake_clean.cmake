@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_cover_app.dir/vertex_cover_app.cpp.o"
+  "CMakeFiles/vertex_cover_app.dir/vertex_cover_app.cpp.o.d"
+  "vertex_cover_app"
+  "vertex_cover_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_cover_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ldlb/core/adversary.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/adversary.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/adversary.cpp.o.d"
+  "/root/repo/src/ldlb/core/base_case.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/base_case.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/base_case.cpp.o.d"
+  "/root/repo/src/ldlb/core/certificate.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/certificate.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/certificate.cpp.o.d"
+  "/root/repo/src/ldlb/core/certificate_io.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/certificate_io.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/certificate_io.cpp.o.d"
+  "/root/repo/src/ldlb/core/derandomize.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/derandomize.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/derandomize.cpp.o.d"
+  "/root/repo/src/ldlb/core/locality_audit.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/locality_audit.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/locality_audit.cpp.o.d"
+  "/root/repo/src/ldlb/core/propagation.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/propagation.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/propagation.cpp.o.d"
+  "/root/repo/src/ldlb/core/sim_ec_oi.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/sim_ec_oi.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/sim_ec_oi.cpp.o.d"
+  "/root/repo/src/ldlb/core/sim_ec_po.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/sim_ec_po.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/sim_ec_po.cpp.o.d"
+  "/root/repo/src/ldlb/core/sim_oi_id.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/sim_oi_id.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/sim_oi_id.cpp.o.d"
+  "/root/repo/src/ldlb/core/sim_po_oi.cpp" "src/CMakeFiles/ldlb.dir/ldlb/core/sim_po_oi.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/core/sim_po_oi.cpp.o.d"
+  "/root/repo/src/ldlb/cover/covering_map.cpp" "src/CMakeFiles/ldlb.dir/ldlb/cover/covering_map.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/cover/covering_map.cpp.o.d"
+  "/root/repo/src/ldlb/cover/factor_graph.cpp" "src/CMakeFiles/ldlb.dir/ldlb/cover/factor_graph.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/cover/factor_graph.cpp.o.d"
+  "/root/repo/src/ldlb/cover/lift.cpp" "src/CMakeFiles/ldlb.dir/ldlb/cover/lift.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/cover/lift.cpp.o.d"
+  "/root/repo/src/ldlb/cover/loopiness.cpp" "src/CMakeFiles/ldlb.dir/ldlb/cover/loopiness.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/cover/loopiness.cpp.o.d"
+  "/root/repo/src/ldlb/cover/universal_cover.cpp" "src/CMakeFiles/ldlb.dir/ldlb/cover/universal_cover.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/cover/universal_cover.cpp.o.d"
+  "/root/repo/src/ldlb/graph/digraph.cpp" "src/CMakeFiles/ldlb.dir/ldlb/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/graph/digraph.cpp.o.d"
+  "/root/repo/src/ldlb/graph/dot_export.cpp" "src/CMakeFiles/ldlb.dir/ldlb/graph/dot_export.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/graph/dot_export.cpp.o.d"
+  "/root/repo/src/ldlb/graph/edge_coloring.cpp" "src/CMakeFiles/ldlb.dir/ldlb/graph/edge_coloring.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/graph/edge_coloring.cpp.o.d"
+  "/root/repo/src/ldlb/graph/generators.cpp" "src/CMakeFiles/ldlb.dir/ldlb/graph/generators.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/graph/generators.cpp.o.d"
+  "/root/repo/src/ldlb/graph/graph_io.cpp" "src/CMakeFiles/ldlb.dir/ldlb/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/graph/graph_io.cpp.o.d"
+  "/root/repo/src/ldlb/graph/misra_gries.cpp" "src/CMakeFiles/ldlb.dir/ldlb/graph/misra_gries.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/graph/misra_gries.cpp.o.d"
+  "/root/repo/src/ldlb/graph/multigraph.cpp" "src/CMakeFiles/ldlb.dir/ldlb/graph/multigraph.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/graph/multigraph.cpp.o.d"
+  "/root/repo/src/ldlb/graph/port_numbering.cpp" "src/CMakeFiles/ldlb.dir/ldlb/graph/port_numbering.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/graph/port_numbering.cpp.o.d"
+  "/root/repo/src/ldlb/local/full_info.cpp" "src/CMakeFiles/ldlb.dir/ldlb/local/full_info.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/local/full_info.cpp.o.d"
+  "/root/repo/src/ldlb/local/id_model.cpp" "src/CMakeFiles/ldlb.dir/ldlb/local/id_model.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/local/id_model.cpp.o.d"
+  "/root/repo/src/ldlb/local/po_full_info.cpp" "src/CMakeFiles/ldlb.dir/ldlb/local/po_full_info.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/local/po_full_info.cpp.o.d"
+  "/root/repo/src/ldlb/local/simulator.cpp" "src/CMakeFiles/ldlb.dir/ldlb/local/simulator.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/local/simulator.cpp.o.d"
+  "/root/repo/src/ldlb/matching/checker.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/checker.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/checker.cpp.o.d"
+  "/root/repo/src/ldlb/matching/fractional_matching.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/fractional_matching.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/fractional_matching.cpp.o.d"
+  "/root/repo/src/ldlb/matching/hopcroft_karp.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/hopcroft_karp.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/ldlb/matching/id_packing.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/id_packing.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/id_packing.cpp.o.d"
+  "/root/repo/src/ldlb/matching/max_fractional.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/max_fractional.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/max_fractional.cpp.o.d"
+  "/root/repo/src/ldlb/matching/maximal_matching.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/maximal_matching.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/maximal_matching.cpp.o.d"
+  "/root/repo/src/ldlb/matching/proposal_packing.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/proposal_packing.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/proposal_packing.cpp.o.d"
+  "/root/repo/src/ldlb/matching/scaling_packing.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/scaling_packing.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/scaling_packing.cpp.o.d"
+  "/root/repo/src/ldlb/matching/seq_color_packing.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/seq_color_packing.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/seq_color_packing.cpp.o.d"
+  "/root/repo/src/ldlb/matching/two_phase_packing.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/two_phase_packing.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/two_phase_packing.cpp.o.d"
+  "/root/repo/src/ldlb/matching/vertex_cover.cpp" "src/CMakeFiles/ldlb.dir/ldlb/matching/vertex_cover.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/matching/vertex_cover.cpp.o.d"
+  "/root/repo/src/ldlb/order/embed.cpp" "src/CMakeFiles/ldlb.dir/ldlb/order/embed.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/order/embed.cpp.o.d"
+  "/root/repo/src/ldlb/order/tree_order.cpp" "src/CMakeFiles/ldlb.dir/ldlb/order/tree_order.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/order/tree_order.cpp.o.d"
+  "/root/repo/src/ldlb/util/bigint.cpp" "src/CMakeFiles/ldlb.dir/ldlb/util/bigint.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/util/bigint.cpp.o.d"
+  "/root/repo/src/ldlb/util/rational.cpp" "src/CMakeFiles/ldlb.dir/ldlb/util/rational.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/util/rational.cpp.o.d"
+  "/root/repo/src/ldlb/view/ball.cpp" "src/CMakeFiles/ldlb.dir/ldlb/view/ball.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/view/ball.cpp.o.d"
+  "/root/repo/src/ldlb/view/isomorphism.cpp" "src/CMakeFiles/ldlb.dir/ldlb/view/isomorphism.cpp.o" "gcc" "src/CMakeFiles/ldlb.dir/ldlb/view/isomorphism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_info_test.dir/full_info_test.cpp.o"
+  "CMakeFiles/full_info_test.dir/full_info_test.cpp.o.d"
+  "full_info_test"
+  "full_info_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_audit_test.dir/locality_audit_test.cpp.o"
+  "CMakeFiles/locality_audit_test.dir/locality_audit_test.cpp.o.d"
+  "locality_audit_test"
+  "locality_audit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

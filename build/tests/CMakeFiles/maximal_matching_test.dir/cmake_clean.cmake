@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maximal_matching_test.dir/maximal_matching_test.cpp.o"
+  "CMakeFiles/maximal_matching_test.dir/maximal_matching_test.cpp.o.d"
+  "maximal_matching_test"
+  "maximal_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maximal_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigraph_test.dir/multigraph_test.cpp.o"
+  "CMakeFiles/multigraph_test.dir/multigraph_test.cpp.o.d"
+  "multigraph_test"
+  "multigraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/po_full_info_test.dir/po_full_info_test.cpp.o"
+  "CMakeFiles/po_full_info_test.dir/po_full_info_test.cpp.o.d"
+  "po_full_info_test"
+  "po_full_info_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/po_full_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

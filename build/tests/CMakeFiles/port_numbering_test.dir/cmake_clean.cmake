@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_numbering_test.dir/port_numbering_test.cpp.o"
+  "CMakeFiles/port_numbering_test.dir/port_numbering_test.cpp.o.d"
+  "port_numbering_test"
+  "port_numbering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_numbering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

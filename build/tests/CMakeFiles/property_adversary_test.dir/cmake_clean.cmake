@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_adversary_test.dir/property_adversary_test.cpp.o"
+  "CMakeFiles/property_adversary_test.dir/property_adversary_test.cpp.o.d"
+  "property_adversary_test"
+  "property_adversary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_order_test.dir/property_order_test.cpp.o"
+  "CMakeFiles/property_order_test.dir/property_order_test.cpp.o.d"
+  "property_order_test"
+  "property_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

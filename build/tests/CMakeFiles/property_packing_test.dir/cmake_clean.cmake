@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_packing_test.dir/property_packing_test.cpp.o"
+  "CMakeFiles/property_packing_test.dir/property_packing_test.cpp.o.d"
+  "property_packing_test"
+  "property_packing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proposal_packing_test.dir/proposal_packing_test.cpp.o"
+  "CMakeFiles/proposal_packing_test.dir/proposal_packing_test.cpp.o.d"
+  "proposal_packing_test"
+  "proposal_packing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proposal_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

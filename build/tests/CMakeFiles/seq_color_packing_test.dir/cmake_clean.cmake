@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_color_packing_test.dir/seq_color_packing_test.cpp.o"
+  "CMakeFiles/seq_color_packing_test.dir/seq_color_packing_test.cpp.o.d"
+  "seq_color_packing_test"
+  "seq_color_packing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_color_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

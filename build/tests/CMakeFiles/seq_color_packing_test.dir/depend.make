@@ -1,0 +1,2 @@
+# Empty dependencies file for seq_color_packing_test.
+# This may be replaced when dependencies are built.

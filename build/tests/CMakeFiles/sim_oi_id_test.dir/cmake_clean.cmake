@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_oi_id_test.dir/sim_oi_id_test.cpp.o"
+  "CMakeFiles/sim_oi_id_test.dir/sim_oi_id_test.cpp.o.d"
+  "sim_oi_id_test"
+  "sim_oi_id_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_oi_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_po_oi_test.dir/sim_po_oi_test.cpp.o"
+  "CMakeFiles/sim_po_oi_test.dir/sim_po_oi_test.cpp.o.d"
+  "sim_po_oi_test"
+  "sim_po_oi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_po_oi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_preservation_test.dir/simulation_preservation_test.cpp.o"
+  "CMakeFiles/simulation_preservation_test.dir/simulation_preservation_test.cpp.o.d"
+  "simulation_preservation_test"
+  "simulation_preservation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_preservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

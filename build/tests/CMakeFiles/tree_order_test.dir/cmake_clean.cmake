@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_order_test.dir/tree_order_test.cpp.o"
+  "CMakeFiles/tree_order_test.dir/tree_order_test.cpp.o.d"
+  "tree_order_test"
+  "tree_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
