@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
       std::cout << to_dot(lv.g, g_opts) << "\n" << to_dot(lv.h, h_opts);
       return 0;
     }
-  } catch (const ContractViolation& e) {
+  } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -1,0 +1,104 @@
+// Fault injection + guarded execution, end to end.
+//
+//   $ ./fault_injection_demo [seed]
+//
+// Runs the O(Δ)-round SeqColorPacking algorithm on a coloured cycle under a
+// seed-driven FaultPlan, one fault class at a time, and shows how each
+// injected fault surfaces through the guarded runner: as a typed model
+// violation, a checker ViolationReport, or — in trap mode — a FaultInjected
+// error naming the exact site. Re-running with the same seed reproduces
+// every outcome bit for bit.
+#include <cstdlib>
+#include <iostream>
+
+#include "ldlb/fault/fault_plan.hpp"
+#include "ldlb/fault/guarded_run.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ldlb;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20140721;
+
+  Multigraph g = greedy_edge_coloring(make_cycle(8));
+  int k = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    k = std::max(k, g.edge(e).color + 1);
+  }
+
+  std::cout << "== clean baseline (seed " << seed << ") ==\n";
+  {
+    SeqColorPacking alg{k};
+    GuardedRunOptions options;
+    options.budget.max_rounds = k + 1;
+    GuardedOutcome outcome = guarded_run_ec(g, alg, options);
+    std::cout << "  " << outcome.classification() << " in "
+              << outcome.run->rounds << " rounds, " << outcome.run->messages
+              << " messages\n";
+  }
+
+  const FaultClass classes[] = {
+      FaultClass::kCrashStop, FaultClass::kMessageDrop,
+      FaultClass::kMessageCorrupt, FaultClass::kWeightPerturb,
+      FaultClass::kPortPermute,
+  };
+  std::cout << "\n== one fault at a time ==\n";
+  for (FaultClass kind : classes) {
+    FaultSpec spec;
+    switch (kind) {
+      case FaultClass::kCrashStop: spec.crash_stops = 1; break;
+      case FaultClass::kMessageDrop: spec.message_drops = 1; break;
+      case FaultClass::kMessageCorrupt: spec.message_corruptions = 1; break;
+      case FaultClass::kWeightPerturb: spec.weight_perturbations = 1; break;
+      case FaultClass::kPortPermute: spec.port_permutations = 1; break;
+    }
+    FaultPlan plan{seed, spec};
+    plan.bind(g);
+    SeqColorPacking alg{k};
+    GuardedRunOptions options;
+    options.budget.max_rounds = k + 1;
+    options.hooks = &plan;
+    GuardedOutcome outcome = guarded_run_ec(g, alg, options);
+    std::cout << "  " << plan.events()[0].to_string() << "\n    -> "
+              << outcome.classification();
+    if (!outcome.error.empty()) std::cout << ": " << outcome.error;
+    if (outcome.status == RunStatus::kOk && !outcome.check.ok) {
+      std::cout << ": " << outcome.check.reason;
+    }
+    if (outcome.ok()) {
+      // Not an escape: the fault provably changed nothing this algorithm
+      // said (e.g. rotating identical round-1 residuals), and the checker
+      // confirmed the output is still a maximal FM.
+      std::cout << " (benign: output unchanged and still maximal)";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\n== trap mode pinpoints the site ==\n";
+  {
+    FaultSpec spec;
+    spec.message_drops = 1;
+    spec.trap = true;
+    FaultPlan plan{seed, spec};
+    plan.bind(g);
+    SeqColorPacking alg{k};
+    GuardedRunOptions options;
+    options.budget.max_rounds = k + 1;
+    options.hooks = &plan;
+    GuardedOutcome outcome = guarded_run_ec(g, alg, options);
+    std::cout << "  " << outcome.classification() << ": " << outcome.error
+              << "\n";
+  }
+
+  std::cout << "\nplan fingerprint (same seed => same plan, same outcome):\n";
+  {
+    FaultSpec spec;
+    spec.crash_stops = spec.message_drops = 1;
+    FaultPlan plan{seed, spec};
+    plan.bind(g);
+    std::cout << plan.describe();
+  }
+  return 0;
+}

@@ -42,7 +42,7 @@ int main() {
     try {
       simulate_oi_on_po(loopy, broken);
       std::cout << "naive id pool: unexpectedly consistent\n";
-    } catch (const ContractViolation&) {
+    } catch (const Error&) {
       std::cout << "naive id pool: views disagree — the algorithm's output\n"
                    "  depends on identifier *values*, not just their order\n";
     }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: build and run the full test suite twice — a plain RelWithDebInfo
+# build, then an AddressSanitizer+UBSan build (see LDLB_SANITIZE in the top
+# CMakeLists). Both must be green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+echo "== plain build =="
+run_suite build
+
+echo "== address+undefined sanitizer build =="
+run_suite build-asan "-DLDLB_SANITIZE=address;undefined"
+
+echo "CI green: plain and sanitizer suites both pass."

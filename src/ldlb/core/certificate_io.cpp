@@ -1,13 +1,17 @@
 #include "ldlb/core/certificate_io.hpp"
 
+#include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "ldlb/util/error.hpp"
+#include "ldlb/util/line_reader.hpp"
 
 namespace ldlb {
 
 namespace {
+
+constexpr long long kMaxId = std::numeric_limits<NodeId>::max();
 
 void write_graph(std::ostream& os, const char* tag, const Multigraph& g) {
   os << tag << " " << g.node_count() << " " << g.edge_count() << "\n";
@@ -17,27 +21,28 @@ void write_graph(std::ostream& os, const char* tag, const Multigraph& g) {
   }
 }
 
-Multigraph read_graph(std::istream& is, const std::string& tag) {
-  std::string word;
-  is >> word;
-  LDLB_REQUIRE_MSG(word == tag, "expected '" << tag << "', got '" << word
-                                             << "'");
-  NodeId nodes = 0;
-  EdgeId edges = 0;
-  is >> nodes >> edges;
-  LDLB_REQUIRE_MSG(is.good() && nodes >= 0 && edges >= 0,
-                   "malformed graph header");
+Multigraph read_graph(LineReader& r, const std::string& tag) {
+  r.expect(tag, "graph header");
+  const NodeId nodes = static_cast<NodeId>(r.integer("node count", 0, kMaxId));
+  const EdgeId edges = static_cast<EdgeId>(r.integer("edge count", 0, kMaxId));
   Multigraph g(nodes);
   for (EdgeId e = 0; e < edges; ++e) {
-    is >> word;
-    LDLB_REQUIRE_MSG(word == "e", "expected edge line");
-    NodeId u = 0, v = 0;
-    Color c = 0;
-    is >> u >> v >> c;
-    LDLB_REQUIRE_MSG(is.good(), "malformed edge line");
+    r.expect("e", "edge line");
+    NodeId u = static_cast<NodeId>(r.integer("edge endpoint u", 0, nodes - 1));
+    NodeId v = static_cast<NodeId>(r.integer("edge endpoint v", 0, nodes - 1));
+    Color c = static_cast<Color>(r.integer("colour", kUncoloured, kMaxId));
     g.add_edge(u, v, c);
   }
   return g;
+}
+
+Rational read_rational(LineReader& r, const char* what) {
+  std::string tok = r.token(what);
+  try {
+    return Rational::from_string(tok);
+  } catch (const Error&) {
+    r.fail(std::string("malformed rational ") + what, tok);
+  }
 }
 
 }  // namespace
@@ -59,34 +64,37 @@ void write_certificate(std::ostream& os, const LowerBoundCertificate& cert) {
 }
 
 LowerBoundCertificate read_certificate(std::istream& is) {
-  std::string word;
-  int version = 0;
-  is >> word >> version;
-  LDLB_REQUIRE_MSG(word == "ldlb-certificate" && version == 1,
-                   "not an ldlb certificate (v1)");
+  LineReader r{is};
+  r.expect("ldlb-certificate", "certificate magic");
+  const long long version = r.integer("format version", 1, 1);
+  (void)version;
   LowerBoundCertificate cert;
-  is >> word >> cert.delta;
-  LDLB_REQUIRE_MSG(word == "delta" && is.good(), "malformed delta line");
-  is >> word >> cert.algorithm_name;
-  LDLB_REQUIRE_MSG(word == "algorithm" && is.good(),
-                   "malformed algorithm line");
+  r.expect("delta", "delta line");
+  cert.delta = static_cast<int>(r.integer("delta", 0, kMaxId));
+  r.expect("algorithm", "algorithm line");
+  cert.algorithm_name = r.token("algorithm name");
   for (;;) {
-    is >> word;
-    LDLB_REQUIRE_MSG(is.good(), "unexpected end of certificate");
+    std::string word = r.token("'level' or 'end'");
     if (word == "end") break;
-    LDLB_REQUIRE_MSG(word == "level", "expected 'level' or 'end'");
+    if (word != "level") r.fail("expected 'level' or 'end'", word);
     CertificateLevel lv;
-    is >> lv.level;
-    lv.g = read_graph(is, "g");
-    lv.h = read_graph(is, "h");
-    is >> word;
-    LDLB_REQUIRE_MSG(word == "witness", "expected witness line");
-    std::string wg, wh;
-    is >> lv.g_node >> lv.h_node >> lv.c >> lv.g_loop >> lv.h_loop >> wg >>
-        wh >> lv.propagation_steps;
-    LDLB_REQUIRE_MSG(is.good(), "malformed witness line");
-    lv.g_weight = Rational::from_string(wg);
-    lv.h_weight = Rational::from_string(wh);
+    lv.level = static_cast<int>(r.integer("level index", 0, kMaxId));
+    lv.g = read_graph(r, "g");
+    lv.h = read_graph(r, "h");
+    r.expect("witness", "witness line");
+    lv.g_node = static_cast<NodeId>(
+        r.integer("witness g node", 0, lv.g.node_count() - 1));
+    lv.h_node = static_cast<NodeId>(
+        r.integer("witness h node", 0, lv.h.node_count() - 1));
+    lv.c = static_cast<Color>(r.integer("witness colour", kUncoloured, kMaxId));
+    lv.g_loop = static_cast<EdgeId>(
+        r.integer("witness g loop", 0, lv.g.edge_count() - 1));
+    lv.h_loop = static_cast<EdgeId>(
+        r.integer("witness h loop", 0, lv.h.edge_count() - 1));
+    lv.g_weight = read_rational(r, "witness g weight");
+    lv.h_weight = read_rational(r, "witness h weight");
+    lv.propagation_steps =
+        static_cast<int>(r.integer("propagation steps", 0, kMaxId));
     cert.levels.push_back(std::move(lv));
   }
   return cert;

@@ -30,7 +30,8 @@ namespace ldlb {
 /// Writes the certificate in the text format above.
 void write_certificate(std::ostream& os, const LowerBoundCertificate& cert);
 
-/// Parses a certificate; throws ContractViolation on malformed input.
+/// Parses a certificate; throws ParseError (with the 1-based line number
+/// and the offending token) on malformed input.
 LowerBoundCertificate read_certificate(std::istream& is);
 
 /// Convenience round-trips through strings.

@@ -41,7 +41,7 @@ bool correct_on(const IdGraph& g, IdViewAlgorithm& alg) {
   try {
     FractionalMatching y = run_id_view(g, alg);
     return check_maximal(g.graph, y).ok;
-  } catch (const ContractViolation&) {
+  } catch (const Error&) {
     // Inconsistent per-view announcements also count as failure.
     return false;
   }

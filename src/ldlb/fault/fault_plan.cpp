@@ -1,0 +1,286 @@
+#include "ldlb/fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+
+namespace {
+
+// The perturbation applied to a victim end weight. Nonzero, so the two ends
+// of a (non-loop) edge are guaranteed to disagree; not a multiple of any
+// announced weight, so even all-zero outputs are disturbed.
+const Rational kPerturbation{1, 3};
+
+}  // namespace
+
+const char* to_string(FaultClass kind) {
+  switch (kind) {
+    case FaultClass::kCrashStop:
+      return "crash-stop";
+    case FaultClass::kMessageDrop:
+      return "message-drop";
+    case FaultClass::kMessageCorrupt:
+      return "message-corrupt";
+    case FaultClass::kWeightPerturb:
+      return "weight-perturb";
+    case FaultClass::kPortPermute:
+      return "port-permute";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << ldlb::to_string(kind) << " node=" << node << " edge=" << edge
+     << " color=" << color << (outgoing ? " out" : " in")
+     << " round=" << round << " salt=" << salt;
+  return os.str();
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultSpec spec)
+    : seed_(seed), spec_(spec) {
+  LDLB_REQUIRE_MSG(spec.max_round >= 1, "fault plans need max_round >= 1");
+}
+
+void FaultPlan::bind(const Multigraph& g) {
+  events_.clear();
+  Rng rng{seed_};
+  const NodeId n = g.node_count();
+  auto pick_node_with_degree = [&](int min_degree) {
+    std::vector<NodeId> eligible;
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) >= min_degree) eligible.push_back(v);
+    }
+    LDLB_REQUIRE_MSG(!eligible.empty(), "fault plan needs a node of degree >= "
+                                            << min_degree);
+    return eligible[rng.next_below(eligible.size())];
+  };
+  auto pick_round = [&] {
+    return static_cast<int>(rng.next_in(1, spec_.max_round));
+  };
+  for (int i = 0; i < spec_.crash_stops; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultClass::kCrashStop;
+    ev.node = pick_node_with_degree(0);
+    ev.round = pick_round();
+    events_.push_back(ev);
+  }
+  auto schedule_message_fault = [&](FaultClass kind) {
+    LDLB_REQUIRE_MSG(g.edge_count() > 0,
+                     "message faults need at least one edge");
+    FaultEvent ev;
+    ev.kind = kind;
+    ev.edge = static_cast<EdgeId>(
+        rng.next_below(static_cast<std::uint64_t>(g.edge_count())));
+    const auto& ed = g.edge(ev.edge);
+    ev.node = rng.next_bool() ? ed.u : ed.v;  // the sender side
+    ev.round = pick_round();
+    ev.salt = rng.next_u64();
+    events_.push_back(ev);
+  };
+  for (int i = 0; i < spec_.message_drops; ++i) {
+    schedule_message_fault(FaultClass::kMessageDrop);
+  }
+  for (int i = 0; i < spec_.message_corruptions; ++i) {
+    schedule_message_fault(FaultClass::kMessageCorrupt);
+  }
+  for (int i = 0; i < spec_.weight_perturbations; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultClass::kWeightPerturb;
+    ev.node = pick_node_with_degree(1);
+    const auto& incident = g.incident_edges(ev.node);
+    ev.color = g.edge(incident[rng.next_below(incident.size())]).color;
+    ev.round = 0;  // fires at the output stage
+    events_.push_back(ev);
+  }
+  for (int i = 0; i < spec_.port_permutations; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultClass::kPortPermute;
+    ev.node = pick_node_with_degree(2);
+    ev.round = pick_round();
+    ev.salt = rng.next_u64();
+    events_.push_back(ev);
+  }
+  fired_.assign(events_.size(), 0);
+}
+
+void FaultPlan::bind(const Digraph& g) {
+  events_.clear();
+  Rng rng{seed_};
+  const NodeId n = g.node_count();
+  auto pick_node_with_degree = [&](int min_degree) {
+    std::vector<NodeId> eligible;
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) >= min_degree) eligible.push_back(v);
+    }
+    LDLB_REQUIRE_MSG(!eligible.empty(), "fault plan needs a node of degree >= "
+                                            << min_degree);
+    return eligible[rng.next_below(eligible.size())];
+  };
+  auto pick_round = [&] {
+    return static_cast<int>(rng.next_in(1, spec_.max_round));
+  };
+  for (int i = 0; i < spec_.crash_stops; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultClass::kCrashStop;
+    ev.node = pick_node_with_degree(0);
+    ev.round = pick_round();
+    events_.push_back(ev);
+  }
+  auto schedule_message_fault = [&](FaultClass kind) {
+    LDLB_REQUIRE_MSG(g.arc_count() > 0, "message faults need at least one arc");
+    FaultEvent ev;
+    ev.kind = kind;
+    ev.edge = static_cast<EdgeId>(
+        rng.next_below(static_cast<std::uint64_t>(g.arc_count())));
+    const auto& arc = g.arc(ev.edge);
+    ev.node = rng.next_bool() ? arc.tail : arc.head;  // the sender side
+    ev.round = pick_round();
+    ev.salt = rng.next_u64();
+    events_.push_back(ev);
+  };
+  for (int i = 0; i < spec_.message_drops; ++i) {
+    schedule_message_fault(FaultClass::kMessageDrop);
+  }
+  for (int i = 0; i < spec_.message_corruptions; ++i) {
+    schedule_message_fault(FaultClass::kMessageCorrupt);
+  }
+  for (int i = 0; i < spec_.weight_perturbations; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultClass::kWeightPerturb;
+    ev.node = pick_node_with_degree(1);
+    const bool has_out = g.out_degree(ev.node) > 0;
+    const bool has_in = g.in_degree(ev.node) > 0;
+    ev.outgoing = has_out && (!has_in || rng.next_bool());
+    const auto& arcs = ev.outgoing ? g.out_arcs(ev.node) : g.in_arcs(ev.node);
+    ev.color = g.arc(arcs[rng.next_below(arcs.size())]).color;
+    ev.round = 0;
+    events_.push_back(ev);
+  }
+  for (int i = 0; i < spec_.port_permutations; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultClass::kPortPermute;
+    ev.node = pick_node_with_degree(2);
+    ev.round = pick_round();
+    ev.salt = rng.next_u64();
+    events_.push_back(ev);
+  }
+  fired_.assign(events_.size(), 0);
+}
+
+std::vector<FaultEvent> FaultPlan::fired() const {
+  std::vector<FaultEvent> out;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (fired_[i]) out.push_back(events_[i]);
+  }
+  return out;
+}
+
+void FaultPlan::reset_fired() { fired_.assign(events_.size(), 0); }
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "fault-plan seed=" << seed_ << " max_round=" << spec_.max_round
+     << (spec_.trap ? " trap" : "") << "\n";
+  for (const auto& ev : events_) os << "  " << ev.to_string() << "\n";
+  return os.str();
+}
+
+void FaultPlan::fire(std::size_t index) {
+  const FaultEvent& ev = events_[index];
+  if (spec_.trap) {
+    throw FaultInjected("injected fault trapped: " + ev.to_string(),
+                        to_string(ev.kind), ev.node, ev.edge, ev.round);
+  }
+  fired_[index] = 1;
+}
+
+bool FaultPlan::node_crashed(NodeId node, int round) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& ev = events_[i];
+    if (ev.kind == FaultClass::kCrashStop && ev.node == node &&
+        ev.round <= round) {
+      fire(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename Key>
+void FaultPlan::permute_outbox(NodeId node, int round,
+                               std::map<Key, Message>& outbox) {
+  if (outbox.size() < 2) return;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& ev = events_[i];
+    if (ev.kind != FaultClass::kPortPermute || ev.node != node ||
+        ev.round != round) {
+      continue;
+    }
+    // Rotate the payloads across the node's ends by a nonzero offset: every
+    // message leaves through a wrong port.
+    std::vector<Message> payloads;
+    payloads.reserve(outbox.size());
+    for (auto& [key, m] : outbox) payloads.push_back(std::move(m));
+    const std::size_t shift = 1 + static_cast<std::size_t>(
+                                      ev.salt % (payloads.size() - 1));
+    std::rotate(payloads.begin(), payloads.begin() + shift, payloads.end());
+    std::size_t j = 0;
+    for (auto& [key, m] : outbox) m = std::move(payloads[j++]);
+    fire(i);
+  }
+}
+
+void FaultPlan::on_send_ec(NodeId node, int round,
+                           std::map<Color, Message>& outbox) {
+  permute_outbox(node, round, outbox);
+}
+
+void FaultPlan::on_send_po(NodeId node, int round,
+                           std::map<PoEnd, Message>& outbox) {
+  permute_outbox(node, round, outbox);
+}
+
+bool FaultPlan::on_deliver(EdgeId edge, NodeId from, NodeId /*to*/, int round,
+                           Message& payload) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& ev = events_[i];
+    if (ev.edge != edge || ev.node != from || ev.round != round) continue;
+    if (ev.kind == FaultClass::kMessageDrop) {
+      fire(i);
+      return false;
+    }
+    if (ev.kind == FaultClass::kMessageCorrupt && !payload.empty()) {
+      // Flip the low bit of one deterministic byte: the payload always
+      // changes, and a decimal-digit byte stays a decimal digit.
+      payload[static_cast<std::size_t>(ev.salt % payload.size())] ^= 0x01;
+      fire(i);
+    }
+  }
+  return true;
+}
+
+void FaultPlan::on_output_ec(NodeId node, std::map<Color, Rational>& output) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& ev = events_[i];
+    if (ev.kind == FaultClass::kWeightPerturb && ev.node == node) {
+      output[ev.color] += kPerturbation;
+      fire(i);
+    }
+  }
+}
+
+void FaultPlan::on_output_po(NodeId node, std::map<PoEnd, Rational>& output) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& ev = events_[i];
+    if (ev.kind == FaultClass::kWeightPerturb && ev.node == node) {
+      output[PoEnd{ev.outgoing, ev.color}] += kPerturbation;
+      fire(i);
+    }
+  }
+}
+
+}  // namespace ldlb

@@ -1,0 +1,121 @@
+// Deterministic, seed-driven fault injection for the LOCAL simulator.
+//
+// The paper's whole argument treats the algorithm as an untrusted black box:
+// the adversary (Section 4) certifies misbehaviour, and the checker catches
+// any output that is not a maximal fractional matching. A FaultPlan is the
+// test-bench counterpart: it *manufactures* misbehaviour on demand so the
+// detection machinery (typed simulator errors + checker ViolationReport)
+// can be proven to catch it. Five fault classes are supported:
+//
+//   crash-stop          a node silently stops participating at round r
+//   message drop        one in-flight message is discarded
+//   message corruption  one in-flight payload byte is flipped
+//   weight perturbation a node's announced end weight is shifted by +1/3
+//   port permutation    a node's outgoing messages are rotated across its
+//                       ends for one round (adversarial port renumbering)
+//
+// A plan is built in two steps: construct with (seed, spec), then bind() it
+// to a concrete graph, which samples the victim sites with the library Rng.
+// The same (seed, spec, graph) always yields bit-identical events, and a
+// run under the plan is bit-reproducible — the foundation of the
+// fault-detection round-trip tests.
+//
+// In trap mode (FaultSpec::trap) the plan throws FaultInjected at the first
+// event instead of injecting it silently, pinpointing the exact site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldlb/graph/digraph.hpp"
+#include "ldlb/graph/multigraph.hpp"
+#include "ldlb/local/hooks.hpp"
+
+namespace ldlb {
+
+enum class FaultClass {
+  kCrashStop,
+  kMessageDrop,
+  kMessageCorrupt,
+  kWeightPerturb,
+  kPortPermute,
+};
+
+[[nodiscard]] const char* to_string(FaultClass kind);
+
+/// One scheduled fault, fully determined at bind() time.
+struct FaultEvent {
+  FaultClass kind = FaultClass::kCrashStop;
+  NodeId node = kNoNode;  ///< victim node; for message faults the *sender*
+  EdgeId edge = kNoEdge;  ///< victim edge/arc for message faults
+  Color color = kUncoloured;  ///< victim end colour for weight perturbation
+  bool outgoing = true;   ///< which PO end for weight perturbation
+  int round = 0;          ///< firing round (0 = the output stage)
+  std::uint64_t salt = 0;  ///< per-event entropy (corruption byte index,
+                           ///< permutation rotation)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// How many faults of each class to schedule.
+struct FaultSpec {
+  int crash_stops = 0;
+  int message_drops = 0;
+  int message_corruptions = 0;
+  int weight_perturbations = 0;
+  int port_permutations = 0;
+  int max_round = 1;  ///< rounds 1..max_round are eligible firing rounds
+  bool trap = false;  ///< throw FaultInjected at the first event instead of
+                      ///< injecting it
+};
+
+/// Seed-driven fault plan; install as RunOptions::hooks.
+class FaultPlan : public RunHooks {
+ public:
+  FaultPlan(std::uint64_t seed, FaultSpec spec);
+
+  /// Samples concrete victim sites against an EC graph. Requires the graph
+  /// to offer eligible sites for every requested class (an edge for message
+  /// faults, a node of degree >= 2 for port permutations, ...).
+  void bind(const Multigraph& g);
+  /// PO counterpart.
+  void bind(const Digraph& g);
+
+  /// The scheduled events (empty before bind()).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+  /// The events that actually fired during the last run.
+  [[nodiscard]] std::vector<FaultEvent> fired() const;
+
+  /// Clears the fired flags so the same plan can drive another run.
+  void reset_fired();
+
+  /// Reproducibility fingerprint: seed, spec and every scheduled event.
+  [[nodiscard]] std::string describe() const;
+
+  // RunHooks implementation.
+  bool node_crashed(NodeId node, int round) override;
+  void on_send_ec(NodeId node, int round,
+                  std::map<Color, Message>& outbox) override;
+  void on_send_po(NodeId node, int round,
+                  std::map<PoEnd, Message>& outbox) override;
+  bool on_deliver(EdgeId edge, NodeId from, NodeId to, int round,
+                  Message& payload) override;
+  void on_output_ec(NodeId node, std::map<Color, Rational>& output) override;
+  void on_output_po(NodeId node, std::map<PoEnd, Rational>& output) override;
+
+ private:
+  void fire(std::size_t index);
+  template <typename Key>
+  void permute_outbox(NodeId node, int round, std::map<Key, Message>& outbox);
+
+  std::uint64_t seed_;
+  FaultSpec spec_;
+  std::vector<FaultEvent> events_;
+  std::vector<char> fired_;
+};
+
+}  // namespace ldlb

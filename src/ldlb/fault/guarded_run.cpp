@@ -1,0 +1,94 @@
+#include "ldlb/fault/guarded_run.hpp"
+
+namespace ldlb {
+
+namespace {
+
+// Shared catch ladder: run `body` and classify how it ended. The most
+// specific exception types come first; ContractViolation last, as the
+// catch-all for broken preconditions inside the algorithm or the library.
+template <typename Body>
+GuardedOutcome classify(Body&& body) {
+  GuardedOutcome outcome;
+  try {
+    outcome.run = body(outcome);
+  } catch (const BudgetExceeded& e) {
+    outcome.status = RunStatus::kBudgetExceeded;
+    outcome.error = e.what();
+  } catch (const ModelViolation& e) {
+    outcome.status = RunStatus::kModelViolation;
+    outcome.error = e.what();
+  } catch (const FaultInjected& e) {
+    outcome.status = RunStatus::kFaultInjected;
+    outcome.error = e.what();
+  } catch (const Error& e) {
+    outcome.status = RunStatus::kContractViolation;
+    outcome.error = e.what();
+  }
+  if (!outcome.error.empty()) {
+    outcome.diagnostics.first_violation = outcome.error;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kBudgetExceeded:
+      return "budget-exceeded";
+    case RunStatus::kModelViolation:
+      return "model-violation";
+    case RunStatus::kFaultInjected:
+      return "fault-injected";
+    case RunStatus::kContractViolation:
+      return "contract-violation";
+  }
+  return "unknown";
+}
+
+std::string GuardedOutcome::classification() const {
+  if (status != RunStatus::kOk) return to_string(status);
+  if (!check.ok) return std::string("check:") + to_string(check.report.kind);
+  return "ok";
+}
+
+GuardedOutcome guarded_run_ec(const Multigraph& g, EcAlgorithm& alg,
+                              const GuardedRunOptions& options) {
+  GuardedOutcome outcome = classify([&](GuardedOutcome& out) {
+    RunOptions run_options;
+    run_options.budget = options.budget;
+    run_options.hooks = options.hooks;
+    run_options.diagnostics = &out.diagnostics;
+    return run_ec(g, alg, run_options);
+  });
+  if (outcome.run && options.check_output) {
+    outcome.check = check_maximal(g, outcome.run->matching);
+    if (!outcome.check.ok) {
+      outcome.diagnostics.first_violation = outcome.check.reason;
+    }
+  }
+  return outcome;
+}
+
+GuardedOutcome guarded_run_po(const Digraph& g, PoAlgorithm& alg,
+                              const GuardedRunOptions& options) {
+  GuardedOutcome outcome = classify([&](GuardedOutcome& out) {
+    RunOptions run_options;
+    run_options.budget = options.budget;
+    run_options.hooks = options.hooks;
+    run_options.diagnostics = &out.diagnostics;
+    return run_po(g, alg, run_options);
+  });
+  if (outcome.run && options.check_output) {
+    outcome.check = check_maximal(g, outcome.run->matching);
+    if (!outcome.check.ok) {
+      outcome.diagnostics.first_violation = outcome.check.reason;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace ldlb

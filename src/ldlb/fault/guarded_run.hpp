@@ -1,0 +1,66 @@
+// Guarded execution: run an untrusted algorithm under budgets and optional
+// fault injection, and get back a *classified* outcome instead of a loose
+// exception.
+//
+// A GuardedOutcome tells you, in machine-readable form, exactly how a run
+// went: clean, over budget, in breach of the LOCAL output contract, trapped
+// on an injected fault, or producing a weight vector the checker rejects
+// (with the checker's structured ViolationReport). Partial RunDiagnostics
+// survive even when the run dies mid-flight, so the per-round traffic
+// histogram and the halting profile of a failed run are still observable.
+//
+// This is the harness every fault-detection round-trip test runs on, and
+// the entry point future perf/scaling work should use to execute untrusted
+// algorithms.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ldlb/local/simulator.hpp"
+#include "ldlb/matching/checker.hpp"
+
+namespace ldlb {
+
+/// How a guarded run ended.
+enum class RunStatus {
+  kOk,                 ///< completed; see `check` for output validity
+  kBudgetExceeded,     ///< a round / message / wall-clock budget tripped
+  kModelViolation,     ///< the algorithm broke the output contract
+  kFaultInjected,      ///< a fault plan in trap mode fired
+  kContractViolation,  ///< a precondition or internal invariant failed
+};
+
+[[nodiscard]] const char* to_string(RunStatus status);
+
+struct GuardedRunOptions {
+  RunBudget budget;
+  RunHooks* hooks = nullptr;  ///< e.g. a bound FaultPlan; not owned
+  bool check_output = true;   ///< verify the output is a maximal FM
+};
+
+/// Everything observable about one guarded run.
+struct GuardedOutcome {
+  RunStatus status = RunStatus::kOk;
+  std::string error;           ///< what() of the terminating error ("" if ok)
+  RunDiagnostics diagnostics;  ///< partial when the run died mid-flight
+  std::optional<RunResult> run;  ///< present iff status == kOk
+  CheckResult check;  ///< checker verdict (pass unless check_output ran and
+                      ///< failed)
+
+  /// Clean run *and* valid output.
+  [[nodiscard]] bool ok() const {
+    return status == RunStatus::kOk && check.ok;
+  }
+
+  /// One-token classification: "ok", the RunStatus name, or
+  /// "check:<violation-kind>".
+  [[nodiscard]] std::string classification() const;
+};
+
+GuardedOutcome guarded_run_ec(const Multigraph& g, EcAlgorithm& alg,
+                              const GuardedRunOptions& options);
+GuardedOutcome guarded_run_po(const Digraph& g, PoAlgorithm& alg,
+                              const GuardedRunOptions& options);
+
+}  // namespace ldlb

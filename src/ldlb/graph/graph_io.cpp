@@ -1,11 +1,65 @@
 #include "ldlb/graph/graph_io.hpp"
 
+#include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "ldlb/util/error.hpp"
+#include "ldlb/util/line_reader.hpp"
 
 namespace ldlb {
+
+namespace {
+
+constexpr long long kMaxId = std::numeric_limits<NodeId>::max();
+
+NodeId read_endpoint(LineReader& r, const char* what, NodeId nodes) {
+  return static_cast<NodeId>(r.integer(what, 0, nodes - 1));
+}
+
+Color read_color(LineReader& r) {
+  return static_cast<Color>(r.integer("colour", kUncoloured, kMaxId));
+}
+
+Multigraph read_multigraph_body(LineReader& r) {
+  r.expect("multigraph", "header");
+  const NodeId nodes = static_cast<NodeId>(r.integer("node count", 0, kMaxId));
+  const EdgeId edges = static_cast<EdgeId>(r.integer("edge count", 0, kMaxId));
+  Multigraph g(nodes);
+  for (EdgeId e = 0; e < edges; ++e) {
+    std::string tag = r.token("edge line");
+    if (tag != "e") {
+      r.fail(tag == "multigraph" ? "duplicated header inside edge list"
+                                 : "expected edge line 'e <u> <v> <colour>'",
+             tag);
+    }
+    NodeId u = read_endpoint(r, "edge endpoint u", nodes);
+    NodeId v = read_endpoint(r, "edge endpoint v", nodes);
+    g.add_edge(u, v, read_color(r));
+  }
+  return g;
+}
+
+Digraph read_digraph_body(LineReader& r) {
+  r.expect("digraph", "header");
+  const NodeId nodes = static_cast<NodeId>(r.integer("node count", 0, kMaxId));
+  const EdgeId arcs = static_cast<EdgeId>(r.integer("arc count", 0, kMaxId));
+  Digraph g(nodes);
+  for (EdgeId a = 0; a < arcs; ++a) {
+    std::string tag = r.token("arc line");
+    if (tag != "a") {
+      r.fail(tag == "digraph" ? "duplicated header inside arc list"
+                              : "expected arc line 'a <tail> <head> <colour>'",
+             tag);
+    }
+    NodeId t = read_endpoint(r, "arc tail", nodes);
+    NodeId h = read_endpoint(r, "arc head", nodes);
+    g.add_arc(t, h, read_color(r));
+  }
+  return g;
+}
+
+}  // namespace
 
 void write_graph(std::ostream& os, const Multigraph& g) {
   os << "multigraph " << g.node_count() << " " << g.edge_count() << "\n";
@@ -24,40 +78,13 @@ void write_graph(std::ostream& os, const Digraph& g) {
 }
 
 Multigraph read_multigraph(std::istream& is) {
-  std::string word;
-  NodeId nodes = 0;
-  EdgeId edges = 0;
-  is >> word >> nodes >> edges;
-  LDLB_REQUIRE_MSG(word == "multigraph" && is.good() && nodes >= 0 &&
-                       edges >= 0,
-                   "malformed multigraph header");
-  Multigraph g(nodes);
-  for (EdgeId e = 0; e < edges; ++e) {
-    NodeId u = 0, v = 0;
-    Color c = kUncoloured;
-    is >> word >> u >> v >> c;
-    LDLB_REQUIRE_MSG(word == "e" && is.good(), "malformed edge line " << e);
-    g.add_edge(u, v, c);
-  }
-  return g;
+  LineReader r{is};
+  return read_multigraph_body(r);
 }
 
 Digraph read_digraph(std::istream& is) {
-  std::string word;
-  NodeId nodes = 0;
-  EdgeId arcs = 0;
-  is >> word >> nodes >> arcs;
-  LDLB_REQUIRE_MSG(word == "digraph" && is.good() && nodes >= 0 && arcs >= 0,
-                   "malformed digraph header");
-  Digraph g(nodes);
-  for (EdgeId a = 0; a < arcs; ++a) {
-    NodeId t = 0, h = 0;
-    Color c = kUncoloured;
-    is >> word >> t >> h >> c;
-    LDLB_REQUIRE_MSG(word == "a" && is.good(), "malformed arc line " << a);
-    g.add_arc(t, h, c);
-  }
-  return g;
+  LineReader r{is};
+  return read_digraph_body(r);
 }
 
 std::string graph_to_string(const Multigraph& g) {
@@ -74,12 +101,18 @@ std::string graph_to_string(const Digraph& g) {
 
 Multigraph multigraph_from_string(const std::string& text) {
   std::istringstream is{text};
-  return read_multigraph(is);
+  LineReader r{is};
+  Multigraph g = read_multigraph_body(r);
+  if (!r.at_end()) r.fail("trailing garbage after graph", r.token("?"));
+  return g;
 }
 
 Digraph digraph_from_string(const std::string& text) {
   std::istringstream is{text};
-  return read_digraph(is);
+  LineReader r{is};
+  Digraph g = read_digraph_body(r);
+  if (!r.at_end()) r.fail("trailing garbage after graph", r.token("?"));
+  return g;
 }
 
 }  // namespace ldlb

@@ -21,7 +21,11 @@ namespace ldlb {
 void write_graph(std::ostream& os, const Multigraph& g);
 void write_graph(std::ostream& os, const Digraph& g);
 
-/// Parses the format above; throws ContractViolation on malformed input.
+/// Parses the format above; throws ParseError (with the 1-based line number
+/// and the offending token) on malformed input: bad header, out-of-range
+/// endpoints, colours below -1, truncation. The stream readers stop after
+/// the last edge line so several objects can share a stream; the
+/// `*_from_string` variants additionally reject trailing garbage.
 Multigraph read_multigraph(std::istream& is);
 Digraph read_digraph(std::istream& is);
 

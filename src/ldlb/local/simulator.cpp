@@ -1,13 +1,79 @@
 #include "ldlb/local/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace ldlb {
 
-RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long long elapsed_us(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0)
+      .count();
+}
+
+// Budget checks shared by both executors.
+void check_round_budget(const RunBudget& b, int round,
+                        const std::string& algo) {
+  if (round > b.max_rounds) {
+    std::ostringstream os;
+    os << "algorithm '" << algo << "' exceeded " << b.max_rounds << " rounds";
+    throw BudgetExceeded(os.str(), BudgetExceeded::Kind::kRounds,
+                         b.max_rounds, round);
+  }
+}
+
+void check_wall_budget(const RunBudget& b, Clock::time_point t0,
+                       const std::string& algo) {
+  if (b.max_wall_seconds <= 0) return;
+  const long long used = elapsed_us(t0);
+  const long long limit =
+      static_cast<long long>(b.max_wall_seconds * 1e6);
+  if (used > limit) {
+    std::ostringstream os;
+    os << "algorithm '" << algo << "' exceeded the wall-clock budget of "
+       << b.max_wall_seconds << "s";
+    throw BudgetExceeded(os.str(), BudgetExceeded::Kind::kWallClock, limit,
+                         used);
+  }
+}
+
+void check_message_budget(const RunBudget& b, long long delivered,
+                          const std::string& algo) {
+  if (b.max_messages > 0 && delivered > b.max_messages) {
+    std::ostringstream os;
+    os << "algorithm '" << algo << "' exceeded the message budget of "
+       << b.max_messages;
+    throw BudgetExceeded(os.str(), BudgetExceeded::Kind::kMessages,
+                         b.max_messages, delivered);
+  }
+}
+
+}  // namespace
+
+void RunDiagnostics::reset(NodeId nodes) {
+  per_round.clear();
+  halt_round.assign(static_cast<std::size_t>(nodes), -1);
+  crash_round.assign(static_cast<std::size_t>(nodes), -1);
+  dropped_messages = 0;
+  corrupted_messages = 0;
+  first_violation.clear();
+}
+
+RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
+                 const RunOptions& options) {
+  LDLB_REQUIRE_MSG(options.budget.max_rounds > 0,
+                   "a run budget needs max_rounds > 0");
   LDLB_REQUIRE_MSG(g.has_proper_edge_coloring(),
                    "EC algorithms need a proper edge colouring");
   const int delta = g.max_degree();
+  const auto t0 = Clock::now();
+  RunHooks* hooks = options.hooks;
+  RunDiagnostics* diag = options.diagnostics;
+  if (diag) diag->reset(g.node_count());
 
   std::vector<std::unique_ptr<EcNodeState>> nodes;
   nodes.reserve(static_cast<std::size_t>(g.node_count()));
@@ -22,25 +88,56 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds) {
   }
 
   RunResult result;
-  auto all_halted = [&] {
-    return std::all_of(nodes.begin(), nodes.end(),
-                       [](const auto& n) { return n->halted(); });
+  std::vector<char> crashed(static_cast<std::size_t>(g.node_count()), 0);
+  // A node is out of the protocol once it halted or crash-stopped.
+  auto done = [&](NodeId v) {
+    return crashed[static_cast<std::size_t>(v)] ||
+           nodes[static_cast<std::size_t>(v)]->halted();
   };
+  auto all_done = [&] {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!done(v)) return false;
+    }
+    return true;
+  };
+  auto record_halts = [&](int round) {
+    if (!diag) return;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& slot = diag->halt_round[static_cast<std::size_t>(v)];
+      if (slot < 0 && !crashed[static_cast<std::size_t>(v)] &&
+          nodes[static_cast<std::size_t>(v)]->halted()) {
+        slot = round;
+      }
+    }
+  };
+  record_halts(0);
 
   int round = 0;
-  while (!all_halted()) {
+  while (!all_done()) {
     ++round;
-    LDLB_REQUIRE_MSG(round <= max_rounds,
-                     "algorithm '" << alg.name() << "' exceeded " << max_rounds
-                                   << " rounds");
+    check_round_budget(options.budget, round, alg.name());
+    check_wall_budget(options.budget, t0, alg.name());
+    int live = 0;
+    if (hooks) {
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (!done(v) && hooks->node_crashed(v, round)) {
+          crashed[static_cast<std::size_t>(v)] = 1;
+          if (diag) diag->crash_round[static_cast<std::size_t>(v)] = round;
+        }
+      }
+    }
     // Collect outboxes of live nodes.
     std::vector<std::map<Color, Message>> outbox(
         static_cast<std::size_t>(g.node_count()));
     for (NodeId v = 0; v < g.node_count(); ++v) {
-      auto& node = nodes[static_cast<std::size_t>(v)];
-      if (!node->halted()) outbox[static_cast<std::size_t>(v)] = node->send(round);
+      if (done(v)) continue;
+      ++live;
+      auto& out = outbox[static_cast<std::size_t>(v)];
+      out = nodes[static_cast<std::size_t>(v)]->send(round);
+      if (hooks) hooks->on_send_ec(v, round, out);
     }
     // Deliver along edges; a loop feeds the node's own end.
+    long long round_messages = 0, round_bytes = 0;
     std::vector<std::map<Color, Message>> inbox(
         static_cast<std::size_t>(g.node_count()));
     for (EdgeId e = 0; e < g.edge_count(); ++e) {
@@ -49,9 +146,17 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds) {
       auto deliver = [&](NodeId from, NodeId to) {
         auto it = outbox[static_cast<std::size_t>(from)].find(c);
         if (it == outbox[static_cast<std::size_t>(from)].end()) return;
-        inbox[static_cast<std::size_t>(to)][c] = it->second;
-        ++result.messages;
-        result.message_bytes += static_cast<long long>(it->second.size());
+        Message payload = it->second;
+        if (hooks) {
+          if (!hooks->on_deliver(e, from, to, round, payload)) {
+            if (diag) ++diag->dropped_messages;
+            return;
+          }
+          if (diag && payload != it->second) ++diag->corrupted_messages;
+        }
+        round_bytes += static_cast<long long>(payload.size());
+        ++round_messages;
+        inbox[static_cast<std::size_t>(to)][c] = std::move(payload);
       };
       if (ed.is_loop()) {
         deliver(ed.u, ed.u);
@@ -60,12 +165,16 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds) {
         deliver(ed.v, ed.u);
       }
     }
+    result.messages += round_messages;
+    result.message_bytes += round_bytes;
+    if (diag) diag->per_round.push_back({round_messages, round_bytes, live});
+    check_message_budget(options.budget, result.messages, alg.name());
     for (NodeId v = 0; v < g.node_count(); ++v) {
-      auto& node = nodes[static_cast<std::size_t>(v)];
-      if (!node->halted()) {
-        node->receive(round, inbox[static_cast<std::size_t>(v)]);
-      }
+      if (done(v)) continue;
+      nodes[static_cast<std::size_t>(v)]->receive(
+          round, inbox[static_cast<std::size_t>(v)]);
     }
+    record_halts(round);
   }
   result.rounds = round;
 
@@ -73,8 +182,9 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds) {
   std::vector<std::map<Color, Rational>> outputs(
       static_cast<std::size_t>(g.node_count()));
   for (NodeId v = 0; v < g.node_count(); ++v) {
-    outputs[static_cast<std::size_t>(v)] =
-        nodes[static_cast<std::size_t>(v)]->output();
+    auto& out = outputs[static_cast<std::size_t>(v)];
+    out = nodes[static_cast<std::size_t>(v)]->output();
+    if (hooks) hooks->on_output_ec(v, out);
   }
   result.matching = FractionalMatching(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
@@ -82,29 +192,40 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds) {
     auto weight_at = [&](NodeId v) {
       const auto& out = outputs[static_cast<std::size_t>(v)];
       auto it = out.find(ed.color);
-      LDLB_REQUIRE_MSG(it != out.end(), "node " << v
-                                                << " announced no weight for "
-                                                   "its colour-"
-                                                << ed.color << " end");
+      if (it == out.end()) {
+        std::ostringstream os;
+        os << "node " << v << " announced no weight for its colour-"
+           << ed.color << " end";
+        throw ModelViolation(os.str(), v, e);
+      }
       return it->second;
     };
     Rational wu = weight_at(ed.u);
     if (!ed.is_loop()) {
       Rational wv = weight_at(ed.v);
-      LDLB_REQUIRE_MSG(wu == wv, "endpoints of edge "
-                                     << e << " disagree: " << wu << " vs "
-                                     << wv << " (algorithm '" << alg.name()
-                                     << "')");
+      if (wu != wv) {
+        std::ostringstream os;
+        os << "endpoints of edge " << e << " disagree: " << wu << " vs "
+           << wv << " (algorithm '" << alg.name() << "')";
+        throw ModelViolation(os.str(), -1, e);
+      }
     }
     result.matching.set_weight(e, wu);
   }
   return result;
 }
 
-RunResult run_po(const Digraph& g, PoAlgorithm& alg, int max_rounds) {
+RunResult run_po(const Digraph& g, PoAlgorithm& alg,
+                 const RunOptions& options) {
+  LDLB_REQUIRE_MSG(options.budget.max_rounds > 0,
+                   "a run budget needs max_rounds > 0");
   LDLB_REQUIRE_MSG(g.has_proper_po_coloring(),
                    "PO algorithms need a proper PO colouring");
   const int delta = g.max_degree();
+  const auto t0 = Clock::now();
+  RunHooks* hooks = options.hooks;
+  RunDiagnostics* diag = options.diagnostics;
+  if (diag) diag->reset(g.node_count());
 
   std::vector<std::unique_ptr<PoNodeState>> nodes;
   nodes.reserve(static_cast<std::size_t>(g.node_count()));
@@ -119,54 +240,98 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg, int max_rounds) {
   }
 
   RunResult result;
-  auto all_halted = [&] {
-    return std::all_of(nodes.begin(), nodes.end(),
-                       [](const auto& n) { return n->halted(); });
+  std::vector<char> crashed(static_cast<std::size_t>(g.node_count()), 0);
+  auto done = [&](NodeId v) {
+    return crashed[static_cast<std::size_t>(v)] ||
+           nodes[static_cast<std::size_t>(v)]->halted();
   };
+  auto all_done = [&] {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!done(v)) return false;
+    }
+    return true;
+  };
+  auto record_halts = [&](int round) {
+    if (!diag) return;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& slot = diag->halt_round[static_cast<std::size_t>(v)];
+      if (slot < 0 && !crashed[static_cast<std::size_t>(v)] &&
+          nodes[static_cast<std::size_t>(v)]->halted()) {
+        slot = round;
+      }
+    }
+  };
+  record_halts(0);
 
   int round = 0;
-  while (!all_halted()) {
+  while (!all_done()) {
     ++round;
-    LDLB_REQUIRE_MSG(round <= max_rounds,
-                     "algorithm '" << alg.name() << "' exceeded " << max_rounds
-                                   << " rounds");
+    check_round_budget(options.budget, round, alg.name());
+    check_wall_budget(options.budget, t0, alg.name());
+    int live = 0;
+    if (hooks) {
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (!done(v) && hooks->node_crashed(v, round)) {
+          crashed[static_cast<std::size_t>(v)] = 1;
+          if (diag) diag->crash_round[static_cast<std::size_t>(v)] = round;
+        }
+      }
+    }
     std::vector<std::map<PoEnd, Message>> outbox(
         static_cast<std::size_t>(g.node_count()));
     for (NodeId v = 0; v < g.node_count(); ++v) {
-      auto& node = nodes[static_cast<std::size_t>(v)];
-      if (!node->halted()) outbox[static_cast<std::size_t>(v)] = node->send(round);
+      if (done(v)) continue;
+      ++live;
+      auto& out = outbox[static_cast<std::size_t>(v)];
+      out = nodes[static_cast<std::size_t>(v)]->send(round);
+      if (hooks) hooks->on_send_po(v, round, out);
     }
+    long long round_messages = 0, round_bytes = 0;
     std::vector<std::map<PoEnd, Message>> inbox(
         static_cast<std::size_t>(g.node_count()));
-    auto deliver = [&](NodeId from, PoEnd from_end, NodeId to, PoEnd to_end) {
+    auto deliver = [&](EdgeId a, NodeId from, PoEnd from_end, NodeId to,
+                       PoEnd to_end) {
       auto it = outbox[static_cast<std::size_t>(from)].find(from_end);
       if (it == outbox[static_cast<std::size_t>(from)].end()) return;
-      inbox[static_cast<std::size_t>(to)][to_end] = it->second;
-      ++result.messages;
-      result.message_bytes += static_cast<long long>(it->second.size());
+      Message payload = it->second;
+      if (hooks) {
+        if (!hooks->on_deliver(a, from, to, round, payload)) {
+          if (diag) ++diag->dropped_messages;
+          return;
+        }
+        if (diag && payload != it->second) ++diag->corrupted_messages;
+      }
+      round_bytes += static_cast<long long>(payload.size());
+      ++round_messages;
+      inbox[static_cast<std::size_t>(to)][to_end] = std::move(payload);
     };
     for (EdgeId a = 0; a < g.arc_count(); ++a) {
       const auto& arc = g.arc(a);
       const Color c = arc.color;
       // Tail's outgoing end pairs with head's incoming end (also for loops,
       // where both ends sit on the same node).
-      deliver(arc.tail, {true, c}, arc.head, {false, c});
-      deliver(arc.head, {false, c}, arc.tail, {true, c});
+      deliver(a, arc.tail, {true, c}, arc.head, {false, c});
+      deliver(a, arc.head, {false, c}, arc.tail, {true, c});
     }
+    result.messages += round_messages;
+    result.message_bytes += round_bytes;
+    if (diag) diag->per_round.push_back({round_messages, round_bytes, live});
+    check_message_budget(options.budget, result.messages, alg.name());
     for (NodeId v = 0; v < g.node_count(); ++v) {
-      auto& node = nodes[static_cast<std::size_t>(v)];
-      if (!node->halted()) {
-        node->receive(round, inbox[static_cast<std::size_t>(v)]);
-      }
+      if (done(v)) continue;
+      nodes[static_cast<std::size_t>(v)]->receive(
+          round, inbox[static_cast<std::size_t>(v)]);
     }
+    record_halts(round);
   }
   result.rounds = round;
 
   std::vector<std::map<PoEnd, Rational>> outputs(
       static_cast<std::size_t>(g.node_count()));
   for (NodeId v = 0; v < g.node_count(); ++v) {
-    outputs[static_cast<std::size_t>(v)] =
-        nodes[static_cast<std::size_t>(v)]->output();
+    auto& out = outputs[static_cast<std::size_t>(v)];
+    out = nodes[static_cast<std::size_t>(v)]->output();
+    if (hooks) hooks->on_output_po(v, out);
   }
   result.matching = FractionalMatching(g.arc_count());
   for (EdgeId a = 0; a < g.arc_count(); ++a) {
@@ -174,19 +339,38 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg, int max_rounds) {
     auto weight_at = [&](NodeId v, PoEnd end) {
       const auto& out = outputs[static_cast<std::size_t>(v)];
       auto it = out.find(end);
-      LDLB_REQUIRE_MSG(it != out.end(),
-                       "node " << v << " announced no weight for an end");
+      if (it == out.end()) {
+        std::ostringstream os;
+        os << "node " << v << " announced no weight for its "
+           << (end.outgoing ? "outgoing" : "incoming") << " colour-"
+           << end.color << " end";
+        throw ModelViolation(os.str(), v, a);
+      }
       return it->second;
     };
     Rational wt = weight_at(arc.tail, {true, arc.color});
     Rational wh = weight_at(arc.head, {false, arc.color});
-    LDLB_REQUIRE_MSG(wt == wh, "ends of arc " << a << " disagree: " << wt
-                                              << " vs " << wh
-                                              << " (algorithm '" << alg.name()
-                                              << "')");
+    if (wt != wh) {
+      std::ostringstream os;
+      os << "ends of arc " << a << " disagree: " << wt << " vs " << wh
+         << " (algorithm '" << alg.name() << "')";
+      throw ModelViolation(os.str(), -1, a);
+    }
     result.matching.set_weight(a, wt);
   }
   return result;
+}
+
+RunResult run_ec(const Multigraph& g, EcAlgorithm& alg, int max_rounds) {
+  RunOptions options;
+  options.budget.max_rounds = max_rounds;
+  return run_ec(g, alg, options);
+}
+
+RunResult run_po(const Digraph& g, PoAlgorithm& alg, int max_rounds) {
+  RunOptions options;
+  options.budget.max_rounds = max_rounds;
+  return run_po(g, alg, options);
 }
 
 }  // namespace ldlb

@@ -8,13 +8,35 @@ namespace {
 
 const Rational kOne{1};
 
+ViolationReport report(ViolationKind kind, NodeId node, EdgeId edge,
+                       Rational amount, std::string message) {
+  ViolationReport r;
+  r.kind = kind;
+  r.node = node;
+  r.edge = edge;
+  r.amount = std::move(amount);
+  r.message = std::move(message);
+  return r;
+}
+
+CheckResult check_size(EdgeId have, EdgeId want) {
+  if (have == want) return CheckResult::pass();
+  std::ostringstream os;
+  os << "weight vector size mismatch: " << have << " weights for " << want
+     << " edges";
+  return CheckResult::fail(report(ViolationKind::kSizeMismatch, kNoNode,
+                                  kNoEdge, Rational(0), os.str()));
+}
+
 CheckResult check_weight_range(const FractionalMatching& y) {
   for (EdgeId e = 0; e < y.edge_count(); ++e) {
     const Rational& w = y.weight(e);
     if (w.sign() < 0 || w > kOne) {
       std::ostringstream os;
       os << "edge " << e << " has weight " << w << " outside [0,1]";
-      return CheckResult::fail(os.str());
+      Rational excess = w.sign() < 0 ? -w : w - kOne;
+      return CheckResult::fail(report(ViolationKind::kWeightOutOfRange,
+                                      kNoNode, e, excess, os.str()));
     }
   }
   return CheckResult::pass();
@@ -27,7 +49,22 @@ CheckResult check_node_sums(const Graph& g, const FractionalMatching& y) {
     if (s > kOne) {
       std::ostringstream os;
       os << "node " << v << " has y[v] = " << s << " > 1";
-      return CheckResult::fail(os.str());
+      return CheckResult::fail(report(ViolationKind::kNodeOverSaturated, v,
+                                      kNoEdge, s - kOne, os.str()));
+    }
+  }
+  return CheckResult::pass();
+}
+
+template <typename Graph>
+CheckResult check_all_saturated(const Graph& g, const FractionalMatching& y) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!is_saturated(g, y, v)) {
+      Rational s = y.node_sum(g, v);
+      std::ostringstream os;
+      os << "node " << v << " is unsaturated: y[v] = " << s;
+      return CheckResult::fail(report(ViolationKind::kNodeUnsaturated, v,
+                                      kNoEdge, kOne - s, os.str()));
     }
   }
   return CheckResult::pass();
@@ -35,18 +72,32 @@ CheckResult check_node_sums(const Graph& g, const FractionalMatching& y) {
 
 }  // namespace
 
-CheckResult check_feasible(const Multigraph& g, const FractionalMatching& y) {
-  if (y.edge_count() != g.edge_count()) {
-    return CheckResult::fail("weight vector size mismatch");
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kNone:
+      return "none";
+    case ViolationKind::kSizeMismatch:
+      return "size-mismatch";
+    case ViolationKind::kWeightOutOfRange:
+      return "weight-out-of-range";
+    case ViolationKind::kNodeOverSaturated:
+      return "node-over-saturated";
+    case ViolationKind::kEdgeUnsaturated:
+      return "edge-unsaturated";
+    case ViolationKind::kNodeUnsaturated:
+      return "node-unsaturated";
   }
+  return "unknown";
+}
+
+CheckResult check_feasible(const Multigraph& g, const FractionalMatching& y) {
+  if (auto r = check_size(y.edge_count(), g.edge_count()); !r) return r;
   if (auto r = check_weight_range(y); !r) return r;
   return check_node_sums(g, y);
 }
 
 CheckResult check_feasible(const Digraph& g, const FractionalMatching& y) {
-  if (y.edge_count() != g.arc_count()) {
-    return CheckResult::fail("weight vector size mismatch");
-  }
+  if (auto r = check_size(y.edge_count(), g.arc_count()); !r) return r;
   if (auto r = check_weight_range(y); !r) return r;
   return check_node_sums(g, y);
 }
@@ -68,7 +119,12 @@ CheckResult check_maximal(const Multigraph& g, const FractionalMatching& y) {
       std::ostringstream os;
       os << "edge " << e << " = {" << ed.u << "," << ed.v
          << "} has no saturated endpoint";
-      return CheckResult::fail(os.str());
+      // `amount`: the less-saturated endpoint's deficit — what a blaming
+      // node could still add to the edge.
+      Rational du = kOne - y.node_sum(g, ed.u);
+      Rational dv = kOne - y.node_sum(g, ed.v);
+      return CheckResult::fail(report(ViolationKind::kEdgeUnsaturated, ed.u,
+                                      e, du > dv ? du : dv, os.str()));
     }
   }
   return CheckResult::pass();
@@ -82,7 +138,11 @@ CheckResult check_maximal(const Digraph& g, const FractionalMatching& y) {
       std::ostringstream os;
       os << "arc " << a << " = (" << arc.tail << "->" << arc.head
          << ") has no saturated endpoint";
-      return CheckResult::fail(os.str());
+      Rational dt = kOne - y.node_sum(g, arc.tail);
+      Rational dh = kOne - y.node_sum(g, arc.head);
+      return CheckResult::fail(report(ViolationKind::kEdgeUnsaturated,
+                                      arc.tail, a, dt > dh ? dt : dh,
+                                      os.str()));
     }
   }
   return CheckResult::pass();
@@ -91,27 +151,13 @@ CheckResult check_maximal(const Digraph& g, const FractionalMatching& y) {
 CheckResult check_fully_saturated(const Multigraph& g,
                                   const FractionalMatching& y) {
   if (auto r = check_feasible(g, y); !r) return r;
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    if (!is_saturated(g, y, v)) {
-      std::ostringstream os;
-      os << "node " << v << " is unsaturated: y[v] = " << y.node_sum(g, v);
-      return CheckResult::fail(os.str());
-    }
-  }
-  return CheckResult::pass();
+  return check_all_saturated(g, y);
 }
 
 CheckResult check_fully_saturated(const Digraph& g,
                                   const FractionalMatching& y) {
   if (auto r = check_feasible(g, y); !r) return r;
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    if (!is_saturated(g, y, v)) {
-      std::ostringstream os;
-      os << "node " << v << " is unsaturated: y[v] = " << y.node_sum(g, v);
-      return CheckResult::fail(os.str());
-    }
-  }
-  return CheckResult::pass();
+  return check_all_saturated(g, y);
 }
 
 std::vector<NodeId> saturated_nodes(const Multigraph& g,

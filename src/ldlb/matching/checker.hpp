@@ -16,13 +16,49 @@
 
 namespace ldlb {
 
-/// Result of a check, with a human-readable reason on failure.
+/// Which constraint of the maximal-fractional-matching LCL a weight vector
+/// violated. The order mirrors the order the checks run in.
+enum class ViolationKind {
+  kNone,               ///< no violation
+  kSizeMismatch,       ///< weight vector length != edge count
+  kWeightOutOfRange,   ///< some y[e] outside [0, 1]
+  kNodeOverSaturated,  ///< some y[v] > 1 (infeasible packing)
+  kEdgeUnsaturated,    ///< some edge with no saturated endpoint (not maximal)
+  kNodeUnsaturated,    ///< some node not saturated (Lemma 2 conclusion fails)
+};
+
+[[nodiscard]] const char* to_string(ViolationKind kind);
+
+/// Structured account of a failed check: which constraint broke, where, and
+/// by how much — the machine-checkable analogue of the paper's "certificate
+/// of incorrectness". A passing check reports kind == kNone.
+struct ViolationReport {
+  ViolationKind kind = ViolationKind::kNone;
+  NodeId node = kNoNode;  ///< offending node, if the constraint is node-scoped
+  EdgeId edge = kNoEdge;  ///< offending edge/arc, if edge-scoped
+  Rational amount;        ///< size of the violation: the excess above 1 for
+                          ///< over-saturation / range, the deficit below 1
+                          ///< for unsaturation (0 when not applicable)
+  std::string message;    ///< human-readable rendering
+
+  [[nodiscard]] bool any() const { return kind != ViolationKind::kNone; }
+};
+
+/// Result of a check, with a human-readable reason and a structured report
+/// on failure.
 struct CheckResult {
   bool ok = true;
   std::string reason;
+  ViolationReport report;
 
-  static CheckResult pass() { return {true, ""}; }
-  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(ViolationReport why) {
+    CheckResult r;
+    r.ok = false;
+    r.reason = why.message;
+    r.report = std::move(why);
+    return r;
+  }
   explicit operator bool() const { return ok; }
 };
 

@@ -1,21 +1,127 @@
-// Contract checking and error reporting for the ldlb library.
+// Error taxonomy and contract checking for the ldlb library.
 //
-// Preconditions and invariants throw `ldlb::ContractViolation` so that both
-// library users and the test suite can observe violated contracts without
-// aborting the whole process. These checks guard *logic* errors; they are not
-// used for ordinary control flow.
+// Every failure the library can report derives from `ldlb::Error`, so a
+// caller that wants "anything ldlb noticed went wrong" catches one type,
+// while the test suite and the guarded-execution layer (fault/guarded_run)
+// can distinguish *how* a run went wrong:
+//
+//   Error
+//   ├── ContractViolation   broken precondition / internal invariant
+//   ├── ParseError          malformed textual input (line + offending token)
+//   ├── ModelViolation      an algorithm broke the LOCAL-model output
+//   │                       contract (missing or disagreeing announcements)
+//   ├── BudgetExceeded      a guarded run overran its round / message /
+//   │                       wall-clock budget
+//   └── FaultInjected       a fault plan fired in trap mode (pinpoints the
+//                           first injected fault site)
+//
+// These exceptions guard *logic* errors and adversarial misbehaviour; they
+// are not used for ordinary control flow.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace ldlb {
 
-/// Thrown when a documented precondition or internal invariant is violated.
-class ContractViolation : public std::logic_error {
+/// Common base of every error the library throws.
+class Error : public std::logic_error {
  public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+  explicit Error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a documented precondition or internal invariant is violated.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by the text parsers (graph_io, certificate_io) on malformed
+/// input. Carries the 1-based line number and the offending token so that
+/// tooling can point at the exact defect.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, std::string token = "")
+      : Error(what), line_(line), token_(std::move(token)) {}
+
+  /// 1-based line of the defect; -1 when unknown (e.g. unexpected EOF
+  /// before any line was read).
+  [[nodiscard]] int line() const { return line_; }
+  /// The token that failed to parse ("" when the problem is a missing
+  /// token).
+  [[nodiscard]] const std::string& token() const { return token_; }
+
+ private:
+  int line_;
+  std::string token_;
+};
+
+/// Thrown by the simulator when an algorithm breaks the output contract of
+/// the LOCAL model: an end with no announced weight, or the two ends of an
+/// edge announcing different weights.
+class ModelViolation : public Error {
+ public:
+  ModelViolation(const std::string& what, std::int64_t node = -1,
+                 std::int64_t edge = -1)
+      : Error(what), node_(node), edge_(edge) {}
+
+  /// Offending node id, -1 when the violation is edge-scoped.
+  [[nodiscard]] std::int64_t node() const { return node_; }
+  /// Offending edge/arc id, -1 when the violation is node-scoped.
+  [[nodiscard]] std::int64_t edge() const { return edge_; }
+
+ private:
+  std::int64_t node_;
+  std::int64_t edge_;
+};
+
+/// Thrown by the simulator when a run overruns one of its budgets.
+class BudgetExceeded : public Error {
+ public:
+  enum class Kind { kRounds, kMessages, kWallClock };
+
+  BudgetExceeded(const std::string& what, Kind kind, long long limit,
+                 long long used)
+      : Error(what), kind_(kind), limit_(limit), used_(used) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// The configured budget.
+  [[nodiscard]] long long limit() const { return limit_; }
+  /// What was actually consumed when the budget tripped (microseconds for
+  /// the wall-clock kind).
+  [[nodiscard]] long long used() const { return used_; }
+
+ private:
+  Kind kind_;
+  long long limit_;
+  long long used_;
+};
+
+/// Thrown by a fault plan running in trap mode: identifies the first
+/// injected fault instead of letting it silently corrupt the run.
+class FaultInjected : public Error {
+ public:
+  FaultInjected(const std::string& what, std::string fault_class,
+                std::int64_t node = -1, std::int64_t edge = -1, int round = 0)
+      : Error(what),
+        fault_class_(std::move(fault_class)),
+        node_(node),
+        edge_(edge),
+        round_(round) {}
+
+  /// Name of the fault class that fired (see fault/fault_plan.hpp).
+  [[nodiscard]] const std::string& fault_class() const { return fault_class_; }
+  [[nodiscard]] std::int64_t node() const { return node_; }
+  [[nodiscard]] std::int64_t edge() const { return edge_; }
+  [[nodiscard]] int round() const { return round_; }
+
+ private:
+  std::string fault_class_;
+  std::int64_t node_;
+  std::int64_t edge_;
+  int round_;
 };
 
 namespace detail {

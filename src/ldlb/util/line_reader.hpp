@@ -1,0 +1,105 @@
+// Line-tracking tokenizer for the text parsers (graph_io, certificate_io).
+//
+// The formats are line-oriented; reading through LineReader lets a parser
+// attribute every defect to a 1-based line number and the offending token,
+// which ParseError then carries to the caller. Tokens are whitespace
+// separated and never span lines.
+#pragma once
+
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+#include <string>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next token; `what` names the expected item for the error message when
+  /// the input ends instead.
+  std::string token(const char* what) {
+    if (!pushed_back_.empty()) {
+      std::string tok = std::move(pushed_back_);
+      pushed_back_.clear();
+      return tok;
+    }
+    std::string tok;
+    while (!(line_stream_ >> tok)) {
+      if (!next_line()) {
+        fail(std::string("unexpected end of input — expected ") + what);
+      }
+    }
+    return tok;
+  }
+
+  /// Next token parsed as an integer in [lo, hi].
+  long long integer(const char* what, long long lo, long long hi) {
+    std::string tok = token(what);
+    char* end = nullptr;
+    const long long value = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      fail(std::string("expected integer ") + what, tok);
+    }
+    if (value < lo || value > hi) {
+      std::ostringstream os;
+      os << what << " " << value << " out of range [" << lo << ", " << hi
+         << "]";
+      fail(os.str(), tok);
+    }
+    return value;
+  }
+
+  /// Consumes the next token and requires it to equal `expected`.
+  void expect(const std::string& expected, const char* what) {
+    std::string tok = token(what);
+    if (tok != expected) {
+      fail("expected '" + expected + "' (" + what + ")", tok);
+    }
+  }
+
+  /// True when only whitespace remains. A probed token is pushed back and
+  /// returned by the next token() call.
+  bool at_end() {
+    std::string probe;
+    for (;;) {
+      if (line_stream_ >> probe) {
+        pushed_back_ = probe;
+        return false;
+      }
+      if (!next_line()) return true;
+    }
+  }
+
+  /// Line of the most recently read token (1-based; 0 before any read).
+  [[nodiscard]] int line() const { return line_; }
+
+  /// Throws ParseError anchored at the current line.
+  [[noreturn]] void fail(const std::string& msg,
+                         const std::string& tok = "") const {
+    std::ostringstream os;
+    os << "line " << line_ << ": " << msg;
+    if (!tok.empty()) os << ", got '" << tok << "'";
+    throw ParseError(os.str(), line_, tok);
+  }
+
+ private:
+  bool next_line() {
+    std::string buf;
+    if (!std::getline(is_, buf)) return false;
+    ++line_;
+    line_stream_.clear();
+    line_stream_.str(buf);
+    return true;
+  }
+
+  std::istream& is_;
+  std::istringstream line_stream_;
+  std::string pushed_back_;
+  int line_ = 0;
+};
+
+}  // namespace ldlb

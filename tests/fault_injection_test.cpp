@@ -1,0 +1,352 @@
+// Fault-detection round-trip: for every FaultPlan fault class, an injected
+// fault on a seeded run is (a) bit-reproducible from the seed and (b)
+// detected and correctly classified by the simulator's typed errors or the
+// checker's ViolationReport. This is the machine-checked analogue of the
+// paper's "certificate of incorrectness": the detection machinery provably
+// catches manufactured misbehaviour, so a clean verdict on a real algorithm
+// means something.
+#include "ldlb/fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/fault/guarded_run.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+
+namespace ldlb {
+namespace {
+
+// Handshake test subject: every node sends the value 100 + c through its
+// colour-c end in round 1 and announces, for each end, the sum of what it
+// sent and what it received (scaled into [0,1]). On a clean run the two
+// ends of every edge compute the same sum, so the run passes the
+// simulator's cross-check. The design makes every fault class observable:
+//
+//   * a dropped or missing message -> the node announces the loud sentinel
+//     weight 2 (out of range), which cannot match its partner;
+//   * a corrupted payload -> the receiver parses a different value, so the
+//     two ends disagree;
+//   * a permuted outbox -> ends receive values tagged for other colours;
+//   * a crashed node -> announces nothing at all;
+//   * a perturbed weight -> disagrees with the partner end (loop-free test
+//     graphs keep every end cross-checked).
+class Handshake : public EcAlgorithm {
+ public:
+  class Node : public EcNodeState {
+   public:
+    explicit Node(std::vector<Color> colors) : colors_(std::move(colors)) {}
+
+    std::map<Color, Message> send(int) override {
+      std::map<Color, Message> out;
+      for (Color c : colors_) out[c] = std::to_string(100 + c);
+      return out;
+    }
+    void receive(int, const std::map<Color, Message>& inbox) override {
+      for (Color c : colors_) {
+        auto it = inbox.find(c);
+        if (it == inbox.end()) {
+          received_[c] = -1;  // missing
+          continue;
+        }
+        try {
+          received_[c] = std::stoi(it->second);
+        } catch (const std::exception&) {
+          received_[c] = -2;  // unparseable
+        }
+      }
+      done_ = true;
+    }
+    [[nodiscard]] bool halted() const override { return done_; }
+    [[nodiscard]] std::map<Color, Rational> output() const override {
+      std::map<Color, Rational> out;
+      if (!done_) return out;  // a crashed node announces nothing
+      for (Color c : colors_) {
+        const int r = received_.at(c);
+        out[c] = r < 0 ? Rational(2)  // loud out-of-range sentinel
+                       : Rational(100 + c + r, 100000);
+      }
+      return out;
+    }
+
+   private:
+    std::vector<Color> colors_;
+    std::map<Color, int> received_;
+    bool done_ = false;
+  };
+
+  std::unique_ptr<EcNodeState> make_node(const EcNodeContext& ctx) override {
+    return std::make_unique<Node>(ctx.incident_colors);
+  }
+  [[nodiscard]] std::string name() const override { return "Handshake"; }
+};
+
+// PO counterpart; the value additionally encodes the direction so port
+// permutations across direction are observable too.
+class PoHandshake : public PoAlgorithm {
+ public:
+  class Node : public PoNodeState {
+   public:
+    explicit Node(PoNodeContext ctx) : ctx_(std::move(ctx)) {}
+
+    std::map<PoEnd, Message> send(int) override {
+      std::map<PoEnd, Message> out;
+      for (Color c : ctx_.out_colors) {
+        out[{true, c}] = std::to_string(500 + c);
+      }
+      for (Color c : ctx_.in_colors) {
+        out[{false, c}] = std::to_string(700 + c);
+      }
+      return out;
+    }
+    void receive(int, const std::map<PoEnd, Message>& inbox) override {
+      auto note = [&](PoEnd end) {
+        auto it = inbox.find(end);
+        if (it == inbox.end()) {
+          received_[end] = -1;
+          return;
+        }
+        try {
+          received_[end] = std::stoi(it->second);
+        } catch (const std::exception&) {
+          received_[end] = -2;
+        }
+      };
+      for (Color c : ctx_.out_colors) note({true, c});
+      for (Color c : ctx_.in_colors) note({false, c});
+      done_ = true;
+    }
+    [[nodiscard]] bool halted() const override { return done_; }
+    [[nodiscard]] std::map<PoEnd, Rational> output() const override {
+      std::map<PoEnd, Rational> out;
+      if (!done_) return out;
+      for (const auto& [end, r] : received_) {
+        // An outgoing end's partner sends 700 + c; an incoming end's
+        // partner sends 500 + c. Both ends of an arc therefore announce
+        // (500 + c) + (700 + c) on a clean run.
+        const int own = (end.outgoing ? 500 : 700) + end.color;
+        out[end] = r < 0 ? Rational(2) : Rational(own + r, 100000);
+      }
+      return out;
+    }
+
+   private:
+    PoNodeContext ctx_;
+    std::map<PoEnd, int> received_;
+    bool done_ = false;
+  };
+
+  std::unique_ptr<PoNodeState> make_node(const PoNodeContext& ctx) override {
+    return std::make_unique<Node>(ctx);
+  }
+  [[nodiscard]] std::string name() const override { return "PoHandshake"; }
+};
+
+Multigraph test_graph() {
+  // Loop-free, degree 2, colours {0,1,2}: every end is cross-checked
+  // against a distinct partner node, so no fault can hide in a loop.
+  return greedy_edge_coloring(make_cycle(7));
+}
+
+FaultSpec one_fault(FaultClass kind) {
+  FaultSpec spec;
+  switch (kind) {
+    case FaultClass::kCrashStop:
+      spec.crash_stops = 1;
+      break;
+    case FaultClass::kMessageDrop:
+      spec.message_drops = 1;
+      break;
+    case FaultClass::kMessageCorrupt:
+      spec.message_corruptions = 1;
+      break;
+    case FaultClass::kWeightPerturb:
+      spec.weight_perturbations = 1;
+      break;
+    case FaultClass::kPortPermute:
+      spec.port_permutations = 1;
+      break;
+  }
+  return spec;
+}
+
+const FaultClass kAllClasses[] = {
+    FaultClass::kCrashStop, FaultClass::kMessageDrop,
+    FaultClass::kMessageCorrupt, FaultClass::kWeightPerturb,
+    FaultClass::kPortPermute,
+};
+
+TEST(FaultInjection, PlansAreBitReproducibleFromTheSeed) {
+  Multigraph g = test_graph();
+  for (FaultClass kind : kAllClasses) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      FaultPlan a{seed, one_fault(kind)};
+      FaultPlan b{seed, one_fault(kind)};
+      a.bind(g);
+      b.bind(g);
+      EXPECT_EQ(a.describe(), b.describe());
+      ASSERT_EQ(a.events().size(), 1u);
+      EXPECT_EQ(a.events()[0].kind, kind);
+    }
+  }
+  // Different seeds must explore different sites (whole-plan fingerprint).
+  FaultSpec all;
+  all.crash_stops = all.message_drops = all.message_corruptions = 2;
+  all.weight_perturbations = all.port_permutations = 2;
+  FaultPlan p1{1, all}, p2{2, all};
+  p1.bind(g);
+  p2.bind(g);
+  EXPECT_NE(p1.describe(), p2.describe());
+}
+
+TEST(FaultInjection, EveryFaultClassIsDetectedAndClassified) {
+  Multigraph g = test_graph();
+  for (FaultClass kind : kAllClasses) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      FaultPlan plan{seed, one_fault(kind)};
+      plan.bind(g);
+      GuardedRunOptions options;
+      options.budget.max_rounds = 10;
+      options.hooks = &plan;
+      options.check_output = false;  // the handshake output is not maximal
+      Handshake alg;
+      GuardedOutcome first = guarded_run_ec(g, alg, options);
+      // (b) detected: the run must NOT look clean.
+      EXPECT_EQ(first.status, RunStatus::kModelViolation)
+          << to_string(kind) << " seed " << seed << " escaped: "
+          << first.classification();
+      EXPECT_FALSE(first.error.empty());
+      ASSERT_EQ(plan.fired().size(), 1u) << to_string(kind);
+      EXPECT_EQ(plan.fired()[0].kind, kind);
+      EXPECT_EQ(first.diagnostics.first_violation, first.error);
+      // (a) bit-reproducible: a second run from the same seed produces the
+      // identical outcome.
+      plan.reset_fired();
+      Handshake again;
+      GuardedOutcome second = guarded_run_ec(g, again, options);
+      EXPECT_EQ(second.status, first.status);
+      EXPECT_EQ(second.error, first.error);
+      EXPECT_EQ(second.diagnostics.dropped_messages,
+                first.diagnostics.dropped_messages);
+      EXPECT_EQ(second.diagnostics.corrupted_messages,
+                first.diagnostics.corrupted_messages);
+    }
+  }
+}
+
+TEST(FaultInjection, CleanRunUnderEmptyPlanIsClean) {
+  Multigraph g = test_graph();
+  FaultPlan plan{7, FaultSpec{}};
+  plan.bind(g);
+  GuardedRunOptions options;
+  options.budget.max_rounds = 10;
+  options.hooks = &plan;
+  options.check_output = false;
+  Handshake alg;
+  GuardedOutcome outcome = guarded_run_ec(g, alg, options);
+  EXPECT_EQ(outcome.status, RunStatus::kOk);
+  EXPECT_TRUE(plan.fired().empty());
+  EXPECT_EQ(outcome.diagnostics.dropped_messages, 0);
+  EXPECT_EQ(outcome.diagnostics.corrupted_messages, 0);
+}
+
+TEST(FaultInjection, CrashStopIsVisibleInDiagnostics) {
+  Multigraph g = test_graph();
+  FaultPlan plan{11, one_fault(FaultClass::kCrashStop)};
+  plan.bind(g);
+  const NodeId victim = plan.events()[0].node;
+  GuardedRunOptions options;
+  options.budget.max_rounds = 10;
+  options.hooks = &plan;
+  options.check_output = false;
+  Handshake alg;
+  GuardedOutcome outcome = guarded_run_ec(g, alg, options);
+  EXPECT_EQ(outcome.status, RunStatus::kModelViolation);
+  EXPECT_EQ(outcome.diagnostics.crash_round[static_cast<std::size_t>(victim)],
+            plan.events()[0].round);
+  EXPECT_EQ(outcome.diagnostics.halt_round[static_cast<std::size_t>(victim)],
+            -1);
+}
+
+TEST(FaultInjection, DropAndCorruptAreCountedInDiagnostics) {
+  Multigraph g = test_graph();
+  {
+    FaultPlan plan{3, one_fault(FaultClass::kMessageDrop)};
+    plan.bind(g);
+    GuardedRunOptions options;
+    options.budget.max_rounds = 10;
+    options.hooks = &plan;
+    options.check_output = false;
+    Handshake alg;
+    GuardedOutcome outcome = guarded_run_ec(g, alg, options);
+    EXPECT_EQ(outcome.diagnostics.dropped_messages, 1);
+  }
+  {
+    FaultPlan plan{3, one_fault(FaultClass::kMessageCorrupt)};
+    plan.bind(g);
+    GuardedRunOptions options;
+    options.budget.max_rounds = 10;
+    options.hooks = &plan;
+    options.check_output = false;
+    Handshake alg;
+    GuardedOutcome outcome = guarded_run_ec(g, alg, options);
+    EXPECT_EQ(outcome.diagnostics.corrupted_messages, 1);
+  }
+}
+
+TEST(FaultInjection, TrapModePinpointsTheFaultSite) {
+  Multigraph g = test_graph();
+  FaultSpec spec = one_fault(FaultClass::kMessageDrop);
+  spec.trap = true;
+  FaultPlan plan{5, spec};
+  plan.bind(g);
+  GuardedRunOptions options;
+  options.budget.max_rounds = 10;
+  options.hooks = &plan;
+  Handshake alg;
+  GuardedOutcome outcome = guarded_run_ec(g, alg, options);
+  EXPECT_EQ(outcome.status, RunStatus::kFaultInjected);
+  EXPECT_NE(outcome.error.find("message-drop"), std::string::npos);
+  // The typed exception carries the exact site.
+  try {
+    RunOptions run_options;
+    run_options.budget.max_rounds = 10;
+    run_options.hooks = &plan;
+    Handshake again;
+    run_ec(g, again, run_options);
+    FAIL() << "expected FaultInjected";
+  } catch (const FaultInjected& e) {
+    EXPECT_EQ(e.fault_class(), "message-drop");
+    EXPECT_EQ(e.edge(), plan.events()[0].edge);
+    EXPECT_EQ(e.round(), plan.events()[0].round);
+  }
+}
+
+TEST(FaultInjection, PoFaultsAreDetectedToo) {
+  // Directed 6-cycle, all arcs colour 0: a proper PO colouring (one
+  // outgoing and one incoming arc per node).
+  Digraph g(6);
+  for (NodeId v = 0; v < 6; ++v) g.add_arc(v, (v + 1) % 6, 0);
+  for (FaultClass kind : {FaultClass::kCrashStop, FaultClass::kMessageDrop,
+                          FaultClass::kMessageCorrupt,
+                          FaultClass::kWeightPerturb,
+                          FaultClass::kPortPermute}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      FaultPlan plan{seed, one_fault(kind)};
+      plan.bind(g);
+      GuardedRunOptions options;
+      options.budget.max_rounds = 10;
+      options.hooks = &plan;
+      options.check_output = false;
+      PoHandshake alg;
+      GuardedOutcome outcome = guarded_run_po(g, alg, options);
+      EXPECT_EQ(outcome.status, RunStatus::kModelViolation)
+          << to_string(kind) << " seed " << seed << " escaped: "
+          << outcome.classification();
+      ASSERT_EQ(plan.fired().size(), 1u);
+      EXPECT_EQ(plan.fired()[0].kind, kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldlb

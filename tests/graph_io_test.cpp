@@ -46,12 +46,23 @@ TEST(GraphIo, DigraphRoundTrip) {
 }
 
 TEST(GraphIo, MalformedInputRejected) {
-  EXPECT_THROW(multigraph_from_string(""), ContractViolation);
-  EXPECT_THROW(multigraph_from_string("digraph 1 0\n"), ContractViolation);
-  EXPECT_THROW(multigraph_from_string("multigraph 2 1\n"), ContractViolation);
+  EXPECT_THROW(multigraph_from_string(""), ParseError);
+  EXPECT_THROW(multigraph_from_string("digraph 1 0\n"), ParseError);
+  EXPECT_THROW(multigraph_from_string("multigraph 2 1\n"), ParseError);
   EXPECT_THROW(multigraph_from_string("multigraph 2 1\ne 0 5 0\n"),
-               ContractViolation);  // endpoint out of range
-  EXPECT_THROW(digraph_from_string("multigraph 1 0\n"), ContractViolation);
+               ParseError);  // endpoint out of range
+  EXPECT_THROW(digraph_from_string("multigraph 1 0\n"), ParseError);
+}
+
+TEST(GraphIo, ParseErrorsCarryLineAndToken) {
+  try {
+    multigraph_from_string("multigraph 3 2\ne 0 1 0\ne 0 7 1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.token(), "7");
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+  }
 }
 
 TEST(GraphIo, EmptyGraphs) {

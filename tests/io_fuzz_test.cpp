@@ -1,0 +1,206 @@
+// Malformed-input corpus for the text parsers (graph_io, certificate_io).
+//
+// Every entry must produce a typed ParseError — never a crash, never a
+// silent acceptance — and the error must point at the right line. A
+// randomised mutation sweep then hammers the parsers with corrupted
+// round-trip text: any outcome other than "parsed" or "typed ldlb::Error"
+// is a bug.
+#include <gtest/gtest.h>
+
+#include "ldlb/core/certificate_io.hpp"
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/graph/graph_io.hpp"
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+// --- multigraph corpus -----------------------------------------------------
+
+struct Malformed {
+  const char* text;
+  const char* why;
+};
+
+const Malformed kBadMultigraphs[] = {
+    {"", "empty input"},
+    {"multigraph", "truncated header: no counts"},
+    {"multigraph 2", "truncated header: no edge count"},
+    {"multigraph -1 0\n", "negative node count"},
+    {"multigraph 2 -1\n", "negative edge count"},
+    {"multigraph two 1\n", "non-numeric node count"},
+    {"multigraph 2 1\n", "truncated edge list"},
+    {"multigraph 2 2\ne 0 1 0\n", "one edge missing"},
+    {"multigraph 2 1\nx 0 1 0\n", "bad edge tag"},
+    {"multigraph 2 2\ne 0 1 0\nmultigraph 2 1\n", "duplicated header"},
+    {"multigraph 2 1\ne 0 5 0\n", "endpoint out of range"},
+    {"multigraph 2 1\ne -1 1 0\n", "negative endpoint"},
+    {"multigraph 2 1\ne 0 1 -3\n", "colour below -1"},
+    {"multigraph 2 1\ne 0 1 0.5\n", "fractional colour"},
+    {"digraph 1 0\n", "wrong object kind"},
+};
+
+TEST(IoFuzz, MultigraphCorpusRejectedWithParseError) {
+  for (const auto& bad : kBadMultigraphs) {
+    try {
+      multigraph_from_string(bad.text);
+      FAIL() << "accepted " << bad.why << ": " << bad.text;
+    } catch (const ParseError&) {
+      // expected
+    }
+  }
+}
+
+TEST(IoFuzz, MultigraphTrailingGarbageRejected) {
+  EXPECT_THROW(multigraph_from_string("multigraph 1 0\nleftover\n"),
+               ParseError);
+  // The plain stream reader stops after the last edge, so several graphs
+  // can share one stream.
+  std::istringstream two{"multigraph 1 0\nmultigraph 2 1\ne 0 1 4\n"};
+  Multigraph first = read_multigraph(two);
+  Multigraph second = read_multigraph(two);
+  EXPECT_EQ(first.node_count(), 1);
+  EXPECT_EQ(second.edge_count(), 1);
+}
+
+const Malformed kBadDigraphs[] = {
+    {"", "empty input"},
+    {"digraph 2", "truncated header"},
+    {"digraph 2 1\n", "truncated arc list"},
+    {"digraph 2 1\ne 0 1 0\n", "edge tag in a digraph"},
+    {"digraph 2 1\na 0 9 0\n", "head out of range"},
+    {"digraph 2 1\na 0 1 -2\n", "colour below -1"},
+    {"multigraph 1 0\n", "wrong object kind"},
+};
+
+TEST(IoFuzz, DigraphCorpusRejectedWithParseError) {
+  for (const auto& bad : kBadDigraphs) {
+    try {
+      digraph_from_string(bad.text);
+      FAIL() << "accepted " << bad.why << ": " << bad.text;
+    } catch (const ParseError&) {
+      // expected
+    }
+  }
+}
+
+// --- certificate corpus ----------------------------------------------------
+
+std::string valid_certificate_text() {
+  // A syntactically complete single-level certificate: both graphs are one
+  // node with two loops (colours 0 and 1).
+  return "ldlb-certificate 1\n"
+         "delta 2\n"
+         "algorithm Test\n"
+         "level 0\n"
+         "g 1 2\n"
+         "e 0 0 0\n"
+         "e 0 0 1\n"
+         "h 1 2\n"
+         "e 0 0 0\n"
+         "e 0 0 1\n"
+         "witness 0 0 0 0 0 1/2 1/3 4\n"
+         "end\n";
+}
+
+TEST(IoFuzz, ValidCertificateParses) {
+  LowerBoundCertificate cert = certificate_from_string(valid_certificate_text());
+  EXPECT_EQ(cert.delta, 2);
+  ASSERT_EQ(cert.levels.size(), 1u);
+  EXPECT_EQ(cert.levels[0].g_weight, Rational(1, 2));
+  EXPECT_EQ(cert.levels[0].h_weight, Rational(1, 3));
+  // Round-trip stability.
+  EXPECT_EQ(certificate_to_string(cert), valid_certificate_text());
+}
+
+const Malformed kBadCertificates[] = {
+    {"", "empty input"},
+    {"ldlb-certificate 2\n", "unsupported version"},
+    {"not-a-certificate 1\n", "wrong magic"},
+    {"ldlb-certificate 1\ndelta 2\nalgorithm A\n", "missing end"},
+    {"ldlb-certificate 1\ndelta 2\nalgorithm A\nlevel 0\nend\n",
+     "level without graphs"},
+    {"ldlb-certificate 1\nalgorithm A\ndelta 2\nend\n",
+     "delta and algorithm swapped"},
+};
+
+TEST(IoFuzz, CertificateCorpusRejectedWithParseError) {
+  for (const auto& bad : kBadCertificates) {
+    try {
+      certificate_from_string(bad.text);
+      FAIL() << "accepted " << bad.why;
+    } catch (const ParseError&) {
+      // expected
+    }
+  }
+}
+
+TEST(IoFuzz, CertificateBadRationalDiagnosed) {
+  std::string text = valid_certificate_text();
+  const auto at = text.find("1/2");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 3, "1/x");
+  try {
+    certificate_from_string(text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 11);  // the witness line
+    EXPECT_EQ(e.token(), "1/x");
+  }
+}
+
+TEST(IoFuzz, CertificateWitnessOutOfRangeDiagnosed) {
+  std::string text = valid_certificate_text();
+  const auto at = text.find("witness 0");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 9, "witness 5");  // g witness node out of range
+  try {
+    certificate_from_string(text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 11);
+  }
+}
+
+// --- randomised mutation sweep --------------------------------------------
+
+// Mutates valid serialisations and checks the parsers never do anything
+// except parse or throw a typed ldlb error.
+TEST(IoFuzz, RandomMutationsNeverEscapeTheTaxonomy) {
+  Rng rng{20140721};
+  Multigraph g = greedy_edge_coloring(make_cycle(7));
+  const std::string base = graph_to_string(g);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = base;
+    switch (rng.next_below(3)) {
+      case 0:  // flip one byte to a random printable character
+        text[rng.next_below(text.size())] =
+            static_cast<char>(' ' + rng.next_below(95));
+        break;
+      case 1:  // truncate
+        text.resize(rng.next_below(text.size()));
+        break;
+      default:  // duplicate a chunk in place
+        text.insert(rng.next_below(text.size()),
+                    text.substr(0, rng.next_below(text.size())));
+        break;
+    }
+    try {
+      Multigraph back = multigraph_from_string(text);
+      (void)back;
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+    // Anything else (std::bad_alloc aside) escapes the test as a failure.
+  }
+  // The sweep must exercise both outcomes to be meaningful.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(parsed + rejected, 499);
+}
+
+}  // namespace
+}  // namespace ldlb

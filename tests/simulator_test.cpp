@@ -84,7 +84,49 @@ TEST(Simulator, CountsRoundsUntilAllHalt) {
 TEST(Simulator, EnforcesRoundBudget) {
   Multigraph g = greedy_edge_coloring(make_path(2));
   EchoAlgorithm alg{50};
-  EXPECT_THROW(run_ec(g, alg, 10), ContractViolation);
+  try {
+    run_ec(g, alg, 10);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kRounds);
+    EXPECT_EQ(e.limit(), 10);
+  }
+}
+
+TEST(Simulator, EnforcesMessageBudget) {
+  Multigraph g = greedy_edge_coloring(make_cycle(5));
+  EchoAlgorithm alg{4};
+  RunOptions options;
+  options.budget.max_rounds = 10;
+  options.budget.max_messages = 15;  // each round delivers 20
+  try {
+    run_ec(g, alg, options);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kMessages);
+    EXPECT_GT(e.used(), e.limit());
+  }
+}
+
+TEST(Simulator, CollectsDiagnostics) {
+  Multigraph g = greedy_edge_coloring(make_cycle(5));
+  EchoAlgorithm alg{2};
+  RunOptions options;
+  options.budget.max_rounds = 10;
+  RunDiagnostics diag;
+  options.diagnostics = &diag;
+  RunResult r = run_ec(g, alg, options);
+  ASSERT_EQ(diag.per_round.size(), static_cast<std::size_t>(r.rounds));
+  long long messages = 0;
+  for (const auto& round : diag.per_round) messages += round.messages;
+  EXPECT_EQ(messages, r.messages);
+  EXPECT_EQ(diag.per_round[0].live_nodes, 5);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(diag.halt_round[static_cast<std::size_t>(v)], 2);
+    EXPECT_EQ(diag.crash_round[static_cast<std::size_t>(v)], -1);
+  }
+  EXPECT_EQ(diag.dropped_messages, 0);
+  EXPECT_EQ(diag.corrupted_messages, 0);
 }
 
 TEST(Simulator, DeliversAcrossEdges) {
@@ -154,7 +196,12 @@ TEST(Simulator, RejectsInconsistentEdgeOutputs) {
   Multigraph g(2);
   g.add_edge(0, 1, 0);
   InconsistentOutput alg;
-  EXPECT_THROW(run_ec(g, alg, 10), ContractViolation);
+  try {
+    run_ec(g, alg, 10);
+    FAIL() << "expected ModelViolation";
+  } catch (const ModelViolation& e) {
+    EXPECT_EQ(e.edge(), 0);
+  }
 }
 
 // --- PO simulator ---------------------------------------------------------
