@@ -68,8 +68,9 @@ int main(int argc, char** argv) {
       AdversaryOptions opts;
       opts.max_rounds = 40000;
       LowerBoundCertificate cert = run_adversary(*s.alg, delta, opts);
-      std::ofstream out{argv[4]};
-      write_certificate(out, cert);
+      // Atomic replace: a crash (or full disk) mid-write cannot leave a
+      // torn certificate behind.
+      write_certificate_file(argv[4], cert);
       std::cout << "wrote certificate: delta=" << delta << ", levels 0.."
                 << cert.certified_radius() << ", algorithm '"
                 << cert.algorithm_name << "'\n";
@@ -79,8 +80,7 @@ int main(int argc, char** argv) {
       int delta = std::atoi(argv[2]);
       Subject s = make_subject(argv[3], delta);
       if (!s.alg) return usage();
-      std::ifstream in{argv[4]};
-      LowerBoundCertificate cert = read_certificate(in);
+      LowerBoundCertificate cert = read_certificate_file(argv[4]);
       if (cert.delta != delta) {
         std::cerr << "certificate is for delta=" << cert.delta << "\n";
         return 1;

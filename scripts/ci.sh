@@ -12,6 +12,12 @@ run_suite() {
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$jobs"
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  # Smoke-run the end-to-end demos so they cannot bit-rot: each exits
+  # non-zero if its scenario (fault round-trips, crash/resume byte-identity)
+  # stops holding.
+  echo "== demo smoke ($dir) =="
+  "$dir/examples/fault_injection_demo" > /dev/null
+  "$dir/examples/crash_resume_demo" > /dev/null
 }
 
 echo "== plain build =="

@@ -17,6 +17,16 @@ int round_budget(int delta, const AdversaryOptions& options) {
                                 : 16 * (delta + 2) * (delta + 2);
 }
 
+// All simulated runs inside a step share the round budget and the optional
+// observation hooks.
+FractionalMatching run_on(const Multigraph& g, EcAlgorithm& algorithm,
+                          int budget, const AdversaryOptions& options) {
+  RunOptions run_options;
+  run_options.budget.max_rounds = budget;
+  run_options.hooks = options.hooks;
+  return run_ec(g, algorithm, run_options).matching;
+}
+
 // Checks that the algorithm treated the 2-lift anonymously: the two copies
 // of every surviving edge got equal weights, and the unfolded edge kept the
 // original loop's weight (eq. (2)).
@@ -95,7 +105,7 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
   const EdgeId g_surviving = g.edge_count() - 1;
   const EdgeId h_surviving = h.edge_count() - 1;
   const EdgeId mix_edge = gh.edge_count() - 1;
-  FractionalMatching y_gh = run_ec(gh, algorithm, budget).matching;
+  FractionalMatching y_gh = run_on(gh, algorithm, budget, options);
   const Rational w_mix = y_gh.weight(mix_edge);
 
   CertificateLevel next;
@@ -104,7 +114,7 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
   if (w_mix != prev.g_weight) {
     // Case (GG, GH): the disagreement lives in the shared copy of G − e.
     TwoLift gg = unfold_loop(g, prev.g_loop);
-    FractionalMatching y_gg = run_ec(gg.graph, algorithm, budget).matching;
+    FractionalMatching y_gg = run_on(gg.graph, algorithm, budget, options);
     check_lift_invariance(y_gg, g_surviving, prev.g_weight, algorithm.name());
 
     Multigraph common = g.without_edge(prev.g_loop);
@@ -131,7 +141,7 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
     // w_mix == w_e != w_f — case (HH, GH): disagreement in the copy of H−f.
     LDLB_ENSURE(w_mix != prev.h_weight);
     TwoLift hh = unfold_loop(h, prev.h_loop);
-    FractionalMatching y_hh = run_ec(hh.graph, algorithm, budget).matching;
+    FractionalMatching y_hh = run_on(hh.graph, algorithm, budget, options);
     check_lift_invariance(y_hh, h_surviving, prev.h_weight, algorithm.name());
 
     Multigraph common = h.without_edge(prev.h_loop);

@@ -31,11 +31,18 @@
 
 namespace ldlb {
 
+class RunHooks;
+
 /// Tuning knobs for the adversary run.
 struct AdversaryOptions {
   /// Upper bound on simulated rounds per run (guards non-terminating
   /// algorithms); 0 means "use 16·(Δ+2)²".
   int max_rounds = 0;
+  /// Optional observation hooks (local/hooks.hpp) installed on every
+  /// simulated run an adversary step performs; not owned. Interfering hooks
+  /// (fault plans) will generally break the construction — the intended use
+  /// is passive instrumentation of long runs.
+  RunHooks* hooks = nullptr;
   /// Re-check property (P1) — ball isomorphism + output difference — as
   /// each level is built (cheap; also rechecked by the validator).
   bool verify_p1 = true;

@@ -4,8 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "ldlb/util/atomic_file.hpp"
 #include "ldlb/util/error.hpp"
-#include "ldlb/util/line_reader.hpp"
 
 namespace ldlb {
 
@@ -47,18 +47,52 @@ Rational read_rational(LineReader& r, const char* what) {
 
 }  // namespace
 
+void write_certificate_level(std::ostream& os, const CertificateLevel& lv) {
+  // A sentinel in a witness field means the level was never certified; the
+  // parser range-rejects such values, so refuse to emit them in the first
+  // place rather than writing a file no reader will accept.
+  LDLB_REQUIRE_MSG(lv.g_node != kNoNode && lv.h_node != kNoNode &&
+                       lv.g_loop != kNoEdge && lv.h_loop != kNoEdge &&
+                       lv.c != kUncoloured,
+                   "level " << lv.level
+                            << " carries unpopulated witness sentinels");
+  os << "level " << lv.level << "\n";
+  write_graph(os, "g", lv.g);
+  write_graph(os, "h", lv.h);
+  os << "witness " << lv.g_node << " " << lv.h_node << " " << lv.c << " "
+     << lv.g_loop << " " << lv.h_loop << " " << lv.g_weight.to_string() << " "
+     << lv.h_weight.to_string() << " " << lv.propagation_steps << "\n";
+}
+
+CertificateLevel read_certificate_level(LineReader& r) {
+  r.expect("level", "level line");
+  CertificateLevel lv;
+  lv.level = static_cast<int>(r.integer("level index", 0, kMaxId));
+  lv.g = read_graph(r, "g");
+  lv.h = read_graph(r, "h");
+  r.expect("witness", "witness line");
+  lv.g_node = static_cast<NodeId>(
+      r.integer("witness g node", 0, lv.g.node_count() - 1));
+  lv.h_node = static_cast<NodeId>(
+      r.integer("witness h node", 0, lv.h.node_count() - 1));
+  lv.c = static_cast<Color>(r.integer("witness colour", 0, kMaxId));
+  lv.g_loop = static_cast<EdgeId>(
+      r.integer("witness g loop", 0, lv.g.edge_count() - 1));
+  lv.h_loop = static_cast<EdgeId>(
+      r.integer("witness h loop", 0, lv.h.edge_count() - 1));
+  lv.g_weight = read_rational(r, "witness g weight");
+  lv.h_weight = read_rational(r, "witness h weight");
+  lv.propagation_steps =
+      static_cast<int>(r.integer("propagation steps", 0, kMaxId));
+  return lv;
+}
+
 void write_certificate(std::ostream& os, const LowerBoundCertificate& cert) {
   os << "ldlb-certificate 1\n";
   os << "delta " << cert.delta << "\n";
   os << "algorithm " << cert.algorithm_name << "\n";
   for (const auto& lv : cert.levels) {
-    os << "level " << lv.level << "\n";
-    write_graph(os, "g", lv.g);
-    write_graph(os, "h", lv.h);
-    os << "witness " << lv.g_node << " " << lv.h_node << " " << lv.c << " "
-       << lv.g_loop << " " << lv.h_loop << " " << lv.g_weight.to_string()
-       << " " << lv.h_weight.to_string() << " " << lv.propagation_steps
-       << "\n";
+    write_certificate_level(os, lv);
   }
   os << "end\n";
 }
@@ -77,25 +111,8 @@ LowerBoundCertificate read_certificate(std::istream& is) {
     std::string word = r.token("'level' or 'end'");
     if (word == "end") break;
     if (word != "level") r.fail("expected 'level' or 'end'", word);
-    CertificateLevel lv;
-    lv.level = static_cast<int>(r.integer("level index", 0, kMaxId));
-    lv.g = read_graph(r, "g");
-    lv.h = read_graph(r, "h");
-    r.expect("witness", "witness line");
-    lv.g_node = static_cast<NodeId>(
-        r.integer("witness g node", 0, lv.g.node_count() - 1));
-    lv.h_node = static_cast<NodeId>(
-        r.integer("witness h node", 0, lv.h.node_count() - 1));
-    lv.c = static_cast<Color>(r.integer("witness colour", kUncoloured, kMaxId));
-    lv.g_loop = static_cast<EdgeId>(
-        r.integer("witness g loop", 0, lv.g.edge_count() - 1));
-    lv.h_loop = static_cast<EdgeId>(
-        r.integer("witness h loop", 0, lv.h.edge_count() - 1));
-    lv.g_weight = read_rational(r, "witness g weight");
-    lv.h_weight = read_rational(r, "witness h weight");
-    lv.propagation_steps =
-        static_cast<int>(r.integer("propagation steps", 0, kMaxId));
-    cert.levels.push_back(std::move(lv));
+    r.push_back(std::move(word));
+    cert.levels.push_back(read_certificate_level(r));
   }
   return cert;
 }
@@ -109,6 +126,15 @@ std::string certificate_to_string(const LowerBoundCertificate& cert) {
 LowerBoundCertificate certificate_from_string(const std::string& text) {
   std::istringstream is{text};
   return read_certificate(is);
+}
+
+void write_certificate_file(const std::string& path,
+                            const LowerBoundCertificate& cert) {
+  write_file_atomic(path, certificate_to_string(cert));
+}
+
+LowerBoundCertificate read_certificate_file(const std::string& path) {
+  return certificate_from_string(read_file(path));
 }
 
 }  // namespace ldlb

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "ldlb/core/certificate.hpp"
+#include "ldlb/util/line_reader.hpp"
 
 namespace ldlb {
 
@@ -34,8 +35,29 @@ void write_certificate(std::ostream& os, const LowerBoundCertificate& cert);
 /// and the offending token) on malformed input.
 LowerBoundCertificate read_certificate(std::istream& is);
 
+/// Writes one level in the chain format ("level" through "witness" lines).
+/// Requires the witness fields to be populated — a level still carrying the
+/// kNoNode / kNoEdge sentinels is not serialisable evidence.
+void write_certificate_level(std::ostream& os, const CertificateLevel& lv);
+
+/// Reads one level, starting at its "level" keyword; throws ParseError on
+/// malformed input. Shared by read_certificate and the snapshot store
+/// (recover/snapshot_store.hpp), so the two formats cannot drift apart.
+CertificateLevel read_certificate_level(LineReader& r);
+
 /// Convenience round-trips through strings.
 std::string certificate_to_string(const LowerBoundCertificate& cert);
 LowerBoundCertificate certificate_from_string(const std::string& text);
+
+/// Atomically replaces `path` with the serialised certificate (temp file +
+/// fsync + rename, see util/atomic_file.hpp): a crash mid-write leaves the
+/// previous file intact instead of a torn certificate. Throws IoError when
+/// the filesystem refuses.
+void write_certificate_file(const std::string& path,
+                            const LowerBoundCertificate& cert);
+
+/// Reads a certificate from a file; throws IoError when the file cannot be
+/// read and ParseError when its content is malformed.
+LowerBoundCertificate read_certificate_file(const std::string& path);
 
 }  // namespace ldlb

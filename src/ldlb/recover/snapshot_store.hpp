@@ -1,0 +1,86 @@
+// Self-validating snapshot store for partial certificate chains.
+//
+// The adversary chain (G_i, H_i), i = 0..Δ-2, is this repo's long-running
+// job and its LowerBoundCertificate the primary artefact. The store makes
+// each certified level durable the moment it exists, so a crash at level
+// Δ-3 costs one level of work instead of the whole run. On-disk format
+// (line-oriented, diff-able, like the certificate format it embeds):
+//
+//   ldlb-snapshot 1
+//   delta <d>
+//   algorithm <name>
+//   record <index> <payload-lines> <fnv1a64-hex>
+//   <payload: one certificate level in the certificate_io text format>
+//   ...
+//   end <record-count>
+//
+// Durability and self-validation:
+//
+//   * save() rewrites the file via write-to-temp + fsync + rename
+//     (util/atomic_file.hpp): a crash mid-save leaves the previous
+//     snapshot intact, never a torn file.
+//   * every record carries its own FNV-1a checksum over the payload; the
+//     trailer pins the record count, so truncation at any byte is
+//     detectable.
+//   * load() never throws on damaged content — it degrades to the longest
+//     valid prefix of records and explains, in a RecoveryReport, what was
+//     salvaged and why the tail was dropped. (Only environmental failure,
+//     e.g. an unreadable but existing file, surfaces as IoError.)
+//
+// Checksums catch corruption, not forgery: the resumable adversary
+// (resumable_adversary.hpp) additionally re-validates every loaded level
+// against the algorithm before trusting it into the chain.
+#pragma once
+
+#include <string>
+
+#include "ldlb/core/certificate.hpp"
+
+namespace ldlb {
+
+/// What load() salvaged and why it stopped where it did.
+struct RecoveryReport {
+  std::string path;
+  bool file_found = false;  ///< snapshot file existed
+  bool complete = false;    ///< header, every record and the trailer valid
+  int levels_loaded = 0;    ///< records salvaged (the longest valid prefix)
+  std::string drop_reason;  ///< why the tail was dropped ("" when complete)
+  int drop_line = 0;        ///< 1-based line of the first defect (0 if none)
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Versioned, checksummed snapshot file for one adversary run.
+class SnapshotStore {
+ public:
+  /// A store at `path`; the file need not exist yet.
+  explicit SnapshotStore(std::string path);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool exists() const;
+
+  /// Atomically replaces the snapshot with `chain` (all levels). Requires a
+  /// non-empty algorithm name when the chain has levels.
+  void save(const LowerBoundCertificate& chain);
+
+  /// Loads the longest valid prefix of the snapshot; never throws on
+  /// damaged or missing content (see RecoveryReport), only on environmental
+  /// IO failure. The returned chain's delta / algorithm_name are zero/empty
+  /// when the header itself could not be salvaged.
+  [[nodiscard]] LowerBoundCertificate load(
+      RecoveryReport* report = nullptr) const;
+
+  /// Deletes the snapshot file if present.
+  void remove();
+
+  /// The exact byte content save() would write (exposed for tests and
+  /// tooling that need to construct or inspect snapshots).
+  [[nodiscard]] static std::string serialize(
+      const LowerBoundCertificate& chain);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ldlb

@@ -1,0 +1,88 @@
+// Supervised execution: guarded runs with a declarative retry policy.
+//
+// guarded_run_ec/po (fault/guarded_run.hpp) classifies *one* attempt. The
+// Supervisor turns that classification into a recovery decision: transient
+// outcomes (a tripped budget, optionally an injected fault from a flaky
+// black box) are retried with escalated budgets, while permanent ones
+// (ModelViolation, ContractViolation, a checker rejection) fail fast — a
+// broken algorithm does not get less broken by re-running it. Every attempt
+// is recorded in a SupervisionLog, whose rendering also survives into the
+// final outcome's RunDiagnostics, so a post-mortem of a long run can see
+// exactly which budgets were tried before the run settled.
+//
+// The same RetryPolicy drives the per-level retry loop of the resumable
+// adversary (resumable_adversary.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldlb/fault/guarded_run.hpp"
+
+namespace ldlb {
+
+/// When and how to retry a failed run.
+struct RetryPolicy {
+  int max_attempts = 3;        ///< total attempts, including the first
+  double budget_factor = 2.0;  ///< per-retry multiplier on every finite budget
+  bool retry_fault_injected = false;  ///< treat FaultInjected as transient
+                                      ///< (flaky black-box algorithms)
+
+  /// True for outcomes worth retrying: budget trips always, injected faults
+  /// when opted in. Model/contract violations and checker rejections are
+  /// permanent.
+  [[nodiscard]] bool transient(RunStatus status) const;
+
+  /// The budget for the 1-based `attempt`: every finite component of `base`
+  /// scaled by budget_factor^(attempt-1).
+  [[nodiscard]] RunBudget escalated(const RunBudget& base, int attempt) const;
+};
+
+/// One supervised attempt, as recorded in the log.
+struct SupervisionAttempt {
+  int attempt = 0;        ///< 1-based
+  int max_rounds = 0;     ///< round budget this attempt ran under
+  RunStatus status = RunStatus::kOk;
+  std::string error;      ///< what() of the failure ("" on success)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Everything the supervisor tried for one task.
+struct SupervisionLog {
+  std::vector<SupervisionAttempt> attempts;
+  bool exhausted = false;  ///< gave up: still transient on the last attempt
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs algorithms under guarded execution + RetryPolicy.
+class Supervisor {
+ public:
+  explicit Supervisor(RetryPolicy policy = {});
+
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+  /// Supervised guarded_run_ec: retries transient outcomes with escalated
+  /// budgets, returns the final outcome. The outcome's diagnostics carry
+  /// the rendered SupervisionLog. Installed hooks (options.hooks) are
+  /// reused across attempts as-is.
+  GuardedOutcome run_ec(const Multigraph& g, EcAlgorithm& alg,
+                        const GuardedRunOptions& options);
+
+  /// PO counterpart.
+  GuardedOutcome run_po(const Digraph& g, PoAlgorithm& alg,
+                        const GuardedRunOptions& options);
+
+  /// The log of the most recent run_ec / run_po call.
+  [[nodiscard]] const SupervisionLog& log() const { return log_; }
+
+ private:
+  template <typename RunOnce>
+  GuardedOutcome supervise(const GuardedRunOptions& options, RunOnce&& once);
+
+  RetryPolicy policy_;
+  SupervisionLog log_;
+};
+
+}  // namespace ldlb

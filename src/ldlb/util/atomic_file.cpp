@@ -1,0 +1,92 @@
+#include "ldlb/util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& op, const std::string& path) {
+  std::ostringstream os;
+  os << op << " failed for '" << path << "': " << std::strerror(errno);
+  throw IoError(os.str(), path);
+}
+
+// Splits "dir/file" into the directory part ("." when there is none).
+std::string directory_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // mkstemp wants a mutable template in the destination directory, so the
+  // final rename() never crosses a filesystem boundary.
+  std::vector<char> tmpl(path.begin(), path.end());
+  const char suffix[] = ".tmp.XXXXXX";
+  tmpl.insert(tmpl.end(), suffix, suffix + sizeof(suffix));  // keeps the NUL
+
+  const int fd = ::mkstemp(tmpl.data());
+  if (fd < 0) io_fail("mkstemp", path);
+  const std::string tmp_path{tmpl.data()};
+
+  const char* data = content.data();
+  std::size_t remaining = content.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      io_fail("write", tmp_path);
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    io_fail("fsync", tmp_path);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    io_fail("close", tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    io_fail("rename", path);
+  }
+  // Make the rename itself durable.
+  fsync_directory(directory_of(path));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) io_fail("open", path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) io_fail("read", path);
+  return os.str();
+}
+
+}  // namespace ldlb

@@ -1,0 +1,28 @@
+// Crash-safe file replacement.
+//
+// Long adversary runs checkpoint their partial certificate chains to disk;
+// a crash in the middle of a plain `ofstream` write would leave a torn file
+// and lose the whole run. `write_file_atomic` follows the classic POSIX
+// recipe instead — write to a unique temp file in the same directory,
+// fsync it, rename() it over the destination, fsync the directory — so at
+// every instant the destination path holds either the complete old content
+// or the complete new content, never a mixture.
+//
+// All certificate-to-file paths in the repo (the snapshot store,
+// `write_certificate_file`, the certificate tool) go through this helper.
+#pragma once
+
+#include <string>
+
+namespace ldlb {
+
+/// Atomically replaces the contents of `path` with `content`. Throws
+/// IoError if any step fails; on failure the destination is untouched and
+/// the temp file is cleaned up on a best-effort basis.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Reads a whole file into a string. Throws IoError when the file cannot
+/// be opened or read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace ldlb

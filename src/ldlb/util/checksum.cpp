@@ -1,0 +1,36 @@
+#include "ldlb/util/checksum.hpp"
+
+namespace ldlb {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}
+
+std::string checksum_to_hex(std::uint64_t hash) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+bool checksum_from_hex(std::string_view text, std::uint64_t& hash) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (char ch : text) {
+    int digit;
+    if (ch >= '0' && ch <= '9') {
+      digit = ch - '0';
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = ch - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  hash = value;
+  return true;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,33 @@
+// Content checksums for the self-validating snapshot store.
+//
+// FNV-1a is not cryptographic — it guards against truncation, bit rot and
+// editor accidents, not against a determined forger. Anything loaded from a
+// snapshot is therefore *also* re-validated semantically (the resumable
+// adversary re-runs the algorithm on every restored level), so a record
+// with a forged checksum still cannot be trusted into a certificate chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ldlb {
+
+/// 64-bit FNV-1a over a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a_64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (char ch : bytes) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Fixed-width (16 digit) lowercase hex rendering, the on-disk form.
+[[nodiscard]] std::string checksum_to_hex(std::uint64_t hash);
+
+/// Parses the 16-digit hex form; returns false on malformed input.
+[[nodiscard]] bool checksum_from_hex(std::string_view text,
+                                     std::uint64_t& hash);
+
+}  // namespace ldlb

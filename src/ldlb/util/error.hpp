@@ -8,6 +8,7 @@
 //   Error
 //   ├── ContractViolation   broken precondition / internal invariant
 //   ├── ParseError          malformed textual input (line + offending token)
+//   ├── IoError             a filesystem operation failed (path + errno text)
 //   ├── ModelViolation      an algorithm broke the LOCAL-model output
 //   │                       contract (missing or disagreeing announcements)
 //   ├── BudgetExceeded      a guarded run overran its round / message /
@@ -56,6 +57,20 @@ class ParseError : public Error {
  private:
   int line_;
   std::string token_;
+};
+
+/// Thrown by the file helpers (util/atomic_file, the snapshot store) when a
+/// filesystem operation fails. Carries the path involved; the what() text
+/// includes the failing operation and the errno description.
+class IoError : public Error {
+ public:
+  IoError(const std::string& what, std::string path)
+      : Error(what), path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
 };
 
 /// Thrown by the simulator when an algorithm breaks the output contract of

@@ -61,6 +61,15 @@ class LineReader {
     }
   }
 
+  /// Returns a token to the reader; the next token() call yields it again.
+  /// At most one token can be pushed back at a time (parsers use this for
+  /// one-token lookahead, e.g. 'level' vs 'end').
+  void push_back(std::string tok) {
+    LDLB_REQUIRE_MSG(pushed_back_.empty(),
+                     "LineReader holds at most one pushed-back token");
+    pushed_back_ = std::move(tok);
+  }
+
   /// True when only whitespace remains. A probed token is pushed back and
   /// returned by the next token() call.
   bool at_end() {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
+
 #include "ldlb/graph/edge_coloring.hpp"
 #include "ldlb/graph/generators.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
@@ -185,6 +188,25 @@ TEST(GuardedRun, ChecksOutputAndReportsViolationSite) {
   EXPECT_GE(outcome.check.report.edge, 0);
   EXPECT_EQ(outcome.check.report.amount, Rational(1));  // deficit below 1
   EXPECT_EQ(outcome.diagnostics.first_violation, outcome.check.reason);
+}
+
+TEST(GuardedRun, RunStatusToStringCoversEveryValueDistinctly) {
+  // The error taxonomy is machine-readable only if every status renders to
+  // its own stable, non-null token — supervision logs, CI triage and the
+  // demos all key on these strings.
+  const RunStatus all[] = {
+      RunStatus::kOk, RunStatus::kBudgetExceeded, RunStatus::kModelViolation,
+      RunStatus::kFaultInjected, RunStatus::kContractViolation,
+  };
+  std::set<std::string> seen;
+  for (RunStatus status : all) {
+    const char* text = to_string(status);
+    ASSERT_NE(text, nullptr);
+    EXPECT_STRNE(text, "");
+    EXPECT_STRNE(text, "unknown");
+    seen.insert(text);
+  }
+  EXPECT_EQ(seen.size(), std::size(all));
 }
 
 TEST(GuardedRun, CheckCanBeDisabled) {

@@ -7,10 +7,16 @@
 // is a bug.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "ldlb/core/adversary.hpp"
 #include "ldlb/core/certificate_io.hpp"
 #include "ldlb/graph/edge_coloring.hpp"
 #include "ldlb/graph/generators.hpp"
 #include "ldlb/graph/graph_io.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/recover/snapshot_store.hpp"
+#include "ldlb/util/atomic_file.hpp"
 #include "ldlb/util/error.hpp"
 #include "ldlb/util/rng.hpp"
 
@@ -162,6 +168,85 @@ TEST(IoFuzz, CertificateWitnessOutOfRangeDiagnosed) {
   } catch (const ParseError& e) {
     EXPECT_EQ(e.line(), 11);
   }
+}
+
+TEST(IoFuzz, SentinelWitnessFieldsRejected) {
+  // A witness field still carrying a kNoNode / kNoEdge / kUncoloured
+  // sentinel (-1) is an uncertified level; the parser must range-reject it,
+  // and the writer must refuse to produce such text in the first place.
+  const std::string base = valid_certificate_text();
+  const auto witness_at = base.find("witness ");
+  ASSERT_NE(witness_at, std::string::npos);
+  const auto witness_end = base.find('\n', witness_at);
+  const std::string fields_text =
+      base.substr(witness_at + 8, witness_end - witness_at - 8);
+  // Fields: g_node h_node colour g_loop h_loop — poison each in turn.
+  for (int field = 0; field < 5; ++field) {
+    std::istringstream is{fields_text};
+    std::ostringstream line;
+    std::string tok;
+    for (int i = 0; is >> tok; ++i) {
+      line << (i == 0 ? "" : " ") << (i == field ? "-1" : tok);
+    }
+    const std::string text = base.substr(0, witness_at) + "witness " +
+                             line.str() + base.substr(witness_end);
+    EXPECT_THROW(certificate_from_string(text), ParseError)
+        << "sentinel in witness field " << field << " accepted";
+  }
+
+  CertificateLevel unset;
+  unset.g = Multigraph(1);
+  unset.h = Multigraph(1);
+  std::ostringstream os;
+  EXPECT_THROW(write_certificate_level(os, unset), ContractViolation);
+}
+
+// --- truncation sweeps -----------------------------------------------------
+
+// Every byte-prefix of a certificate must either parse to the full chain or
+// raise a line-sited ParseError — no crashes, no silent partial loads.
+TEST(IoFuzz, CertificateTruncationSweep) {
+  SeqColorPacking alg{4};
+  const std::string full =
+      certificate_to_string(run_adversary(alg, 4));
+  int parsed = 0;
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string text = full.substr(0, cut);
+    try {
+      LowerBoundCertificate cert = certificate_from_string(text);
+      // The only acceptable accepted prefix is the whole chain (the final
+      // newline is optional for a line-oriented reader).
+      EXPECT_EQ(certificate_to_string(cert), full) << "cut at byte " << cut;
+      ++parsed;
+    } catch (const ParseError& e) {
+      EXPECT_GE(e.line(), 0) << "cut at byte " << cut;
+    }
+    // Anything else escapes the test as a failure.
+  }
+  EXPECT_EQ(parsed, 1);  // exactly the cut through the final newline
+}
+
+// The snapshot loader's contract under the same sweep is stronger: never
+// throw, always hand back a valid prefix chain plus a RecoveryReport (the
+// deeper sweep incl. content checks lives in snapshot_store_test.cpp).
+TEST(IoFuzz, SnapshotTruncationSweep) {
+  SeqColorPacking alg{4};
+  LowerBoundCertificate chain = run_adversary(alg, 4);
+  const std::string full = SnapshotStore::serialize(chain);
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "io_fuzz.snap").string();
+  SnapshotStore store{path};
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    write_file_atomic(path, full.substr(0, cut));
+    RecoveryReport report;
+    LowerBoundCertificate loaded = store.load(&report);
+    EXPECT_TRUE(report.file_found);
+    EXPECT_LE(loaded.levels.size(), chain.levels.size());
+    // Only the full file — modulo the optional final newline — may report a
+    // complete snapshot.
+    EXPECT_EQ(report.complete, cut + 1 >= full.size()) << "cut at byte " << cut;
+  }
+  store.remove();
 }
 
 // --- randomised mutation sweep --------------------------------------------

@@ -1,0 +1,200 @@
+// The supervised retry layer: transient-vs-permanent classification of
+// RunStatus, budget escalation across attempts, fail-fast on permanent
+// failures, and the SupervisionLog surviving into RunDiagnostics.
+#include "ldlb/recover/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldlb/graph/edge_coloring.hpp"
+#include "ldlb/graph/generators.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+
+namespace ldlb {
+namespace {
+
+Multigraph small_graph() { return greedy_edge_coloring(make_cycle(6)); }
+
+int num_colors(const Multigraph& g) {
+  int k = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    k = std::max(k, g.edge(e).color + 1);
+  }
+  return k;
+}
+
+// Correct-but-slow: announces the all-zero matching, but only halts after
+// `slow_rounds` rounds. Passes the simulator's cross-check (both ends of
+// every edge announce 0); run with check_output=false since all-zero is of
+// course not maximal.
+class SlowStarter : public EcAlgorithm {
+ public:
+  explicit SlowStarter(int slow_rounds) : slow_rounds_(slow_rounds) {}
+
+  class Node : public EcNodeState {
+   public:
+    Node(std::vector<Color> colors, int slow_rounds)
+        : colors_(std::move(colors)), slow_rounds_(slow_rounds) {}
+    std::map<Color, Message> send(int) override { return {}; }
+    void receive(int round, const std::map<Color, Message>&) override {
+      halted_ = round >= slow_rounds_;
+    }
+    [[nodiscard]] bool halted() const override { return halted_; }
+    [[nodiscard]] std::map<Color, Rational> output() const override {
+      std::map<Color, Rational> out;
+      for (Color c : colors_) out[c] = Rational(0);
+      return out;
+    }
+
+   private:
+    std::vector<Color> colors_;
+    int slow_rounds_;
+    bool halted_ = false;
+  };
+
+  std::unique_ptr<EcNodeState> make_node(const EcNodeContext& ctx) override {
+    return std::make_unique<Node>(ctx.incident_colors, slow_rounds_);
+  }
+  [[nodiscard]] std::string name() const override { return "SlowStarter"; }
+
+ private:
+  int slow_rounds_;
+};
+
+// Halts instantly but announces nothing: a permanent ModelViolation.
+class Mute : public EcAlgorithm {
+ public:
+  class Node : public EcNodeState {
+   public:
+    std::map<Color, Message> send(int) override { return {}; }
+    void receive(int, const std::map<Color, Message>&) override {}
+    [[nodiscard]] bool halted() const override { return true; }
+    [[nodiscard]] std::map<Color, Rational> output() const override {
+      return {};
+    }
+  };
+  std::unique_ptr<EcNodeState> make_node(const EcNodeContext&) override {
+    return std::make_unique<Node>();
+  }
+  [[nodiscard]] std::string name() const override { return "Mute"; }
+};
+
+TEST(RetryPolicy, ClassifiesTransientVsPermanent) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.transient(RunStatus::kBudgetExceeded));
+  EXPECT_FALSE(policy.transient(RunStatus::kOk));
+  EXPECT_FALSE(policy.transient(RunStatus::kModelViolation));
+  EXPECT_FALSE(policy.transient(RunStatus::kContractViolation));
+  EXPECT_FALSE(policy.transient(RunStatus::kFaultInjected));
+  policy.retry_fault_injected = true;  // flaky black-box opt-in
+  EXPECT_TRUE(policy.transient(RunStatus::kFaultInjected));
+}
+
+TEST(RetryPolicy, EscalatesEveryFiniteBudget) {
+  RetryPolicy policy;
+  policy.budget_factor = 3.0;
+  RunBudget base;
+  base.max_rounds = 10;
+  base.max_messages = 100;
+  base.max_wall_seconds = 0;  // unlimited stays unlimited
+  RunBudget first = policy.escalated(base, 1);
+  EXPECT_EQ(first.max_rounds, 10);
+  EXPECT_EQ(first.max_messages, 100);
+  RunBudget third = policy.escalated(base, 3);
+  EXPECT_EQ(third.max_rounds, 90);
+  EXPECT_EQ(third.max_messages, 900);
+  EXPECT_EQ(third.max_wall_seconds, 0);
+}
+
+TEST(Supervisor, BudgetEscalationRescuesASlowRun) {
+  Multigraph g = small_graph();
+  SlowStarter alg{12};
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.budget_factor = 2.0;
+  Supervisor supervisor{policy};
+  GuardedRunOptions options;
+  options.budget.max_rounds = 2;  // needs 12: attempts run 2, 4, 8, 16
+  options.check_output = false;
+  GuardedOutcome outcome = supervisor.run_ec(g, alg, options);
+
+  EXPECT_EQ(outcome.status, RunStatus::kOk);
+  ASSERT_EQ(supervisor.log().attempts.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(supervisor.log().attempts[i].status,
+              RunStatus::kBudgetExceeded);
+  }
+  EXPECT_EQ(supervisor.log().attempts[3].status, RunStatus::kOk);
+  EXPECT_EQ(supervisor.log().attempts[3].max_rounds, 16);
+  EXPECT_FALSE(supervisor.log().exhausted);
+  // The log survives into the outcome's diagnostics.
+  EXPECT_NE(outcome.diagnostics.supervision.find("attempt 4"),
+            std::string::npos);
+}
+
+TEST(Supervisor, GivesUpAfterMaxAttempts) {
+  Multigraph g = small_graph();
+  SlowStarter alg{1000};
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Supervisor supervisor{policy};
+  GuardedRunOptions options;
+  options.budget.max_rounds = 1;
+  options.check_output = false;
+  GuardedOutcome outcome = supervisor.run_ec(g, alg, options);
+
+  EXPECT_EQ(outcome.status, RunStatus::kBudgetExceeded);
+  EXPECT_EQ(supervisor.log().attempts.size(), 3u);
+  EXPECT_TRUE(supervisor.log().exhausted);
+  EXPECT_NE(outcome.diagnostics.supervision.find("giving up"),
+            std::string::npos);
+}
+
+TEST(Supervisor, PermanentFailureFailsFast) {
+  Multigraph g = small_graph();
+  Mute alg;
+  Supervisor supervisor{{}};
+  GuardedRunOptions options;
+  options.budget.max_rounds = 4;
+  GuardedOutcome outcome = supervisor.run_ec(g, alg, options);
+
+  EXPECT_EQ(outcome.status, RunStatus::kModelViolation);
+  EXPECT_EQ(supervisor.log().attempts.size(), 1u);  // no pointless retries
+  EXPECT_FALSE(supervisor.log().exhausted);
+}
+
+TEST(Supervisor, CleanRunRecordsOneAttempt) {
+  Multigraph g = small_graph();
+  SeqColorPacking alg{num_colors(g)};
+  Supervisor supervisor{{}};
+  GuardedRunOptions options;
+  options.budget.max_rounds = num_colors(g) + 1;
+  GuardedOutcome outcome = supervisor.run_ec(g, alg, options);
+
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(supervisor.log().attempts.size(), 1u);
+  EXPECT_EQ(outcome.diagnostics.supervision,
+            supervisor.log().to_string());
+}
+
+TEST(SupervisionLog, RendersAllAttempts) {
+  SupervisionLog log;
+  log.attempts.push_back(
+      {1, 4, RunStatus::kBudgetExceeded, "round budget exceeded"});
+  log.attempts.push_back({2, 8, RunStatus::kOk, ""});
+  const std::string text = log.to_string();
+  EXPECT_NE(text.find("attempt 1: max_rounds=4 -> budget-exceeded"),
+            std::string::npos);
+  EXPECT_NE(text.find("attempt 2: max_rounds=8 -> ok"), std::string::npos);
+}
+
+TEST(Supervisor, RejectsNonsensePolicies) {
+  RetryPolicy zero;
+  zero.max_attempts = 0;
+  EXPECT_THROW(Supervisor{zero}, ContractViolation);
+  RetryPolicy shrinking;
+  shrinking.budget_factor = 0.5;
+  EXPECT_THROW(Supervisor{shrinking}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace ldlb
