@@ -8,8 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,119 @@ class Table {
 inline void section(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }
+
+/// Minimal streaming JSON writer — just enough for the BENCH_*.json
+/// telemetry files (objects, arrays, strings, numbers, bools) without an
+/// external dependency. Usage:
+///   JsonWriter j;
+///   j.begin_object().key("runs").begin_array() ... .end_array().end_object();
+///   j.write_file("BENCH_foo.json");
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    pre();
+    os_ << '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    os_ << '}';
+    first_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    pre();
+    os_ << '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    os_ << ']';
+    first_.pop_back();
+    return *this;
+  }
+  JsonWriter& key(const std::string& k) {
+    pre();
+    write_string(k);
+    os_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    pre();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v) {
+    pre();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    pre();
+    std::ostringstream tmp;
+    tmp << std::setprecision(12) << v;
+    os_ << tmp.str();
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    pre();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+  void write_file(const std::string& path) const {
+    std::ofstream out(path);
+    out << os_.str() << "\n";
+    std::cout << "telemetry written to " << path << "\n";
+  }
+
+ private:
+  // Comma management: a comma precedes every element of the enclosing
+  // container except the first, and never between a key and its value.
+  void pre() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (first_.back()) {
+        first_.back() = false;
+      } else {
+        os_ << ',';
+      }
+    }
+  }
+
+  void write_string(const std::string& s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            os_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                << static_cast<int>(c) << std::dec << std::setfill(' ');
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
 
 }  // namespace ldlb::bench
 

@@ -11,17 +11,53 @@
 // of Theorem 1.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
 #include "bench_util.hpp"
 #include "ldlb/core/adversary.hpp"
+#include "ldlb/core/certificate.hpp"
 #include "ldlb/graph/generators.hpp"
 #include "ldlb/local/simulator.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
 #include "ldlb/matching/two_phase_packing.hpp"
 #include "ldlb/util/rng.hpp"
+#include "ldlb/util/thread_pool.hpp"
+#include "ldlb/view/isomorphism.hpp"
 
 namespace {
 
 using namespace ldlb;
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Optional pre-change reference timings, "delta:ms,delta:ms,...", recorded
+// into the telemetry so regressions/speedups are visible next to the
+// current numbers. scripts/bench.sh sets this to the timings measured on
+// the commit before the parallel/fast-path work landed.
+std::map<int, double> parse_baseline_env() {
+  std::map<int, double> out;
+  const char* s = std::getenv("LDLB_BENCH_BASELINE");
+  if (s == nullptr) return out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    auto colon = item.find(':');
+    if (colon == std::string::npos) continue;
+    try {
+      out[std::stoi(item.substr(0, colon))] = std::stod(item.substr(colon + 1));
+    } catch (...) {
+      // Malformed entries are skipped; telemetry just omits the baseline.
+    }
+  }
+  return out;
+}
 
 int measured_rounds_on_loopy_graphs(EcAlgorithm& alg, int delta) {
   // Round count on the adversary's own graph family (loopy trees).
@@ -40,16 +76,61 @@ void report() {
   bench::Table table{{"delta", "lower>=(adv)", "SeqColor", "TwoPhase",
                       "upper/lower"}};
   table.print_header();
+  const std::map<int, double> baseline = parse_baseline_env();
+  bench::JsonWriter json;
+  json.begin_object()
+      .key("bench").value("adversary")
+      .key("threads").value(global_pool().size())
+      .key("runs").begin_array();
   for (int delta = 3; delta <= 12; ++delta) {
     SeqColorPacking seq{delta};
     TwoPhasePacking two{delta};
-    LowerBoundCertificate cert = run_adversary(seq, delta);
+    // Min over a few repetitions: single-shot wall times on shared CI
+    // machines jitter by 10-20%, enough to blur a 2x comparison. The ball
+    // cache is cleared before every repetition so each one is a cold-cache
+    // run, like the single-shot measurement the baseline numbers came from.
+    constexpr int kReps = 3;
+    double adversary_ms = 0.0;
+    double validate_ms = 0.0;
+    bool valid = false;
+    LowerBoundCertificate cert;
+    for (int rep = 0; rep < kReps; ++rep) {
+      clear_ball_encoding_cache();
+      auto t0 = std::chrono::steady_clock::now();
+      cert = run_adversary(seq, delta);
+      const double a = elapsed_ms(t0);
+      t0 = std::chrono::steady_clock::now();
+      valid = certificate_is_valid(cert, seq, /*check_loopiness=*/false);
+      const double v = elapsed_ms(t0);
+      if (rep == 0 || a < adversary_ms) adversary_ms = a;
+      if (rep == 0 || v < validate_ms) validate_ms = v;
+    }
     int lower = cert.certified_radius() + 1;  // needs > Δ-2, i.e. >= Δ-1
     int seq_rounds = measured_rounds_on_loopy_graphs(seq, delta);
     int two_rounds = measured_rounds_on_loopy_graphs(two, delta);
     table.print_row(delta, lower, seq_rounds, two_rounds,
                     static_cast<double>(seq_rounds) / lower);
+    json.begin_object()
+        .key("delta").value(delta)
+        .key("adversary_ms").value(adversary_ms)
+        .key("validate_ms").value(validate_ms)
+        .key("valid").value(valid)
+        .key("certified_radius").value(cert.certified_radius())
+        .key("levels").value(static_cast<int>(cert.levels.size()))
+        .key("final_nodes").value(cert.levels.back().g.node_count())
+        .key("final_edges").value(cert.levels.back().g.edge_count())
+        .key("seq_color_rounds").value(seq_rounds)
+        .key("two_phase_rounds").value(two_rounds);
+    if (auto it = baseline.find(delta); it != baseline.end()) {
+      json.key("baseline_adversary_ms").value(it->second);
+      if (adversary_ms > 0) {
+        json.key("speedup_vs_baseline").value(it->second / adversary_ms);
+      }
+    }
+    json.end_object();
   }
+  json.end_array().end_object();
+  json.write_file("BENCH_adversary.json");
   std::cout << "\nShape check: the certified radius grows linearly in delta\n"
                "(Δ-2), matching the O(Δ) upper bounds up to a constant —\n"
                "no o(Δ) algorithm exists (Theorem 1).\n";

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: build and run the full test suite twice — a plain RelWithDebInfo
 # build, then an AddressSanitizer+UBSan build (see LDLB_SANITIZE in the top
-# CMakeLists). Both must be green.
+# CMakeLists) — plus a ThreadSanitizer pass over the concurrency-bearing
+# suites with the thread pool forced wide. All three must be green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,4 +27,15 @@ run_suite build
 echo "== address+undefined sanitizer build =="
 run_suite build-asan "-DLDLB_SANITIZE=address;undefined"
 
-echo "CI green: plain and sanitizer suites both pass."
+# ThreadSanitizer stage: the suites that exercise the thread pool (the
+# parallel simulator, speculative adversary, concurrent validator, and the
+# serial/parallel byte-identity tests), run with LDLB_THREADS=8 so races
+# are reachable even on single-core CI machines. TSan and ASan cannot be
+# combined, hence the separate build tree.
+echo "== thread sanitizer build =="
+cmake -B build-tsan -S . "-DLDLB_SANITIZE=thread"
+cmake --build build-tsan -j "$jobs"
+LDLB_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+  -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test'
+
+echo "CI green: plain, asan/ubsan, and tsan suites all pass."

@@ -1,10 +1,16 @@
 #include "ldlb/core/adversary.hpp"
 
+#include <exception>
+#include <functional>
+#include <optional>
+#include <vector>
+
 #include "ldlb/core/base_case.hpp"
 #include "ldlb/core/propagation.hpp"
 #include "ldlb/cover/lift.hpp"
 #include "ldlb/cover/loopiness.hpp"
 #include "ldlb/local/simulator.hpp"
+#include "ldlb/util/thread_pool.hpp"
 #include "ldlb/view/ball.hpp"
 #include "ldlb/view/isomorphism.hpp"
 
@@ -51,11 +57,12 @@ void check_lift_invariance(const FractionalMatching& y_lift,
 void verify_level(const CertificateLevel& lv, int delta,
                   const AdversaryOptions& options) {
   if (options.verify_p1) {
-    Ball bg = extract_ball(lv.g, lv.g_node, lv.level);
-    Ball bh = extract_ball(lv.h, lv.h_node, lv.level);
-    LDLB_ENSURE_MSG(balls_isomorphic(bg, bh),
-                    "level " << lv.level
-                             << ": witness neighbourhoods not isomorphic");
+    // The cached check answers from memoized canonical encodings when the
+    // balls were already encoded (e.g. by certificate validation), skipping
+    // the two ball extractions entirely.
+    LDLB_ENSURE_MSG(
+        balls_isomorphic_cached(lv.g, lv.g_node, lv.h, lv.h_node, lv.level),
+        "level " << lv.level << ": witness neighbourhoods not isomorphic");
     LDLB_ENSURE_MSG(lv.g_weight != lv.h_weight,
                     "level " << lv.level << ": witness weights equal");
   }
@@ -72,7 +79,10 @@ void verify_level(const CertificateLevel& lv, int delta,
 // without_edge order), then H − f edges, then the joining edge last.
 Multigraph build_mix(const Multigraph& g, EdgeId e, NodeId g_node,
                      const Multigraph& h, EdgeId f, NodeId h_node, Color c) {
-  Multigraph mix(g.node_count() + h.node_count());
+  Multigraph mix;
+  mix.reserve_nodes(g.node_count() + h.node_count());
+  mix.add_nodes(g.node_count() + h.node_count());
+  mix.reserve_edges(g.edge_count() + h.edge_count() - 1);
   for (EdgeId j = 0; j < g.edge_count(); ++j) {
     if (j == e) continue;
     const auto& ed = g.edge(j);
@@ -97,7 +107,7 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
   const Multigraph& g = prev.g;
   const Multigraph& h = prev.h;
 
-  // Mix first: its weight on the new colour-c edge decides which unfolding
+  // The mix's weight on the new colour-c edge decides which unfolding
   // becomes the next G.
   Multigraph gh =
       build_mix(g, prev.g_loop, prev.g_node, h, prev.h_loop, prev.h_node,
@@ -105,7 +115,50 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
   const EdgeId g_surviving = g.edge_count() - 1;
   const EdgeId h_surviving = h.edge_count() - 1;
   const EdgeId mix_edge = gh.edge_count() - 1;
-  FractionalMatching y_gh = run_on(gh, algorithm, budget, options);
+
+  // Serial execution is lazy: only the unfolding the mix weight selects is
+  // ever simulated. With a thread-safe algorithm and idle cores we instead
+  // run GH, GG and HH speculatively in one batch; the branch the decision
+  // discards also discards its result *and* any failure it produced, so
+  // observable behaviour — certificates and surfaced exceptions alike —
+  // matches the lazy path exactly.
+  const bool speculate = algorithm.parallel_safe() &&
+                         options.hooks == nullptr && global_pool().size() > 1;
+  std::optional<FractionalMatching> y_gh_slot, y_gg_slot, y_hh_slot;
+  TwoLift gg, hh;
+  std::exception_ptr err_gg, err_hh;
+  if (speculate) {
+    std::exception_ptr err_gh;
+    std::vector<std::function<void()>> branches;
+    branches.emplace_back([&] {
+      try {
+        y_gh_slot = run_on(gh, algorithm, budget, options);
+      } catch (...) {
+        err_gh = std::current_exception();
+      }
+    });
+    branches.emplace_back([&] {
+      try {
+        gg = unfold_loop(g, prev.g_loop);
+        y_gg_slot = run_on(gg.graph, algorithm, budget, options);
+      } catch (...) {
+        err_gg = std::current_exception();
+      }
+    });
+    branches.emplace_back([&] {
+      try {
+        hh = unfold_loop(h, prev.h_loop);
+        y_hh_slot = run_on(hh.graph, algorithm, budget, options);
+      } catch (...) {
+        err_hh = std::current_exception();
+      }
+    });
+    global_pool().parallel_invoke(std::move(branches));
+    if (err_gh) std::rethrow_exception(err_gh);
+  } else {
+    y_gh_slot = run_on(gh, algorithm, budget, options);
+  }
+  FractionalMatching& y_gh = *y_gh_slot;
   const Rational w_mix = y_gh.weight(mix_edge);
 
   CertificateLevel next;
@@ -113,8 +166,13 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
 
   if (w_mix != prev.g_weight) {
     // Case (GG, GH): the disagreement lives in the shared copy of G − e.
-    TwoLift gg = unfold_loop(g, prev.g_loop);
-    FractionalMatching y_gg = run_on(gg.graph, algorithm, budget, options);
+    if (speculate) {
+      if (err_gg) std::rethrow_exception(err_gg);
+    } else {
+      gg = unfold_loop(g, prev.g_loop);
+      y_gg_slot = run_on(gg.graph, algorithm, budget, options);
+    }
+    FractionalMatching& y_gg = *y_gg_slot;
     check_lift_invariance(y_gg, g_surviving, prev.g_weight, algorithm.name());
 
     Multigraph common = g.without_edge(prev.g_loop);
@@ -140,8 +198,13 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
   } else {
     // w_mix == w_e != w_f — case (HH, GH): disagreement in the copy of H−f.
     LDLB_ENSURE(w_mix != prev.h_weight);
-    TwoLift hh = unfold_loop(h, prev.h_loop);
-    FractionalMatching y_hh = run_on(hh.graph, algorithm, budget, options);
+    if (speculate) {
+      if (err_hh) std::rethrow_exception(err_hh);
+    } else {
+      hh = unfold_loop(h, prev.h_loop);
+      y_hh_slot = run_on(hh.graph, algorithm, budget, options);
+    }
+    FractionalMatching& y_hh = *y_hh_slot;
     check_lift_invariance(y_hh, h_surviving, prev.h_weight, algorithm.name());
 
     Multigraph common = h.without_edge(prev.h_loop);

@@ -2,6 +2,7 @@
 
 #include "ldlb/cover/loopiness.hpp"
 #include "ldlb/local/simulator.hpp"
+#include "ldlb/util/thread_pool.hpp"
 #include "ldlb/view/ball.hpp"
 #include "ldlb/view/isomorphism.hpp"
 
@@ -19,8 +20,14 @@ int round_budget(int delta) { return 16 * (delta + 2) * (delta + 2); }
 std::vector<LevelValidation> validate_certificate(
     const LowerBoundCertificate& cert, EcAlgorithm& algorithm,
     bool check_loopiness) {
-  std::vector<LevelValidation> out;
-  for (const CertificateLevel& lv : cert.levels) {
+  std::vector<LevelValidation> out(cert.levels.size());
+  // Levels are validated independently, so a thread-safe algorithm lets the
+  // whole chain fan out across the pool; every result lands in its own
+  // slot and parallel_for surfaces the lowest-index failure, so outcome and
+  // exception order match the sequential loop.
+  const bool par = algorithm.parallel_safe() && global_pool().size() > 1;
+  auto validate_one = [&](std::size_t i) {
+    const CertificateLevel& lv = cert.levels[i];
     LevelValidation v;
     v.level = lv.level;
 
@@ -48,9 +55,10 @@ std::vector<LevelValidation> validate_certificate(
         lv.h.edge(lv.h_loop).color == lv.c;
 
     if (v.witness_loops_ok) {
-      Ball ball_g = extract_ball(lv.g, lv.g_node, lv.level);
-      Ball ball_h = extract_ball(lv.h, lv.h_node, lv.level);
-      v.balls_isomorphic = balls_isomorphic(ball_g, ball_h);
+      // P1 via memoized canonical encodings (the adversary already encoded
+      // these balls while building the chain); transparent fallback inside.
+      v.balls_isomorphic =
+          balls_isomorphic_cached(lv.g, lv.g_node, lv.h, lv.h_node, lv.level);
 
       // Independent re-execution of the algorithm on both graphs.
       RunResult run_g = run_ec(lv.g, algorithm, round_budget(cert.delta));
@@ -60,7 +68,12 @@ std::vector<LevelValidation> validate_certificate(
       v.outputs_differ = wg != wh;
       v.weights_match_stored = wg == lv.g_weight && wh == lv.h_weight;
     }
-    out.push_back(v);
+    out[i] = v;
+  };
+  if (par) {
+    global_pool().parallel_for(cert.levels.size(), validate_one);
+  } else {
+    for (std::size_t i = 0; i < cert.levels.size(); ++i) validate_one(i);
   }
   return out;
 }

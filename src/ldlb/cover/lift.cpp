@@ -15,6 +15,8 @@ TwoLift unfold_loop(const Multigraph& g, EdgeId e) {
 
   TwoLift out;
   out.base_nodes = n;
+  out.graph.reserve_nodes(2 * n);
+  out.graph.reserve_edges(2 * (g.edge_count() - 1) + 1);
   out.graph.add_nodes(2 * n);
   for (EdgeId f = 0; f < g.edge_count(); ++f) {
     if (f == e) continue;
@@ -60,7 +62,13 @@ Lift involution_lift(const Multigraph& g, int k) {
   auto node = [&](NodeId v, int i) {
     return static_cast<NodeId>(v * k + i);
   };
-  Multigraph lifted(g.node_count() * k);
+  Multigraph lifted;
+  lifted.reserve_nodes(g.node_count() * k);
+  lifted.add_nodes(g.node_count() * k);
+  // Every base edge lifts to k edges (loops lift to a k/2-matching twice
+  // counted as k endpoints, i.e. k/2 edges); reserving k per edge is a safe
+  // upper bound.
+  lifted.reserve_edges(g.edge_count() * k);
   std::vector<int> loops_seen(static_cast<std::size_t>(g.node_count()), 0);
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const auto& ed = g.edge(e);
@@ -97,7 +105,10 @@ Lift random_permutation_lift(const Multigraph& g, int k, Rng& rng) {
   auto node = [&](NodeId v, int i) {
     return static_cast<NodeId>(v * k + i);
   };
-  Multigraph lifted(g.node_count() * k);
+  Multigraph lifted;
+  lifted.reserve_nodes(g.node_count() * k);
+  lifted.add_nodes(g.node_count() * k);
+  lifted.reserve_edges(g.edge_count() * k);
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const auto& ed = g.edge(e);
     if (!ed.is_loop()) {

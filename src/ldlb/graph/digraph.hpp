@@ -54,6 +54,19 @@ class Digraph {
   /// Adds a directed edge (tail -> head), returning its id.
   EdgeId add_arc(NodeId tail, NodeId head, Color color = kUncoloured);
 
+  /// Pre-allocates arc storage (see Multigraph::reserve_edges).
+  void reserve_arcs(EdgeId count) {
+    LDLB_REQUIRE(count >= 0);
+    arcs_.reserve(static_cast<std::size_t>(count));
+  }
+
+  /// Pre-allocates node storage (out/in adjacency headers).
+  void reserve_nodes(NodeId count) {
+    LDLB_REQUIRE(count >= 0);
+    out_.reserve(static_cast<std::size_t>(count));
+    in_.reserve(static_cast<std::size_t>(count));
+  }
+
   [[nodiscard]] NodeId node_count() const {
     return static_cast<NodeId>(out_.size());
   }

@@ -50,12 +50,21 @@ int Multigraph::loop_count(NodeId v) const {
 }
 
 bool Multigraph::has_proper_edge_coloring() const {
-  for (const auto& inc : incidence_) {
-    std::unordered_set<Color> seen;
-    for (EdgeId e : inc) {
-      Color c = edge(e).color;
-      if (c == kUncoloured) return false;
-      if (!seen.insert(c).second) return false;
+  // One stamp array over the colour range instead of a hash set per node:
+  // this predicate guards every simulator run, so it must not allocate per
+  // node. seen[c] holds the last node at which colour c appeared.
+  Color max_color = kUncoloured;
+  for (const Edge& e : edges_) {
+    if (e.color == kUncoloured) return false;
+    max_color = std::max(max_color, e.color);
+  }
+  std::vector<NodeId> seen(static_cast<std::size_t>(max_color) + 1, kNoNode);
+  for (NodeId v = 0; v < node_count(); ++v) {
+    for (EdgeId e : incidence_[static_cast<std::size_t>(v)]) {
+      auto& slot = seen[static_cast<std::size_t>(
+          edges_[static_cast<std::size_t>(e)].color)];
+      if (slot == v) return false;
+      slot = v;
     }
   }
   return true;
@@ -73,12 +82,13 @@ int Multigraph::color_count() const {
 std::vector<int> Multigraph::distances_from(NodeId v) const {
   LDLB_REQUIRE(v >= 0 && v < node_count());
   std::vector<int> dist(static_cast<std::size_t>(node_count()), -1);
-  std::deque<NodeId> queue;
+  // Monotone BFS frontier in a flat vector (each node enqueued once).
+  std::vector<NodeId> queue;
+  queue.reserve(static_cast<std::size_t>(node_count()));
   dist[static_cast<std::size_t>(v)] = 0;
   queue.push_back(v);
-  while (!queue.empty()) {
-    NodeId cur = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId cur = queue[head];
     for (EdgeId e : incident_edges(cur)) {
       NodeId next = other_endpoint(e, cur);
       if (dist[static_cast<std::size_t>(next)] < 0) {
@@ -133,7 +143,10 @@ bool Multigraph::is_forest_ignoring_loops() const {
 
 Multigraph Multigraph::without_edge(EdgeId removed) const {
   LDLB_REQUIRE(removed >= 0 && removed < edge_count());
-  Multigraph out(node_count());
+  Multigraph out;
+  out.reserve_nodes(node_count());
+  out.add_nodes(node_count());
+  out.reserve_edges(edge_count() - 1);
   for (EdgeId e = 0; e < edge_count(); ++e) {
     if (e == removed) continue;
     const Edge& ed = edge(e);
@@ -143,12 +156,34 @@ Multigraph Multigraph::without_edge(EdgeId removed) const {
 }
 
 NodeId Multigraph::append_disjoint(const Multigraph& other) {
+  reserve_nodes(node_count() + other.node_count());
+  reserve_edges(edge_count() + other.edge_count());
   NodeId offset = add_nodes(other.node_count());
   for (EdgeId e = 0; e < other.edge_count(); ++e) {
     const Edge& ed = other.edge(e);
     add_edge(ed.u + offset, ed.v + offset, ed.color);
   }
   return offset;
+}
+
+std::uint64_t Multigraph::fingerprint() const {
+  // FNV-1a over the node count and the edge list in construction order.
+  // Computed on demand (no cached member) so Multigraph stays a plain
+  // copyable value type.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(node_count()));
+  for (const Edge& e : edges_) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u)) << 32 |
+        static_cast<std::uint32_t>(e.v));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.color)));
+  }
+  return h;
 }
 
 std::string Multigraph::to_string() const {

@@ -65,6 +65,21 @@ class Multigraph {
   /// Adds an undirected edge {u, v} (loop when u == v), returning its id.
   EdgeId add_edge(NodeId u, NodeId v, Color color = kUncoloured);
 
+  /// Pre-allocates edge storage: graphs in this library are built once by
+  /// copy-with-rewrite loops (unfold, mix, lift, ball extraction) whose
+  /// final edge count is known up front, so reserving kills the growth
+  /// reallocations in those hot construction paths.
+  void reserve_edges(EdgeId count) {
+    LDLB_REQUIRE(count >= 0);
+    edges_.reserve(static_cast<std::size_t>(count));
+  }
+
+  /// Pre-allocates node storage (incidence list headers).
+  void reserve_nodes(NodeId count) {
+    LDLB_REQUIRE(count >= 0);
+    incidence_.reserve(static_cast<std::size_t>(count));
+  }
+
   [[nodiscard]] NodeId node_count() const {
     return static_cast<NodeId>(incidence_.size());
   }
@@ -133,6 +148,12 @@ class Multigraph {
   /// Disjoint union; the nodes of `other` are appended after ours. Returns
   /// the offset that was added to `other`'s node ids.
   NodeId append_disjoint(const Multigraph& other);
+
+  /// Content fingerprint over nodes, edges and colours (FNV-1a). Equal
+  /// graphs (same construction order) fingerprint equally; used as a cache
+  /// key for derived data such as canonical ball encodings. Not
+  /// cryptographic.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   /// Human-readable dump (for examples and debugging).
   [[nodiscard]] std::string to_string() const;

@@ -76,6 +76,14 @@ class EcAlgorithm {
   virtual ~EcAlgorithm() = default;
   virtual std::unique_ptr<EcNodeState> make_node(const EcNodeContext& ctx) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when `make_node` and the node state machines it produces may be
+  /// driven from several threads at once (the factory keeps no mutable state
+  /// and each node touches only its own state). Opt-in: the simulator keeps
+  /// stateful factories on the exact serial path, so algorithms that
+  /// deliberately break anonymity (test impostors) stay race-free and
+  /// byte-identical.
+  [[nodiscard]] virtual bool parallel_safe() const { return false; }
 };
 
 // ---------------------------------------------------------------------------
@@ -117,6 +125,9 @@ class PoAlgorithm {
   virtual ~PoAlgorithm() = default;
   virtual std::unique_ptr<PoNodeState> make_node(const PoNodeContext& ctx) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// See EcAlgorithm::parallel_safe.
+  [[nodiscard]] virtual bool parallel_safe() const { return false; }
 };
 
 }  // namespace ldlb

@@ -57,6 +57,10 @@ class EcViewFunction {
   virtual std::map<Color, Rational> decide(
       const EcView& view, const std::vector<Color>& incident) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when `decide` is a pure function (no mutable state), so the
+  /// gathered views of different nodes may be decided concurrently.
+  [[nodiscard]] virtual bool parallel_safe() const { return false; }
 };
 
 /// Message-passing wrapper realising eq. (1): gather for t rounds, decide.
@@ -66,6 +70,11 @@ class FullInfoEc : public EcAlgorithm {
   std::unique_ptr<EcNodeState> make_node(const EcNodeContext& ctx) override;
   [[nodiscard]] std::string name() const override {
     return "FullInfo(" + fn_->name() + ")";
+  }
+  // The wrapper is only as safe as the decision function it shares between
+  // all gather nodes.
+  [[nodiscard]] bool parallel_safe() const override {
+    return fn_->parallel_safe();
   }
 
  private:
@@ -84,6 +93,8 @@ class SweepViewFunction : public EcViewFunction {
   std::map<Color, Rational> decide(
       const EcView& view, const std::vector<Color>& incident) override;
   [[nodiscard]] std::string name() const override { return "SweepView"; }
+  // decide() replays the sweep on locals only; num_colors_ is immutable.
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 
  private:
   int num_colors_;

@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <chrono>
 
+#include "ldlb/util/thread_pool.hpp"
+
 namespace ldlb {
 
 namespace {
+
+// Runs fn(v) for every node, spreading across the global pool when the
+// caller established that doing so is safe. Iteration order differs under
+// parallelism but every write lands in a caller-owned per-node slot, so
+// results are identical to the serial loop.
+template <typename Fn>
+void for_each_node(bool parallel, NodeId n, const Fn& fn) {
+  if (parallel) {
+    global_pool().parallel_for(static_cast<std::size_t>(n), [&fn](std::size_t i) {
+      fn(static_cast<NodeId>(i));
+    });
+  } else {
+    for (NodeId v = 0; v < n; ++v) fn(v);
+  }
+}
 
 using Clock = std::chrono::steady_clock;
 
@@ -75,25 +92,39 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
   RunHooks* hooks = options.hooks;
   RunDiagnostics* diag = options.diagnostics;
   if (diag) diag->reset(g.node_count());
+  // Per-node work fans out only when the algorithm declared itself
+  // thread-safe and no observation hooks are installed (hooks see events in
+  // deterministic per-node order, which parallel execution would scramble).
+  const bool par = alg.parallel_safe() && hooks == nullptr &&
+                   global_pool().size() > 1;
 
-  std::vector<std::unique_ptr<EcNodeState>> nodes;
-  nodes.reserve(static_cast<std::size_t>(g.node_count()));
-  for (NodeId v = 0; v < g.node_count(); ++v) {
+  std::vector<std::unique_ptr<EcNodeState>> nodes(
+      static_cast<std::size_t>(g.node_count()));
+  for_each_node(par, g.node_count(), [&](NodeId v) {
     EcNodeContext ctx;
     for (EdgeId e : g.incident_edges(v)) {
       ctx.incident_colors.push_back(g.edge(e).color);
     }
     std::sort(ctx.incident_colors.begin(), ctx.incident_colors.end());
     ctx.max_degree = delta;
-    nodes.push_back(alg.make_node(ctx));
-  }
+    nodes[static_cast<std::size_t>(v)] = alg.make_node(ctx);
+  });
 
   RunResult result;
   std::vector<char> crashed(static_cast<std::size_t>(g.node_count()), 0);
+  // halted() is a virtual call and the round loop consults it O(n) times per
+  // round; cache it in a flags array instead. The flag is refreshed at every
+  // point the bit can flip (construction, send, receive), so reading the
+  // flag is indistinguishable from calling halted() directly.
+  std::vector<char> halted(static_cast<std::size_t>(g.node_count()), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    halted[static_cast<std::size_t>(v)] =
+        nodes[static_cast<std::size_t>(v)]->halted() ? 1 : 0;
+  }
   // A node is out of the protocol once it halted or crash-stopped.
   auto done = [&](NodeId v) {
-    return crashed[static_cast<std::size_t>(v)] ||
-           nodes[static_cast<std::size_t>(v)]->halted();
+    return crashed[static_cast<std::size_t>(v)] != 0 ||
+           halted[static_cast<std::size_t>(v)] != 0;
   };
   auto all_done = [&] {
     for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -106,12 +137,42 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
     for (NodeId v = 0; v < g.node_count(); ++v) {
       auto& slot = diag->halt_round[static_cast<std::size_t>(v)];
       if (slot < 0 && !crashed[static_cast<std::size_t>(v)] &&
-          nodes[static_cast<std::size_t>(v)]->halted()) {
+          halted[static_cast<std::size_t>(v)]) {
         slot = round;
       }
     }
   };
   record_halts(0);
+
+  // Per-node incident ends sorted by colour, for outbox-driven delivery:
+  // properness makes (node, colour) identify at most one edge, so a node's
+  // outbox entries (a std::map, also colour-sorted) can be merge-joined
+  // against this table in O(deg + |outbox|).
+  struct IncidentEnd {
+    Color color;
+    EdgeId edge;
+    NodeId peer;
+  };
+  std::vector<std::vector<IncidentEnd>> ends_by_color;
+  if (!hooks) {
+    ends_by_color.resize(static_cast<std::size_t>(g.node_count()));
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& ed = g.edge(e);
+      // A loop delivers once, from the node back to itself.
+      ends_by_color[static_cast<std::size_t>(ed.u)].push_back(
+          {ed.color, e, ed.v});
+      if (!ed.is_loop()) {
+        ends_by_color[static_cast<std::size_t>(ed.v)].push_back(
+            {ed.color, e, ed.u});
+      }
+    }
+    for (auto& ends : ends_by_color) {
+      std::sort(ends.begin(), ends.end(),
+                [](const IncidentEnd& a, const IncidentEnd& b) {
+                  return a.color < b.color;
+                });
+    }
+  }
 
   int round = 0;
   while (!all_done()) {
@@ -127,54 +188,88 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
         }
       }
     }
-    // Collect outboxes of live nodes.
+    // A node's own send may flip its halted() bit, but each node's liveness
+    // is sampled before its own send and nodes do not affect each other
+    // inside a round, so this pre-count matches the serial interleaving.
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!done(v)) ++live;
+    }
+    // Collect outboxes of live nodes (each write lands in slot v).
     std::vector<std::map<Color, Message>> outbox(
         static_cast<std::size_t>(g.node_count()));
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (done(v)) continue;
-      ++live;
+    for_each_node(par, g.node_count(), [&](NodeId v) {
+      if (done(v)) return;
       auto& out = outbox[static_cast<std::size_t>(v)];
       out = nodes[static_cast<std::size_t>(v)]->send(round);
       if (hooks) hooks->on_send_ec(v, round, out);
-    }
-    // Deliver along edges; a loop feeds the node's own end.
+      halted[static_cast<std::size_t>(v)] =
+          nodes[static_cast<std::size_t>(v)]->halted() ? 1 : 0;
+    });
     long long round_messages = 0, round_bytes = 0;
     std::vector<std::map<Color, Message>> inbox(
         static_cast<std::size_t>(g.node_count()));
-    for (EdgeId e = 0; e < g.edge_count(); ++e) {
-      const auto& ed = g.edge(e);
-      const Color c = ed.color;
-      auto deliver = [&](NodeId from, NodeId to) {
-        auto it = outbox[static_cast<std::size_t>(from)].find(c);
-        if (it == outbox[static_cast<std::size_t>(from)].end()) return;
-        Message payload = it->second;
-        if (hooks) {
+    if (!hooks) {
+      // Outbox-driven delivery: merge-join each node's (colour-sorted)
+      // outbox against its colour-sorted incident ends — O(messages + deg)
+      // per node instead of a scan over every edge per round. Delivery
+      // order differs from the edge scan, but each (node, colour) inbox
+      // slot receives at most one message (properness) and the per-round
+      // counters are order-independent sums, so the observable state is
+      // identical.
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        auto& out = outbox[static_cast<std::size_t>(v)];
+        if (out.empty()) continue;
+        const auto& ends = ends_by_color[static_cast<std::size_t>(v)];
+        auto it = out.begin();
+        for (const IncidentEnd& end : ends) {
+          while (it != out.end() && it->first < end.color) ++it;
+          if (it == out.end()) break;
+          if (it->first != end.color) continue;
+          round_bytes += static_cast<long long>(it->second.size());
+          ++round_messages;
+          inbox[static_cast<std::size_t>(end.peer)][end.color] =
+              std::move(it->second);
+          ++it;
+        }
+      }
+    } else {
+      // Hooks observe one on_deliver event per edge end in edge order; keep
+      // the legacy scan so that event stream is unchanged.
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        const auto& ed = g.edge(e);
+        const Color c = ed.color;
+        auto deliver = [&](NodeId from, NodeId to) {
+          auto it = outbox[static_cast<std::size_t>(from)].find(c);
+          if (it == outbox[static_cast<std::size_t>(from)].end()) return;
+          Message payload = it->second;
           if (!hooks->on_deliver(e, from, to, round, payload)) {
             if (diag) ++diag->dropped_messages;
             return;
           }
           if (diag && payload != it->second) ++diag->corrupted_messages;
+          round_bytes += static_cast<long long>(payload.size());
+          ++round_messages;
+          inbox[static_cast<std::size_t>(to)][c] = std::move(payload);
+        };
+        if (ed.is_loop()) {
+          deliver(ed.u, ed.u);
+        } else {
+          deliver(ed.u, ed.v);
+          deliver(ed.v, ed.u);
         }
-        round_bytes += static_cast<long long>(payload.size());
-        ++round_messages;
-        inbox[static_cast<std::size_t>(to)][c] = std::move(payload);
-      };
-      if (ed.is_loop()) {
-        deliver(ed.u, ed.u);
-      } else {
-        deliver(ed.u, ed.v);
-        deliver(ed.v, ed.u);
       }
     }
     result.messages += round_messages;
     result.message_bytes += round_bytes;
     if (diag) diag->per_round.push_back({round_messages, round_bytes, live});
     check_message_budget(options.budget, result.messages, alg.name());
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (done(v)) continue;
+    for_each_node(par, g.node_count(), [&](NodeId v) {
+      if (done(v)) return;
       nodes[static_cast<std::size_t>(v)]->receive(
           round, inbox[static_cast<std::size_t>(v)]);
-    }
+      halted[static_cast<std::size_t>(v)] =
+          nodes[static_cast<std::size_t>(v)]->halted() ? 1 : 0;
+    });
     record_halts(round);
   }
   result.rounds = round;
@@ -182,11 +277,11 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
   // Assemble and cross-check the output.
   std::vector<std::map<Color, Rational>> outputs(
       static_cast<std::size_t>(g.node_count()));
-  for (NodeId v = 0; v < g.node_count(); ++v) {
+  for_each_node(par, g.node_count(), [&](NodeId v) {
     auto& out = outputs[static_cast<std::size_t>(v)];
     out = nodes[static_cast<std::size_t>(v)]->output();
     if (hooks) hooks->on_output_ec(v, out);
-  }
+  });
   result.matching = FractionalMatching(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const auto& ed = g.edge(e);
@@ -227,24 +322,32 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
   RunHooks* hooks = options.hooks;
   RunDiagnostics* diag = options.diagnostics;
   if (diag) diag->reset(g.node_count());
+  const bool par = alg.parallel_safe() && hooks == nullptr &&
+                   global_pool().size() > 1;
 
-  std::vector<std::unique_ptr<PoNodeState>> nodes;
-  nodes.reserve(static_cast<std::size_t>(g.node_count()));
-  for (NodeId v = 0; v < g.node_count(); ++v) {
+  std::vector<std::unique_ptr<PoNodeState>> nodes(
+      static_cast<std::size_t>(g.node_count()));
+  for_each_node(par, g.node_count(), [&](NodeId v) {
     PoNodeContext ctx;
     for (EdgeId a : g.out_arcs(v)) ctx.out_colors.push_back(g.arc(a).color);
     for (EdgeId a : g.in_arcs(v)) ctx.in_colors.push_back(g.arc(a).color);
     std::sort(ctx.out_colors.begin(), ctx.out_colors.end());
     std::sort(ctx.in_colors.begin(), ctx.in_colors.end());
     ctx.max_degree = delta;
-    nodes.push_back(alg.make_node(ctx));
-  }
+    nodes[static_cast<std::size_t>(v)] = alg.make_node(ctx);
+  });
 
   RunResult result;
   std::vector<char> crashed(static_cast<std::size_t>(g.node_count()), 0);
+  // Cached halted() bits, refreshed wherever the bit can flip — see run_ec.
+  std::vector<char> halted(static_cast<std::size_t>(g.node_count()), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    halted[static_cast<std::size_t>(v)] =
+        nodes[static_cast<std::size_t>(v)]->halted() ? 1 : 0;
+  }
   auto done = [&](NodeId v) {
-    return crashed[static_cast<std::size_t>(v)] ||
-           nodes[static_cast<std::size_t>(v)]->halted();
+    return crashed[static_cast<std::size_t>(v)] != 0 ||
+           halted[static_cast<std::size_t>(v)] != 0;
   };
   auto all_done = [&] {
     for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -257,7 +360,7 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
     for (NodeId v = 0; v < g.node_count(); ++v) {
       auto& slot = diag->halt_round[static_cast<std::size_t>(v)];
       if (slot < 0 && !crashed[static_cast<std::size_t>(v)] &&
-          nodes[static_cast<std::size_t>(v)]->halted()) {
+          halted[static_cast<std::size_t>(v)]) {
         slot = round;
       }
     }
@@ -278,15 +381,19 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
         }
       }
     }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!done(v)) ++live;
+    }
     std::vector<std::map<PoEnd, Message>> outbox(
         static_cast<std::size_t>(g.node_count()));
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (done(v)) continue;
-      ++live;
+    for_each_node(par, g.node_count(), [&](NodeId v) {
+      if (done(v)) return;
       auto& out = outbox[static_cast<std::size_t>(v)];
       out = nodes[static_cast<std::size_t>(v)]->send(round);
       if (hooks) hooks->on_send_po(v, round, out);
-    }
+      halted[static_cast<std::size_t>(v)] =
+          nodes[static_cast<std::size_t>(v)]->halted() ? 1 : 0;
+    });
     long long round_messages = 0, round_bytes = 0;
     std::vector<std::map<PoEnd, Message>> inbox(
         static_cast<std::size_t>(g.node_count()));
@@ -294,7 +401,9 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
                        PoEnd to_end) {
       auto it = outbox[static_cast<std::size_t>(from)].find(from_end);
       if (it == outbox[static_cast<std::size_t>(from)].end()) return;
-      Message payload = it->second;
+      // PO-properness makes each (node, end) outbox entry single-consumer,
+      // mirroring the EC deliver fast path.
+      Message payload = hooks ? it->second : std::move(it->second);
       if (hooks) {
         if (!hooks->on_deliver(a, from, to, round, payload)) {
           if (diag) ++diag->dropped_messages;
@@ -318,22 +427,24 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
     result.message_bytes += round_bytes;
     if (diag) diag->per_round.push_back({round_messages, round_bytes, live});
     check_message_budget(options.budget, result.messages, alg.name());
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (done(v)) continue;
+    for_each_node(par, g.node_count(), [&](NodeId v) {
+      if (done(v)) return;
       nodes[static_cast<std::size_t>(v)]->receive(
           round, inbox[static_cast<std::size_t>(v)]);
-    }
+      halted[static_cast<std::size_t>(v)] =
+          nodes[static_cast<std::size_t>(v)]->halted() ? 1 : 0;
+    });
     record_halts(round);
   }
   result.rounds = round;
 
   std::vector<std::map<PoEnd, Rational>> outputs(
       static_cast<std::size_t>(g.node_count()));
-  for (NodeId v = 0; v < g.node_count(); ++v) {
+  for_each_node(par, g.node_count(), [&](NodeId v) {
     auto& out = outputs[static_cast<std::size_t>(v)];
     out = nodes[static_cast<std::size_t>(v)]->output();
     if (hooks) hooks->on_output_po(v, out);
-  }
+  });
   result.matching = FractionalMatching(g.arc_count());
   for (EdgeId a = 0; a < g.arc_count(); ++a) {
     const auto& arc = g.arc(a);

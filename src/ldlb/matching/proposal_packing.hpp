@@ -43,6 +43,7 @@ class ProposalPacking : public PoAlgorithm {
   ProposalPacking() = default;
   std::unique_ptr<PoNodeState> make_node(const PoNodeContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "ProposalPacking"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 };
 
 /// A safe round budget for running ProposalPacking on a graph with n nodes

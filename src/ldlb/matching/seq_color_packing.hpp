@@ -37,6 +37,9 @@ class SeqColorPacking : public EcAlgorithm {
   [[nodiscard]] std::string name() const override {
     return "SeqColorPacking";
   }
+  // The factory's only state is the immutable colour count and each node
+  // machine owns all of its state, so concurrent simulation is safe.
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 
  private:
   int num_colors_;

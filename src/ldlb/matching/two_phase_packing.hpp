@@ -25,6 +25,7 @@ class TwoPhasePacking : public EcAlgorithm {
   explicit TwoPhasePacking(int num_colors);
   std::unique_ptr<EcNodeState> make_node(const EcNodeContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "TwoPhasePacking"; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 
  private:
   int num_colors_;

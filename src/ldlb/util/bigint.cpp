@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <ostream>
 
 #include "ldlb/util/error.hpp"
@@ -9,20 +10,54 @@
 namespace ldlb {
 
 namespace {
+
 constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+
+// Binary GCD on machine words: no divisions, only shifts and subtractions.
+std::uint64_t gcd_word(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  const int shift = __builtin_ctzll(a | b);
+  a >>= __builtin_ctzll(a);
+  do {
+    b >>= __builtin_ctzll(b);
+    if (a > b) std::swap(a, b);
+    b -= a;
+  } while (b != 0);
+  return a << shift;
+}
+
 }  // namespace
 
-BigInt::BigInt(std::int64_t value) {
-  negative_ = value < 0;
-  // Avoid overflow on INT64_MIN by working in uint64.
-  std::uint64_t mag =
-      negative_ ? ~static_cast<std::uint64_t>(value) + 1
-                : static_cast<std::uint64_t>(value);
-  while (mag != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
-    mag >>= 32;
+BigInt BigInt::from_magnitude(bool negative, std::uint64_t magnitude) {
+  BigInt r;
+  r.small_ = magnitude;
+  r.negative_ = negative && magnitude != 0;
+  return r;
+}
+
+std::vector<std::uint32_t> BigInt::magnitude_limbs() const {
+  if (!is_small()) return limbs_;
+  std::vector<std::uint32_t> out;
+  if (small_ != 0) out.push_back(static_cast<std::uint32_t>(small_));
+  if (small_ >> 32 != 0) out.push_back(static_cast<std::uint32_t>(small_ >> 32));
+  return out;
+}
+
+void BigInt::set_magnitude(std::vector<std::uint32_t> limbs) {
+  trim(limbs);
+  if (limbs.size() <= 2) {
+    small_ = limbs.empty()
+                 ? 0
+                 : (limbs.size() == 2
+                        ? (static_cast<std::uint64_t>(limbs[1]) << 32) | limbs[0]
+                        : limbs[0]);
+    limbs_.clear();
+  } else {
+    small_ = 0;
+    limbs_ = std::move(limbs);
   }
-  normalize();
+  if (is_zero()) negative_ = false;
 }
 
 BigInt BigInt::from_string(const std::string& text) {
@@ -35,12 +70,19 @@ BigInt BigInt::from_string(const std::string& text) {
   }
   LDLB_REQUIRE_MSG(i < text.size(), "sign without digits: " << text);
   BigInt result;
-  const BigInt ten{10};
-  for (; i < text.size(); ++i) {
-    LDLB_REQUIRE_MSG(std::isdigit(static_cast<unsigned char>(text[i])),
-                     "malformed integer literal: " << text);
-    result *= ten;
-    result += BigInt{text[i] - '0'};
+  // Consume up to 9 digits per step so the accumulator multiplications stay
+  // on the inline fast path until the value genuinely outgrows it.
+  while (i < text.size()) {
+    std::uint64_t chunk = 0;
+    std::uint64_t scale = 1;
+    for (int d = 0; d < 9 && i < text.size(); ++d, ++i) {
+      LDLB_REQUIRE_MSG(std::isdigit(static_cast<unsigned char>(text[i])),
+                       "malformed integer literal: " << text);
+      chunk = chunk * 10 + static_cast<std::uint64_t>(text[i] - '0');
+      scale *= 10;
+    }
+    result *= BigInt{static_cast<std::int64_t>(scale)};
+    result += BigInt{static_cast<std::int64_t>(chunk)};
   }
   if (neg && !result.is_zero()) result.negative_ = true;
   return result;
@@ -60,11 +102,6 @@ BigInt BigInt::negated() const {
 
 void BigInt::trim(std::vector<std::uint32_t>& limbs) {
   while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
-}
-
-void BigInt::normalize() {
-  trim(limbs_);
-  if (limbs_.empty()) negative_ = false;
 }
 
 int BigInt::mag_cmp(const std::vector<std::uint32_t>& a,
@@ -137,14 +174,41 @@ std::vector<std::uint32_t> BigInt::mag_mul(
   return out;
 }
 
+std::pair<std::vector<std::uint32_t>, std::uint64_t> BigInt::mag_divmod_word(
+    const std::vector<std::uint32_t>& a, std::uint64_t d) {
+  LDLB_REQUIRE_MSG(d != 0, "division by zero");
+  std::vector<std::uint32_t> quotient(a.size(), 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    // rem < d <= 2^64, so (rem << 32) | limb fits 128 bits and the partial
+    // quotient fits one limb.
+    unsigned __int128 cur =
+        (static_cast<unsigned __int128>(rem) << 32) | a[i];
+    quotient[i] = static_cast<std::uint32_t>(cur / d);
+    rem = static_cast<std::uint64_t>(cur % d);
+  }
+  trim(quotient);
+  return {std::move(quotient), rem};
+}
+
 std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>
 BigInt::mag_divmod(const std::vector<std::uint32_t>& a,
                    const std::vector<std::uint32_t>& b) {
   LDLB_REQUIRE_MSG(!b.empty(), "division by zero");
   if (mag_cmp(a, b) < 0) return {{}, a};
+  if (b.size() <= 2) {
+    const std::uint64_t d =
+        b.size() == 2 ? (static_cast<std::uint64_t>(b[1]) << 32) | b[0] : b[0];
+    auto [q, r] = mag_divmod_word(a, d);
+    std::vector<std::uint32_t> rem;
+    if (r != 0) rem.push_back(static_cast<std::uint32_t>(r));
+    if (r >> 32 != 0) rem.push_back(static_cast<std::uint32_t>(r >> 32));
+    return {std::move(q), std::move(rem)};
+  }
 
-  // Bit-by-bit long division: simple and fully portable. Operands in this
-  // library are at most a few dozen limbs, so O(bits * limbs) is fine.
+  // Bit-by-bit long division: simple and fully portable. Multi-limb
+  // divisors are rare in this library (weights stay word-sized), so
+  // O(bits * limbs) is fine.
   std::vector<std::uint32_t> quotient(a.size(), 0);
   std::vector<std::uint32_t> remainder;
   for (std::size_t bit = a.size() * 32; bit-- > 0;) {
@@ -167,15 +231,36 @@ BigInt::mag_divmod(const std::vector<std::uint32_t>& a,
 }
 
 BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (negative_ == rhs.negative_) {
-    limbs_ = mag_add(limbs_, rhs.limbs_);
-  } else if (mag_cmp(limbs_, rhs.limbs_) >= 0) {
-    limbs_ = mag_sub(limbs_, rhs.limbs_);
-  } else {
-    limbs_ = mag_sub(rhs.limbs_, limbs_);
-    negative_ = rhs.negative_;
+  if (is_small() && rhs.is_small()) {
+    if (negative_ == rhs.negative_) {
+      std::uint64_t sum = 0;
+      if (!__builtin_add_overflow(small_, rhs.small_, &sum)) {
+        small_ = sum;
+        if (small_ == 0) negative_ = false;
+        return *this;
+      }
+      // Magnitude overflowed one word: fall through to the limb path.
+    } else {
+      if (small_ >= rhs.small_) {
+        small_ -= rhs.small_;
+      } else {
+        small_ = rhs.small_ - small_;
+        negative_ = rhs.negative_;
+      }
+      if (small_ == 0) negative_ = false;
+      return *this;
+    }
   }
-  normalize();
+  std::vector<std::uint32_t> a = magnitude_limbs();
+  std::vector<std::uint32_t> b = rhs.magnitude_limbs();
+  if (negative_ == rhs.negative_) {
+    set_magnitude(mag_add(a, b));
+  } else if (mag_cmp(a, b) >= 0) {
+    set_magnitude(mag_sub(a, b));
+  } else {
+    negative_ = rhs.negative_;
+    set_magnitude(mag_sub(b, a));
+  }
   return *this;
 }
 
@@ -183,25 +268,58 @@ BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
   negative_ = negative_ != rhs.negative_;
-  limbs_ = mag_mul(limbs_, rhs.limbs_);
-  normalize();
+  if (is_small() && rhs.is_small()) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(small_) * rhs.small_;
+    if (prod <= std::numeric_limits<std::uint64_t>::max()) {
+      small_ = static_cast<std::uint64_t>(prod);
+      if (small_ == 0) negative_ = false;
+      return *this;
+    }
+    set_magnitude({static_cast<std::uint32_t>(prod),
+                   static_cast<std::uint32_t>(prod >> 32),
+                   static_cast<std::uint32_t>(prod >> 64),
+                   static_cast<std::uint32_t>(prod >> 96)});
+    return *this;
+  }
+  set_magnitude(mag_mul(magnitude_limbs(), rhs.magnitude_limbs()));
   return *this;
 }
 
 BigInt& BigInt::operator/=(const BigInt& rhs) {
-  bool neg = negative_ != rhs.negative_;
-  limbs_ = mag_divmod(limbs_, rhs.limbs_).first;
-  negative_ = neg;
-  normalize();
+  LDLB_REQUIRE_MSG(!rhs.is_zero(), "division by zero");
+  negative_ = negative_ != rhs.negative_;
+  if (is_small() && rhs.is_small()) {
+    small_ /= rhs.small_;
+    if (small_ == 0) negative_ = false;
+    return *this;
+  }
+  if (rhs.is_small()) {
+    set_magnitude(mag_divmod_word(magnitude_limbs(), rhs.small_).first);
+    return *this;
+  }
+  set_magnitude(mag_divmod(magnitude_limbs(), rhs.magnitude_limbs()).first);
   return *this;
 }
 
 BigInt& BigInt::operator%=(const BigInt& rhs) {
+  LDLB_REQUIRE_MSG(!rhs.is_zero(), "division by zero");
   // Sign of the remainder follows the dividend (truncated division).
-  bool neg = negative_;
-  limbs_ = mag_divmod(limbs_, rhs.limbs_).second;
-  negative_ = neg;
-  normalize();
+  if (is_small() && rhs.is_small()) {
+    small_ %= rhs.small_;
+    if (small_ == 0) negative_ = false;
+    return *this;
+  }
+  if (rhs.is_small()) {
+    const std::uint64_t r =
+        mag_divmod_word(magnitude_limbs(), rhs.small_).second;
+    const bool neg = negative_;
+    limbs_.clear();
+    small_ = r;
+    negative_ = neg && r != 0;
+    return *this;
+  }
+  set_magnitude(mag_divmod(magnitude_limbs(), rhs.magnitude_limbs()).second);
   return *this;
 }
 
@@ -210,7 +328,16 @@ std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
     return lhs.negative_ ? std::strong_ordering::less
                          : std::strong_ordering::greater;
   }
-  int mag = BigInt::mag_cmp(lhs.limbs_, rhs.limbs_);
+  int mag = 0;
+  if (lhs.is_small() && rhs.is_small()) {
+    mag = lhs.small_ == rhs.small_ ? 0 : (lhs.small_ < rhs.small_ ? -1 : 1);
+  } else if (lhs.is_small()) {
+    mag = -1;  // any spilled magnitude exceeds one word
+  } else if (rhs.is_small()) {
+    mag = 1;
+  } else {
+    mag = BigInt::mag_cmp(lhs.limbs_, rhs.limbs_);
+  }
   if (lhs.negative_) mag = -mag;
   if (mag < 0) return std::strong_ordering::less;
   if (mag > 0) return std::strong_ordering::greater;
@@ -220,59 +347,74 @@ std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
 BigInt BigInt::gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;
-  while (!b.is_zero()) {
+  // Euclid steps shrink spilled operands to word size fast; binary GCD
+  // finishes on machine words without any division.
+  while (!a.is_small() || !b.is_small()) {
+    if (b.is_zero()) return a;
     BigInt r = a % b;
     a = std::move(b);
     b = std::move(r);
   }
-  return a;
+  return from_magnitude(false, gcd_word(a.small_, b.small_));
 }
 
 BigInt BigInt::pow2(unsigned k) {
+  if (k < 64) return from_magnitude(false, std::uint64_t{1} << k);
   BigInt r;
-  r.limbs_.assign(k / 32 + 1, 0);
-  r.limbs_[k / 32] = std::uint32_t{1} << (k % 32);
-  r.normalize();
+  std::vector<std::uint32_t> limbs(k / 32 + 1, 0);
+  limbs[k / 32] = std::uint32_t{1} << (k % 32);
+  r.set_magnitude(std::move(limbs));
   return r;
 }
 
 std::string BigInt::to_string() const {
   if (is_zero()) return "0";
+  if (is_small()) {
+    std::string digits = std::to_string(small_);
+    return negative_ ? "-" + digits : digits;
+  }
+  // Peel nine decimal digits per word division.
+  constexpr std::uint64_t kChunk = 1000000000;
   std::vector<std::uint32_t> mag = limbs_;
   std::string digits;
-  const std::vector<std::uint32_t> ten{10};
   while (!mag.empty()) {
-    auto [q, r] = mag_divmod(mag, ten);
-    digits.push_back(static_cast<char>('0' + (r.empty() ? 0 : r[0])));
+    auto [q, r] = mag_divmod_word(mag, kChunk);
     mag = std::move(q);
+    if (mag.empty()) {
+      std::string head = std::to_string(r);
+      digits.insert(0, head);
+    } else {
+      std::string part = std::to_string(r);
+      digits.insert(0, std::string(9 - part.size(), '0') + part);
+    }
   }
-  if (negative_) digits.push_back('-');
-  std::reverse(digits.begin(), digits.end());
-  return digits;
+  return negative_ ? "-" + digits : digits;
 }
 
 bool BigInt::fits_int64() const {
-  if (limbs_.size() < 2) return true;
-  if (limbs_.size() > 2) return false;
-  std::uint64_t mag = (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
-  return negative_ ? mag <= (std::uint64_t{1} << 63)
-                   : mag < (std::uint64_t{1} << 63);
+  if (!is_small()) return false;
+  return negative_ ? small_ <= (std::uint64_t{1} << 63)
+                   : small_ < (std::uint64_t{1} << 63);
 }
 
 std::int64_t BigInt::to_int64() const {
   LDLB_REQUIRE_MSG(fits_int64(), "BigInt does not fit into int64: "
                                      << to_string());
-  std::uint64_t mag = 0;
-  if (!limbs_.empty()) mag = limbs_[0];
-  if (limbs_.size() == 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  return negative_ ? -static_cast<std::int64_t>(mag - 1) - 1
-                   : static_cast<std::int64_t>(mag);
+  return negative_ ? -static_cast<std::int64_t>(small_ - 1) - 1
+                   : static_cast<std::int64_t>(small_);
 }
 
 std::size_t BigInt::hash() const {
   std::size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0;
-  for (std::uint32_t limb : limbs_) {
+  auto mix = [&h](std::uint32_t limb) {
     h ^= limb + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  if (is_small()) {
+    // Mirror the limb walk so equal values hash equally however produced.
+    if (small_ != 0) mix(static_cast<std::uint32_t>(small_));
+    if (small_ >> 32 != 0) mix(static_cast<std::uint32_t>(small_ >> 32));
+  } else {
+    for (std::uint32_t limb : limbs_) mix(limb);
   }
   return h;
 }

@@ -21,9 +21,14 @@ void Rational::reduce() {
     den_ = BigInt{1};
     return;
   }
+  // Weight arithmetic mostly produces already-reduced fractions (dyadic
+  // denominators); skipping the two divisions when gcd == 1 keeps the hot
+  // path at a single binary-GCD word loop.
   BigInt g = BigInt::gcd(num_, den_);
-  num_ /= g;
-  den_ /= g;
+  if (g != BigInt{1}) {
+    num_ /= g;
+    den_ /= g;
+  }
 }
 
 Rational Rational::from_string(const std::string& text) {
@@ -65,6 +70,11 @@ Rational& Rational::operator/=(const Rational& rhs) {
 }
 
 std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
+  // Sign alone decides most comparisons; equal denominators (common for the
+  // dyadic weights the packing algorithms emit) avoid the cross products.
+  const int sl = lhs.sign(), sr = rhs.sign();
+  if (sl != sr) return sl <=> sr;
+  if (lhs.den_ == rhs.den_) return lhs.num_ <=> rhs.num_;
   // Cross-multiplication is sign-safe because denominators are positive.
   return lhs.num_ * rhs.den_ <=> rhs.num_ * lhs.den_;
 }

@@ -1,0 +1,170 @@
+#include "ldlb/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace ldlb {
+
+namespace {
+
+// Set while a thread is inside ThreadPool::worker_loop; lets reentrant
+// parallel_* calls detect that they are already on a worker and run inline.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+constexpr int kMaxThreads = 64;
+
+int default_threads() {
+  if (const char* s = std::getenv("LDLB_THREADS"); s != nullptr && *s != '\0') {
+    int v = std::atoi(s);
+    if (v >= 1) return std::min(v, kMaxThreads);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, unsigned{kMaxThreads}));
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mutex
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(threads, 1)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  // The calling thread participates in every batch, so n workers serve a
+  // pool of size n+1; a 1-thread pool spawns nothing.
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return tls_worker_pool == this; }
+
+void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    wake_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Task task = std::move(queue_.back());
+    queue_.pop_back();
+    lk.unlock();
+    task.run();
+    lk.lock();
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>>& tasks) {
+  const std::size_t n = tasks.size();
+  if (n == 0) return;
+  std::vector<std::exception_ptr> errors(n);
+
+  if (threads_ <= 1 || on_worker_thread() || n == 1) {
+    // Inline: run every task (as the parallel path would), then report the
+    // lowest-index failure.
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    struct Join {
+      std::mutex m;
+      std::condition_variable cv;
+      std::size_t done = 0;
+    } join;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      for (std::size_t i = 0; i < n; ++i) {
+        queue_.push_back(Task{[&tasks, &errors, &join, i] {
+          try {
+            tasks[i]();
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+          // Notify under the lock: the waiter destroys `join` as soon as it
+          // observes done == n, so signalling after unlock would race with
+          // the condition variable's destruction.
+          std::lock_guard<std::mutex> g(join.m);
+          ++join.done;
+          join.cv.notify_one();
+        }});
+      }
+    }
+    wake_.notify_all();
+    // The issuing thread drains the queue alongside the workers.
+    for (;;) {
+      std::unique_lock<std::mutex> lk(mutex_);
+      if (queue_.empty()) break;
+      Task task = std::move(queue_.back());
+      queue_.pop_back();
+      lk.unlock();
+      task.run();
+    }
+    std::unique_lock<std::mutex> lk(join.m);
+    join.cv.wait(lk, [&join, n] { return join.done == n; });
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || on_worker_thread() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Contiguous chunks: the lowest failing chunk's first failure is exactly
+  // the lowest failing index, preserving serial exception order.
+  const std::size_t chunks =
+      std::min(n, static_cast<std::size_t>(threads_) * 4);
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(n, lo + per);
+    if (lo >= hi) break;
+    tasks.push_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  run_batch(tasks);
+}
+
+void ThreadPool::parallel_invoke(std::vector<std::function<void()>> thunks) {
+  run_batch(thunks);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_threads());
+  return *g_pool;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(
+      threads <= 0 ? default_threads() : std::min(threads, kMaxThreads));
+}
+
+ThreadPool& global_pool() { return ThreadPool::global(); }
+
+}  // namespace ldlb

@@ -1,0 +1,93 @@
+// Deterministic task pool for the parallel execution layer.
+//
+// The adversary, the simulator, and the certificate validator fan
+// independent pieces of exact-arithmetic work out to a small fixed pool of
+// worker threads. Two properties make this safe for a system whose output
+// is a *byte-identical* certificate (the crash/resume contract of
+// recover/):
+//
+//   * Deterministic join: `parallel_for` and `parallel_invoke` return only
+//     after every task finished, results are written into caller-owned
+//     index slots, and a task's exception is rethrown in task order — the
+//     lowest-index failure wins, exactly as in a serial left-to-right loop.
+//     Scheduling order can vary between runs; observable behaviour cannot.
+//
+//   * Inline nesting: a `parallel_*` call made from inside a worker thread
+//     runs its tasks inline on that worker. Nested parallelism therefore
+//     cannot deadlock the fixed-size pool, and the serial fallback keeps the
+//     same code path as a 1-thread pool.
+//
+// The pool size comes from the LDLB_THREADS environment variable (default:
+// hardware concurrency), clamped to [1, 64]. `set_global_threads` rebuilds
+// the global pool at runtime — tests use it to prove that 1-, 2- and
+// 8-thread runs produce identical bytes. A pool of size 1 executes
+// everything inline and spawns no threads at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldlb {
+
+/// Fixed-size worker pool with a deterministic fork/join API.
+class ThreadPool {
+ public:
+  /// Pool with `threads` workers (clamped to >= 1). A 1-thread pool spawns
+  /// nothing and runs every task inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (>= 1); 1 means fully serial.
+  [[nodiscard]] int size() const { return threads_; }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for all of
+  /// them. Exceptions are rethrown in index order (the lowest failing index
+  /// wins), matching a serial loop. Reentrant calls from worker threads run
+  /// inline.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs the given thunks concurrently and waits for all of them; the
+  /// first thunk's exception wins. Reentrant calls run inline.
+  void parallel_invoke(std::vector<std::function<void()>> thunks);
+
+  /// The process-wide pool. First use sizes it from LDLB_THREADS (default:
+  /// hardware concurrency, clamped to [1, 64]).
+  static ThreadPool& global();
+
+  /// Resizes the global pool (tests and tools; not thread-safe against
+  /// concurrent global() users executing tasks). `threads` <= 0 restores
+  /// the LDLB_THREADS / hardware default.
+  static void set_global_threads(int threads);
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
+
+ private:
+  struct Task {
+    std::function<void()> run;
+  };
+
+  void worker_loop();
+  /// Runs `tasks` across the pool (or inline), then rethrows the
+  /// lowest-index exception, if any.
+  void run_batch(std::vector<std::function<void()>>& tasks);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;  // LIFO; tasks of one batch only
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+/// Shorthand for ThreadPool::global().
+ThreadPool& global_pool();
+
+}  // namespace ldlb

@@ -11,6 +11,10 @@ Ball extract_ball(const Multigraph& g, NodeId v, int radius) {
 
   Ball ball;
   ball.radius = radius;
+  // Upper bounds; the ball can only be smaller than the host.
+  ball.graph.reserve_nodes(g.node_count());
+  ball.graph.reserve_edges(g.edge_count());
+  ball.to_host.reserve(static_cast<std::size_t>(g.node_count()));
   std::vector<NodeId> to_ball(static_cast<std::size_t>(g.node_count()),
                               kNoNode);
   // The centre first so its ball-local id is 0; then the other nodes in host

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <tuple>
+#include <unordered_map>
 
 namespace ldlb {
 
@@ -198,6 +200,83 @@ std::string canonical_tree_encoding(const Multigraph& g, NodeId root) {
   }
   LDLB_ENSURE(done_stack.size() == 1);
   return std::move(done_stack.back());
+}
+
+namespace {
+
+struct BallKey {
+  std::uint64_t fingerprint;
+  NodeId node;
+  int radius;
+
+  friend bool operator==(const BallKey&, const BallKey&) = default;
+};
+
+struct BallKeyHash {
+  std::size_t operator()(const BallKey& k) const noexcept {
+    std::uint64_t h = k.fingerprint;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.node)) *
+         0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.radius)) *
+         0xff51afd7ed558ccdULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+// Global memo for ball encodings. The certificate chain re-examines the same
+// (graph, witness, radius) triples many times — the adversary verifies each
+// level as it is built and the validator re-derives every ball again — so a
+// small cache removes most extractions. Bounded by wholesale clearing: the
+// working set per certificate is tiny, so eviction precision is not worth
+// LRU bookkeeping. Guarded by a mutex so parallel validation can share it.
+std::mutex g_ball_cache_mutex;
+std::unordered_map<BallKey, std::optional<std::string>, BallKeyHash>
+    g_ball_cache;
+constexpr std::size_t kBallCacheCap = 1 << 16;
+
+}  // namespace
+
+std::optional<std::string> cached_ball_encoding(const Multigraph& g, NodeId v,
+                                                int radius) {
+  const BallKey key{g.fingerprint(), v, radius};
+  {
+    std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
+    auto it = g_ball_cache.find(key);
+    if (it != g_ball_cache.end()) return it->second;
+  }
+  Ball ball = extract_ball(g, v, radius);
+  std::optional<std::string> enc;
+  // The encoding route must agree exactly with rooted_isomorphism, which
+  // demands proper colourings; balls are connected by construction.
+  if (ball.graph.is_forest_ignoring_loops() &&
+      ball.graph.has_proper_edge_coloring()) {
+    enc = canonical_tree_encoding(ball.graph, ball.center);
+  }
+  {
+    std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
+    if (g_ball_cache.size() >= kBallCacheCap) g_ball_cache.clear();
+    g_ball_cache.emplace(key, enc);
+  }
+  return enc;
+}
+
+bool balls_isomorphic_cached(const Multigraph& g, NodeId gv,
+                             const Multigraph& h, NodeId hv, int radius) {
+  std::optional<std::string> eg = cached_ball_encoding(g, gv, radius);
+  if (eg.has_value()) {
+    std::optional<std::string> eh = cached_ball_encoding(h, hv, radius);
+    if (eh.has_value()) return *eg == *eh;
+  }
+  // At least one ball is not a properly coloured tree-with-loops; fall back
+  // to the generic propagation-based check.
+  Ball bg = extract_ball(g, gv, radius);
+  Ball bh = extract_ball(h, hv, radius);
+  return balls_isomorphic(bg, bh);
+}
+
+void clear_ball_encoding_cache() {
+  std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
+  g_ball_cache.clear();
 }
 
 }  // namespace ldlb

@@ -53,4 +53,23 @@ bool balls_isomorphic(const Ball& a, const Ball& b);
 /// Requires `g.is_forest_ignoring_loops()` and connectivity.
 std::string canonical_tree_encoding(const Multigraph& g, NodeId root);
 
+/// Canonical encoding of τ_radius(g, v), memoized across calls in a global
+/// bounded cache keyed by (g.fingerprint(), v, radius). Returns nullopt when
+/// the ball is not a properly coloured tree-with-loops (the AHU encoding
+/// does not apply); the nullopt outcome is cached too.
+std::optional<std::string> cached_ball_encoding(const Multigraph& g, NodeId v,
+                                                int radius);
+
+/// Equivalent to `balls_isomorphic(extract_ball(g, gv, r),
+/// extract_ball(h, hv, r))` but answered from the canonical-encoding cache
+/// when both balls are properly coloured trees-with-loops (always the case
+/// for the Section 4 construction, property (P3)); transparently falls back
+/// to ball extraction + rooted isomorphism for other shapes.
+bool balls_isomorphic_cached(const Multigraph& g, NodeId gv,
+                             const Multigraph& h, NodeId hv, int radius);
+
+/// Drops every memoized ball encoding (mainly for tests and benchmarks that
+/// want cold-cache timings).
+void clear_ball_encoding_cache();
+
 }  // namespace ldlb
