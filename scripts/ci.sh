@@ -2,11 +2,17 @@
 # CI gate: build and run the full test suite twice — a plain RelWithDebInfo
 # build, then an AddressSanitizer+UBSan build (see LDLB_SANITIZE in the top
 # CMakeLists) — plus a ThreadSanitizer pass over the concurrency-bearing
-# suites with the thread pool forced wide. All three must be green.
+# suites with the thread pool forced wide, and a bounded chaos-soak stage
+# (randomized cancel/crash/env-fault/resume cycles) on the plain and ASan
+# trees. All stages must be green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+# Chaos stage defaults: a fixed seed so CI is reproducible; override with
+# LDLB_CHAOS_SEED (the harness prints the seed on start and on failure).
+chaos_seed="${LDLB_CHAOS_SEED:-20140721}"
 
 run_suite() {
   local dir="$1"; shift
@@ -21,11 +27,26 @@ run_suite() {
   "$dir/examples/crash_resume_demo" > /dev/null
 }
 
+run_chaos() {
+  local dir="$1" cycles="$2"
+  echo "== chaos soak ($dir, ${cycles} cycles, seed ${chaos_seed}) =="
+  if ! LDLB_CHAOS_SEED="$chaos_seed" LDLB_CHAOS_CYCLES="$cycles" \
+      "$dir/tests/chaos_soak"; then
+    echo "chaos soak failed; reproduce with LDLB_CHAOS_SEED=${chaos_seed}" >&2
+    exit 1
+  fi
+}
+
 echo "== plain build =="
 run_suite build
+run_chaos build 25
 
 echo "== address+undefined sanitizer build =="
-run_suite build-asan "-DLDLB_SANITIZE=address;undefined"
+# Sanitized builds are slower: relax the cancel-latency assertion and run a
+# shorter soak so the stage stays bounded.
+LDLB_CANCEL_LATENCY_MS="${LDLB_CANCEL_LATENCY_MS:-2000}" \
+  run_suite build-asan "-DLDLB_SANITIZE=address;undefined"
+run_chaos build-asan 10
 
 # ThreadSanitizer stage: the suites that exercise the thread pool (the
 # parallel simulator, speculative adversary, concurrent validator, and the
@@ -35,7 +56,8 @@ run_suite build-asan "-DLDLB_SANITIZE=address;undefined"
 echo "== thread sanitizer build =="
 cmake -B build-tsan -S . "-DLDLB_SANITIZE=thread"
 cmake --build build-tsan -j "$jobs"
-LDLB_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test'
+LDLB_THREADS=8 LDLB_CANCEL_LATENCY_MS="${LDLB_CANCEL_LATENCY_MS:-2000}" \
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+  -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test'
 
-echo "CI green: plain, asan/ubsan, and tsan suites all pass."
+echo "CI green: plain, asan/ubsan, tsan, and chaos-soak stages all pass."

@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -23,14 +24,34 @@ int round_budget(int delta, const AdversaryOptions& options) {
                                 : 16 * (delta + 2) * (delta + 2);
 }
 
-// All simulated runs inside a step share the round budget and the optional
-// observation hooks.
+// All simulated runs inside a step share the round budget, the optional
+// observation hooks, and the cancellation token.
 FractionalMatching run_on(const Multigraph& g, EcAlgorithm& algorithm,
                           int budget, const AdversaryOptions& options) {
   RunOptions run_options;
   run_options.budget.max_rounds = budget;
   run_options.hooks = options.hooks;
-  return run_ec(g, algorithm, run_options).matching;
+  run_options.cancel = options.cancel;
+  if (options.diagnostics == nullptr) {
+    return run_ec(g, algorithm, run_options).matching;
+  }
+  // Speculative branches run concurrently, so each run traces into a
+  // private sink and publishes a complete copy under a lock — the caller's
+  // sink is never torn, and after a failure it holds the failing run's
+  // partial trace (last writer wins among concurrent branches).
+  static std::mutex publish_mutex;
+  RunDiagnostics local;
+  run_options.diagnostics = &local;
+  try {
+    FractionalMatching matching = run_ec(g, algorithm, run_options).matching;
+    std::lock_guard<std::mutex> lk(publish_mutex);
+    *options.diagnostics = local;
+    return matching;
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(publish_mutex);
+    *options.diagnostics = local;
+    throw;
+  }
 }
 
 // Checks that the algorithm treated the 2-lift anonymously: the two copies
@@ -103,6 +124,7 @@ Multigraph build_mix(const Multigraph& g, EdgeId e, NodeId g_node,
 CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
                                 const CertificateLevel& prev,
                                 const AdversaryOptions& options) {
+  if (options.cancel) options.cancel->check();
   const int budget = round_budget(delta, options);
   const Multigraph& g = prev.g;
   const Multigraph& h = prev.h;
@@ -122,8 +144,10 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
   // discards also discards its result *and* any failure it produced, so
   // observable behaviour — certificates and surfaced exceptions alike —
   // matches the lazy path exactly.
-  const bool speculate = algorithm.parallel_safe() &&
-                         options.hooks == nullptr && global_pool().size() > 1;
+  const bool speculate =
+      algorithm.parallel_safe() &&
+      (options.hooks == nullptr || options.hooks->parallel_safe()) &&
+      global_pool().size() > 1;
   std::optional<FractionalMatching> y_gh_slot, y_gg_slot, y_hh_slot;
   TwoLift gg, hh;
   std::exception_ptr err_gg, err_hh;
@@ -153,7 +177,7 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
         err_hh = std::current_exception();
       }
     });
-    global_pool().parallel_invoke(std::move(branches));
+    global_pool().parallel_invoke(std::move(branches), options.cancel);
     if (err_gh) std::rethrow_exception(err_gh);
   } else {
     y_gh_slot = run_on(gh, algorithm, budget, options);
@@ -246,6 +270,7 @@ LowerBoundCertificate run_adversary(EcAlgorithm& algorithm, int delta,
   // Steps for i = 0 .. Δ-3 produce levels 1 .. Δ-2; beyond that the pairs
   // would no longer be loopy and Lemma 2 stops forcing saturation.
   for (int i = 0; i + 1 <= delta - 2; ++i) {
+    if (options.cancel) options.cancel->check();
     level = adversary_step(algorithm, delta, level, options);
     cert.levels.push_back(level);
   }

@@ -32,6 +32,8 @@
 namespace ldlb {
 
 class RunHooks;
+class CancellationToken;
+struct RunDiagnostics;
 
 /// Tuning knobs for the adversary run.
 struct AdversaryOptions {
@@ -41,8 +43,20 @@ struct AdversaryOptions {
   /// Optional observation hooks (local/hooks.hpp) installed on every
   /// simulated run an adversary step performs; not owned. Interfering hooks
   /// (fault plans) will generally break the construction — the intended use
-  /// is passive instrumentation of long runs.
+  /// is passive instrumentation of long runs. Hooks whose parallel_safe()
+  /// is false also disable the adversary's speculative execution.
   RunHooks* hooks = nullptr;
+  /// Cooperative cancellation (not owned; may be null): polled between
+  /// levels, between phases of a step, and — through RunOptions — inside
+  /// every simulated run, so a cancel lands within one chunk of simulator
+  /// work even on large instances.
+  CancellationToken* cancel = nullptr;
+  /// When set, receives the diagnostics of simulated runs (not owned). Each
+  /// run collects into a private sink and publishes a complete copy under a
+  /// lock on completion or failure, so concurrent speculative runs never
+  /// tear this object; after a failure it holds the failing run's partial
+  /// trace (last writer wins among concurrent branches).
+  RunDiagnostics* diagnostics = nullptr;
   /// Re-check property (P1) — ball isomorphism + output difference — as
   /// each level is built (cheap; also rechecked by the validator).
   bool verify_p1 = true;

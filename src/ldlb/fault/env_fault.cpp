@@ -1,0 +1,115 @@
+#include "ldlb/fault/env_fault.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+const char* to_string(FsOp op) {
+  switch (op) {
+    case FsOp::kWrite:
+      return "write";
+    case FsOp::kFsync:
+      return "fsync";
+    case FsOp::kRename:
+      return "rename";
+    case FsOp::kDirFsync:
+      return "dir-fsync";
+  }
+  return "unknown";
+}
+
+const char* to_string(EnvFaultMode mode) {
+  switch (mode) {
+    case EnvFaultMode::kEio:
+      return "eio";
+    case EnvFaultMode::kEnospc:
+      return "enospc";
+    case EnvFaultMode::kShortWrite:
+      return "short-write";
+  }
+  return "unknown";
+}
+
+void EnvFaultPlan::arm(FsOp op, EnvFaultMode mode, int nth) {
+  armed_.store(false, std::memory_order_relaxed);
+  op_ = op;
+  mode_ = mode;
+  nth_ = nth < 1 ? 1 : nth;
+  fired_.store(false, std::memory_order_relaxed);
+  enospc_next_write_.store(false, std::memory_order_relaxed);
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+long long EnvFaultPlan::observed(FsOp op) const {
+  return counts_[static_cast<int>(op)].load(std::memory_order_relaxed);
+}
+
+bool EnvFaultPlan::should_fire(FsOp op) {
+  const long long seen =
+      counts_[static_cast<int>(op)].fetch_add(1, std::memory_order_relaxed) +
+      1;
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  if (op != op_ || seen != nth_) return false;
+  // fire at most once per arm(), even under concurrent writers
+  return !fired_.exchange(true, std::memory_order_acq_rel);
+}
+
+void EnvFaultPlan::fail(FsOp op, const std::string& path, int code) {
+  std::ostringstream os;
+  os << "injected env fault: " << to_string(op) << " failed for '" << path
+     << "': " << std::strerror(code);
+  throw IoError(os.str(), path, code);
+}
+
+std::size_t EnvFaultPlan::before_write(const std::string& path,
+                                       std::size_t size) {
+  if (enospc_next_write_.exchange(false, std::memory_order_acq_rel)) {
+    // The retry after a short write is still an observed write call.
+    counts_[static_cast<int>(FsOp::kWrite)].fetch_add(
+        1, std::memory_order_relaxed);
+    fail(FsOp::kWrite, path, ENOSPC);
+  }
+  if (!should_fire(FsOp::kWrite)) return size;
+  switch (mode_) {
+    case EnvFaultMode::kEio:
+      fail(FsOp::kWrite, path, EIO);
+    case EnvFaultMode::kEnospc:
+      fail(FsOp::kWrite, path, ENOSPC);
+    case EnvFaultMode::kShortWrite: {
+      // Accept half the bytes now; the retry for the remainder hits the
+      // ENOSPC above. A 1-byte write cannot be shortened, so it fails
+      // outright.
+      const std::size_t half = size / 2;
+      if (half == 0) fail(FsOp::kWrite, path, ENOSPC);
+      enospc_next_write_.store(true, std::memory_order_release);
+      return half;
+    }
+  }
+  return size;
+}
+
+void EnvFaultPlan::before_fsync(const std::string& path) {
+  if (!should_fire(FsOp::kFsync)) return;
+  fail(FsOp::kFsync, path,
+       mode_ == EnvFaultMode::kEnospc ? ENOSPC : EIO);
+}
+
+void EnvFaultPlan::before_rename(const std::string& from,
+                                 const std::string& /*to*/) {
+  if (!should_fire(FsOp::kRename)) return;
+  fail(FsOp::kRename, from,
+       mode_ == EnvFaultMode::kEnospc ? ENOSPC : EIO);
+}
+
+void EnvFaultPlan::before_dir_fsync(const std::string& dir) {
+  if (!should_fire(FsOp::kDirFsync)) return;
+  fail(FsOp::kDirFsync, dir,
+       mode_ == EnvFaultMode::kEnospc ? ENOSPC : EIO);
+}
+
+}  // namespace ldlb

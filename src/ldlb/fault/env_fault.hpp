@@ -1,0 +1,109 @@
+// Environment fault injection: hostile-filesystem and allocation-failure
+// plans for the checkpoint/resume layer.
+//
+// fault/fault_plan.hpp attacks the *protocol* (crashes, drops,
+// corruption); this file attacks the *environment* the library runs in.
+// EnvFaultPlan implements util/atomic_file.hpp's FsFaultInjector seam and
+// fails a chosen filesystem operation — the nth write, fsync, rename, or
+// directory fsync — with EIO, ENOSPC, or a short write. Because every
+// checkpoint path in the repo goes through write_file_atomic, arming a plan
+// turns any adversary run into a crash-safety experiment: the env-fault
+// tests and the chaos harness prove that after *any* injected fault the
+// snapshot directory still loads to a valid prefix and the resumed run
+// reproduces the clean run's certificate byte for byte.
+//
+// Allocation failure is injected separately through
+// util/alloc_guard.hpp's thread-local byte budget (ScopedAllocBudget):
+// charge sites in the BigInt and ball-encoding-cache paths throw
+// std::bad_alloc once the budget is exhausted, which the guarded layer
+// classifies as RunStatus::kEnvFault.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "ldlb/util/atomic_file.hpp"
+
+namespace ldlb {
+
+/// Which filesystem operation of write_file_atomic to fail.
+enum class FsOp {
+  kWrite,     ///< a write() of temp-file content
+  kFsync,     ///< fsync() of the temp file
+  kRename,    ///< rename() over the destination
+  kDirFsync,  ///< fsync() of the destination's parent directory
+};
+
+/// How the targeted operation fails.
+enum class EnvFaultMode {
+  kEio,         ///< the operation throws IoError with errno EIO
+  kEnospc,      ///< the operation throws IoError with errno ENOSPC
+  kShortWrite,  ///< (kWrite only) the write accepts half its bytes, and the
+                ///< retry for the remainder throws IoError with ENOSPC
+};
+
+[[nodiscard]] const char* to_string(FsOp op);
+[[nodiscard]] const char* to_string(EnvFaultMode mode);
+
+/// A one-shot environment fault: fail the `nth` occurrence (1-based) of one
+/// filesystem operation in one configured mode. Counting is cumulative from
+/// arm(); disarm() or a fresh arm() restarts it. All counters are atomic,
+/// so a plan may stay installed while the thread pool is running.
+class EnvFaultPlan : public FsFaultInjector {
+ public:
+  /// Arms the plan: the `nth` (1-based) occurrence of `op` after this call
+  /// fails in `mode`. Resets all counters and the fired flag.
+  void arm(FsOp op, EnvFaultMode mode, int nth = 1);
+
+  /// Disarms without clearing observation counters.
+  void disarm() { armed_.store(false, std::memory_order_release); }
+
+  /// True once the armed fault has fired (it fires at most once per arm()).
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+  /// How many times `op` was observed since the last arm().
+  [[nodiscard]] long long observed(FsOp op) const;
+
+  // FsFaultInjector interface.
+  std::size_t before_write(const std::string& path, std::size_t size) override;
+  void before_fsync(const std::string& path) override;
+  void before_rename(const std::string& from, const std::string& to) override;
+  void before_dir_fsync(const std::string& dir) override;
+
+ private:
+  /// Returns true when this occurrence of `op` is the one that must fail.
+  bool should_fire(FsOp op);
+  [[noreturn]] void fail(FsOp op, const std::string& path, int code);
+
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> fired_{false};
+  /// Write call that must throw ENOSPC because its predecessor was the
+  /// short-write half (kShortWrite spans two before_write calls).
+  std::atomic<bool> enospc_next_write_{false};
+  FsOp op_ = FsOp::kWrite;
+  EnvFaultMode mode_ = EnvFaultMode::kEio;
+  long long nth_ = 1;
+  std::atomic<long long> counts_[4] = {0, 0, 0, 0};  // indexed by FsOp
+};
+
+/// Installs `plan` as the process-wide injector for its scope and removes
+/// it on destruction (restoring the previous injector).
+class ScopedFsFaultInjection {
+ public:
+  explicit ScopedFsFaultInjection(FsFaultInjector* plan)
+      : previous_(fs_fault_injector()) {
+    set_fs_fault_injector(plan);
+  }
+  ~ScopedFsFaultInjection() { set_fs_fault_injector(previous_); }
+
+  ScopedFsFaultInjection(const ScopedFsFaultInjection&) = delete;
+  ScopedFsFaultInjection& operator=(const ScopedFsFaultInjection&) = delete;
+
+ private:
+  FsFaultInjector* previous_;
+};
+
+}  // namespace ldlb

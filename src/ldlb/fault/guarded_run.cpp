@@ -1,5 +1,7 @@
 #include "ldlb/fault/guarded_run.hpp"
 
+#include <new>
+
 namespace ldlb {
 
 namespace {
@@ -7,6 +9,8 @@ namespace {
 // Shared catch ladder: run `body` and classify how it ended. The most
 // specific exception types come first; ContractViolation last, as the
 // catch-all for broken preconditions inside the algorithm or the library.
+// std::bad_alloc sits outside the Error hierarchy but is still an
+// environment failure, not a bug in the run, so it classifies as kEnvFault.
 template <typename Body>
 GuardedOutcome classify(Body&& body) {
   GuardedOutcome outcome;
@@ -21,8 +25,18 @@ GuardedOutcome classify(Body&& body) {
   } catch (const FaultInjected& e) {
     outcome.status = RunStatus::kFaultInjected;
     outcome.error = e.what();
+  } catch (const Cancelled& e) {
+    outcome.status = RunStatus::kCancelled;
+    outcome.error = e.what();
+  } catch (const IoError& e) {
+    outcome.status = RunStatus::kEnvFault;
+    outcome.error = e.what();
+    outcome.env_errno = e.error_code();
   } catch (const Error& e) {
     outcome.status = RunStatus::kContractViolation;
+    outcome.error = e.what();
+  } catch (const std::bad_alloc& e) {
+    outcome.status = RunStatus::kEnvFault;
     outcome.error = e.what();
   }
   if (!outcome.error.empty()) {
@@ -43,6 +57,10 @@ const char* to_string(RunStatus status) {
       return "model-violation";
     case RunStatus::kFaultInjected:
       return "fault-injected";
+    case RunStatus::kCancelled:
+      return "cancelled";
+    case RunStatus::kEnvFault:
+      return "env-fault";
     case RunStatus::kContractViolation:
       return "contract-violation";
   }
@@ -62,6 +80,7 @@ GuardedOutcome guarded_run_ec(const Multigraph& g, EcAlgorithm& alg,
     run_options.budget = options.budget;
     run_options.hooks = options.hooks;
     run_options.diagnostics = &out.diagnostics;
+    run_options.cancel = options.cancel;
     return run_ec(g, alg, run_options);
   });
   if (outcome.run && options.check_output) {
@@ -80,6 +99,7 @@ GuardedOutcome guarded_run_po(const Digraph& g, PoAlgorithm& alg,
     run_options.budget = options.budget;
     run_options.hooks = options.hooks;
     run_options.diagnostics = &out.diagnostics;
+    run_options.cancel = options.cancel;
     return run_po(g, alg, run_options);
   });
   if (outcome.run && options.check_output) {
@@ -88,6 +108,22 @@ GuardedOutcome guarded_run_po(const Digraph& g, PoAlgorithm& alg,
       outcome.diagnostics.first_violation = outcome.check.reason;
     }
   }
+  return outcome;
+}
+
+GuardedOutcome guarded_run_adversary(EcAlgorithm& alg, int delta,
+                                     AdversaryOptions options) {
+  GuardedOutcome outcome = classify(
+      [&](GuardedOutcome& out) -> std::optional<RunResult> {
+        // Route the adversary's published diagnostics into the outcome so
+        // the last simulated run is observable even when the chain dies.
+        if (options.diagnostics == nullptr) {
+          options.diagnostics = &out.diagnostics;
+        }
+        out.certificate = run_adversary(alg, delta, options);
+        return std::nullopt;  // no single RunResult for a whole chain
+      });
+  if (outcome.status != RunStatus::kOk) outcome.certificate.reset();
   return outcome;
 }
 

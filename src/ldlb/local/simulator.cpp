@@ -12,17 +12,27 @@ namespace {
 // Runs fn(v) for every node, spreading across the global pool when the
 // caller established that doing so is safe. Iteration order differs under
 // parallelism but every write lands in a caller-owned per-node slot, so
-// results are identical to the serial loop.
+// results are identical to the serial loop. A cancellation token, when
+// given, is polled between chunks (parallel) or every few nodes (serial).
 template <typename Fn>
-void for_each_node(bool parallel, NodeId n, const Fn& fn) {
+void for_each_node(bool parallel, NodeId n, CancellationToken* cancel,
+                   const Fn& fn) {
   if (parallel) {
-    global_pool().parallel_for(static_cast<std::size_t>(n), [&fn](std::size_t i) {
-      fn(static_cast<NodeId>(i));
-    });
+    global_pool().parallel_for(
+        static_cast<std::size_t>(n),
+        [&fn](std::size_t i) { fn(static_cast<NodeId>(i)); }, cancel);
   } else {
-    for (NodeId v = 0; v < n; ++v) fn(v);
+    for (NodeId v = 0; v < n; ++v) {
+      if (cancel != nullptr && v % 32 == 0) cancel->check();
+      fn(v);
+    }
   }
 }
+
+// Messages to deliver between cancellation / wall-budget polls inside one
+// round's delivery loop: coarse enough to be free, fine enough that a
+// cancel lands mid-round on dense instances.
+constexpr long long kDeliveryPollStride = 4096;
 
 using Clock = std::chrono::steady_clock;
 
@@ -91,16 +101,20 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
   const auto t0 = Clock::now();
   RunHooks* hooks = options.hooks;
   RunDiagnostics* diag = options.diagnostics;
+  CancellationToken* cancel = options.cancel;
   if (diag) diag->reset(g.node_count());
   // Per-node work fans out only when the algorithm declared itself
-  // thread-safe and no observation hooks are installed (hooks see events in
-  // deterministic per-node order, which parallel execution would scramble).
-  const bool par = alg.parallel_safe() && hooks == nullptr &&
+  // thread-safe and any installed hooks declared themselves parallel-safe
+  // too. Stateful hooks (the default) see events in deterministic per-node
+  // order, which parallel execution would scramble; passive atomic hooks
+  // such as BudgetHooks opt in via RunHooks::parallel_safe().
+  const bool par = alg.parallel_safe() &&
+                   (hooks == nullptr || hooks->parallel_safe()) &&
                    global_pool().size() > 1;
 
   std::vector<std::unique_ptr<EcNodeState>> nodes(
       static_cast<std::size_t>(g.node_count()));
-  for_each_node(par, g.node_count(), [&](NodeId v) {
+  for_each_node(par, g.node_count(), cancel, [&](NodeId v) {
     EcNodeContext ctx;
     for (EdgeId e : g.incident_edges(v)) {
       ctx.incident_colors.push_back(g.edge(e).color);
@@ -179,6 +193,7 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
     ++round;
     check_round_budget(options.budget, round, alg.name());
     check_wall_budget(options.budget, t0, alg.name());
+    if (cancel) cancel->check();
     int live = 0;
     if (hooks) {
       for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -197,7 +212,7 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
     // Collect outboxes of live nodes (each write lands in slot v).
     std::vector<std::map<Color, Message>> outbox(
         static_cast<std::size_t>(g.node_count()));
-    for_each_node(par, g.node_count(), [&](NodeId v) {
+    for_each_node(par, g.node_count(), cancel, [&](NodeId v) {
       if (done(v)) return;
       auto& out = outbox[static_cast<std::size_t>(v)];
       out = nodes[static_cast<std::size_t>(v)]->send(round);
@@ -216,7 +231,13 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
       // slot receives at most one message (properness) and the per-round
       // counters are order-independent sums, so the observable state is
       // identical.
+      long long next_poll = kDeliveryPollStride;
       for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (round_messages >= next_poll) {
+          next_poll += kDeliveryPollStride;
+          if (cancel) cancel->check();
+          check_wall_budget(options.budget, t0, alg.name());
+        }
         auto& out = outbox[static_cast<std::size_t>(v)];
         if (out.empty()) continue;
         const auto& ends = ends_by_color[static_cast<std::size_t>(v)];
@@ -235,7 +256,13 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
     } else {
       // Hooks observe one on_deliver event per edge end in edge order; keep
       // the legacy scan so that event stream is unchanged.
+      long long next_poll = kDeliveryPollStride;
       for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        if (round_messages >= next_poll) {
+          next_poll += kDeliveryPollStride;
+          if (cancel) cancel->check();
+          check_wall_budget(options.budget, t0, alg.name());
+        }
         const auto& ed = g.edge(e);
         const Color c = ed.color;
         auto deliver = [&](NodeId from, NodeId to) {
@@ -263,7 +290,7 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
     result.message_bytes += round_bytes;
     if (diag) diag->per_round.push_back({round_messages, round_bytes, live});
     check_message_budget(options.budget, result.messages, alg.name());
-    for_each_node(par, g.node_count(), [&](NodeId v) {
+    for_each_node(par, g.node_count(), cancel, [&](NodeId v) {
       if (done(v)) return;
       nodes[static_cast<std::size_t>(v)]->receive(
           round, inbox[static_cast<std::size_t>(v)]);
@@ -277,7 +304,7 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
   // Assemble and cross-check the output.
   std::vector<std::map<Color, Rational>> outputs(
       static_cast<std::size_t>(g.node_count()));
-  for_each_node(par, g.node_count(), [&](NodeId v) {
+  for_each_node(par, g.node_count(), cancel, [&](NodeId v) {
     auto& out = outputs[static_cast<std::size_t>(v)];
     out = nodes[static_cast<std::size_t>(v)]->output();
     if (hooks) hooks->on_output_ec(v, out);
@@ -321,13 +348,15 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
   const auto t0 = Clock::now();
   RunHooks* hooks = options.hooks;
   RunDiagnostics* diag = options.diagnostics;
+  CancellationToken* cancel = options.cancel;
   if (diag) diag->reset(g.node_count());
-  const bool par = alg.parallel_safe() && hooks == nullptr &&
+  const bool par = alg.parallel_safe() &&
+                   (hooks == nullptr || hooks->parallel_safe()) &&
                    global_pool().size() > 1;
 
   std::vector<std::unique_ptr<PoNodeState>> nodes(
       static_cast<std::size_t>(g.node_count()));
-  for_each_node(par, g.node_count(), [&](NodeId v) {
+  for_each_node(par, g.node_count(), cancel, [&](NodeId v) {
     PoNodeContext ctx;
     for (EdgeId a : g.out_arcs(v)) ctx.out_colors.push_back(g.arc(a).color);
     for (EdgeId a : g.in_arcs(v)) ctx.in_colors.push_back(g.arc(a).color);
@@ -372,6 +401,7 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
     ++round;
     check_round_budget(options.budget, round, alg.name());
     check_wall_budget(options.budget, t0, alg.name());
+    if (cancel) cancel->check();
     int live = 0;
     if (hooks) {
       for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -386,7 +416,7 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
     }
     std::vector<std::map<PoEnd, Message>> outbox(
         static_cast<std::size_t>(g.node_count()));
-    for_each_node(par, g.node_count(), [&](NodeId v) {
+    for_each_node(par, g.node_count(), cancel, [&](NodeId v) {
       if (done(v)) return;
       auto& out = outbox[static_cast<std::size_t>(v)];
       out = nodes[static_cast<std::size_t>(v)]->send(round);
@@ -415,7 +445,13 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
       ++round_messages;
       inbox[static_cast<std::size_t>(to)][to_end] = std::move(payload);
     };
+    long long next_poll = kDeliveryPollStride;
     for (EdgeId a = 0; a < g.arc_count(); ++a) {
+      if (round_messages >= next_poll) {
+        next_poll += kDeliveryPollStride;
+        if (cancel) cancel->check();
+        check_wall_budget(options.budget, t0, alg.name());
+      }
       const auto& arc = g.arc(a);
       const Color c = arc.color;
       // Tail's outgoing end pairs with head's incoming end (also for loops,
@@ -427,7 +463,7 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
     result.message_bytes += round_bytes;
     if (diag) diag->per_round.push_back({round_messages, round_bytes, live});
     check_message_budget(options.budget, result.messages, alg.name());
-    for_each_node(par, g.node_count(), [&](NodeId v) {
+    for_each_node(par, g.node_count(), cancel, [&](NodeId v) {
       if (done(v)) return;
       nodes[static_cast<std::size_t>(v)]->receive(
           round, inbox[static_cast<std::size_t>(v)]);
@@ -440,7 +476,7 @@ RunResult run_po(const Digraph& g, PoAlgorithm& alg,
 
   std::vector<std::map<PoEnd, Rational>> outputs(
       static_cast<std::size_t>(g.node_count()));
-  for_each_node(par, g.node_count(), [&](NodeId v) {
+  for_each_node(par, g.node_count(), cancel, [&](NodeId v) {
     auto& out = outputs[static_cast<std::size_t>(v)];
     out = nodes[static_cast<std::size_t>(v)]->output();
     if (hooks) hooks->on_output_po(v, out);

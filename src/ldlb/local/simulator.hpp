@@ -27,6 +27,7 @@
 #include "ldlb/local/algorithm.hpp"
 #include "ldlb/local/hooks.hpp"
 #include "ldlb/matching/fractional_matching.hpp"
+#include "ldlb/util/cancellation.hpp"
 
 namespace ldlb {
 
@@ -68,6 +69,11 @@ struct RunOptions {
   RunBudget budget;
   RunHooks* hooks = nullptr;             ///< not owned; may be null
   RunDiagnostics* diagnostics = nullptr;  ///< not owned; may be null
+  /// Cooperative cancellation (not owned; may be null). The executor polls
+  /// the token at every round boundary, between parallel chunks, and every
+  /// few thousand message deliveries, and aborts the run by throwing
+  /// Cancelled. Diagnostics collected up to that point stay valid.
+  CancellationToken* cancel = nullptr;
 };
 
 /// Outcome of a simulated run.

@@ -53,6 +53,21 @@ CertificateLevel supervised_level(const RetryPolicy& policy, int base_rounds,
         log.exhausted = true;
         throw;
       }
+    } catch (const Cancelled& e) {
+      // Cancellation is a request to stop, never a failure to retry.
+      record.status = RunStatus::kCancelled;
+      record.error = e.what();
+      log.attempts.push_back(std::move(record));
+      throw;
+    } catch (const IoError& e) {
+      record.status = RunStatus::kEnvFault;
+      record.error = e.what();
+      log.attempts.push_back(std::move(record));
+      if (!policy.transient(RunStatus::kEnvFault, e.error_code())) throw;
+      if (attempt >= policy.max_attempts) {
+        log.exhausted = true;
+        throw;
+      }
     } catch (const ModelViolation& e) {
       record.status = RunStatus::kModelViolation;
       record.error = e.what();
@@ -119,6 +134,8 @@ LowerBoundCertificate run_adversary_resumable(EcAlgorithm& algorithm,
     if (options.on_checkpoint) options.on_checkpoint(lv);
   };
 
+  if (options.adversary.cancel) options.adversary.cancel->check();
+
   if (chain.levels.empty()) {
     CertificateLevel base =
         supervised_level(options.retry, base_rounds, inf.supervision,
@@ -130,6 +147,7 @@ LowerBoundCertificate run_adversary_resumable(EcAlgorithm& algorithm,
   }
 
   while (chain.certified_radius() < delta - 2) {
+    if (options.adversary.cancel) options.adversary.cancel->check();
     AdversaryOptions step_options = options.adversary;
     CertificateLevel next = supervised_level(
         options.retry, base_rounds, inf.supervision, [&](int rounds) {

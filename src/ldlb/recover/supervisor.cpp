@@ -1,18 +1,24 @@
 #include "ldlb/recover/supervisor.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <sstream>
 
 namespace ldlb {
 
-bool RetryPolicy::transient(RunStatus status) const {
+bool RetryPolicy::transient(RunStatus status, int io_errno) const {
   switch (status) {
     case RunStatus::kBudgetExceeded:
       return true;
     case RunStatus::kFaultInjected:
       return retry_fault_injected;
+    case RunStatus::kEnvFault:
+      // A full disk can drain, an interrupted call can be re-issued; a
+      // hardware-level EIO (or an unattributed failure) will not improve.
+      return io_errno == ENOSPC || io_errno == EAGAIN || io_errno == EINTR;
     case RunStatus::kOk:
     case RunStatus::kModelViolation:
+    case RunStatus::kCancelled:
     case RunStatus::kContractViolation:
       return false;
   }
@@ -73,7 +79,8 @@ GuardedOutcome Supervisor::supervise(const GuardedRunOptions& options,
     GuardedOutcome outcome = once(attempt_options);
     log_.attempts.push_back({attempt, attempt_options.budget.max_rounds,
                              outcome.status, outcome.error});
-    const bool retryable = policy_.transient(outcome.status);
+    const bool retryable =
+        policy_.transient(outcome.status, outcome.env_errno);
     if (!retryable || attempt >= policy_.max_attempts) {
       log_.exhausted = retryable;  // still transient, but out of attempts
       outcome.diagnostics.supervision = log_.to_string();

@@ -29,9 +29,13 @@ struct RetryPolicy {
                                       ///< (flaky black-box algorithms)
 
   /// True for outcomes worth retrying: budget trips always, injected faults
-  /// when opted in. Model/contract violations and checker rejections are
-  /// permanent.
-  [[nodiscard]] bool transient(RunStatus status) const;
+  /// when opted in, environment faults when their errno names a condition
+  /// that can clear on its own (ENOSPC, EAGAIN, EINTR — pass the outcome's
+  /// env_errno as `io_errno`). Model/contract violations, checker
+  /// rejections, hard I/O errors (EIO, or an unknown errno of 0, which is
+  /// also what a bad_alloc produces) and cancellation are permanent —
+  /// cancellation in particular must stop a supervised run, not restart it.
+  [[nodiscard]] bool transient(RunStatus status, int io_errno = 0) const;
 
   /// The budget for the 1-based `attempt`: every finite component of `base`
   /// scaled by budget_factor^(attempt-1).

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -16,10 +17,13 @@ namespace ldlb {
 
 namespace {
 
+std::atomic<FsFaultInjector*> g_fs_injector{nullptr};
+
 [[noreturn]] void io_fail(const std::string& op, const std::string& path) {
+  const int code = errno;
   std::ostringstream os;
-  os << op << " failed for '" << path << "': " << std::strerror(errno);
-  throw IoError(os.str(), path);
+  os << op << " failed for '" << path << "': " << std::strerror(code);
+  throw IoError(os.str(), path, code);
 }
 
 // Splits "dir/file" into the directory part ("." when there is none).
@@ -30,14 +34,45 @@ std::string directory_of(const std::string& path) {
   return path.substr(0, slash);
 }
 
+// Makes the rename itself durable: without this, a crash after rename()
+// can lose the directory entry update and resurrect the old file. The
+// injector seam lets EnvFaultPlan fail exactly this fsync too.
 void fsync_directory(const std::string& dir) {
+  if (FsFaultInjector* inj = fs_fault_injector()) inj->before_dir_fsync(dir);
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return;  // best effort: some filesystems refuse dir opens
-  ::fsync(fd);
+  if (::fsync(fd) != 0) {
+    const int code = errno;
+    ::close(fd);
+    errno = code;
+    io_fail("fsync(directory)", dir);
+  }
   ::close(fd);
 }
 
+// Owns the temp file until the rename succeeds; any throw on the way —
+// including one raised by the fault injector — closes and unlinks it.
+struct TempFileGuard {
+  int fd;
+  std::string path;
+  bool armed = true;
+
+  ~TempFileGuard() {
+    if (!armed) return;
+    if (fd >= 0) ::close(fd);
+    ::unlink(path.c_str());
+  }
+};
+
 }  // namespace
+
+void set_fs_fault_injector(FsFaultInjector* injector) {
+  g_fs_injector.store(injector, std::memory_order_release);
+}
+
+FsFaultInjector* fs_fault_injector() {
+  return g_fs_injector.load(std::memory_order_acquire);
+}
 
 void write_file_atomic(const std::string& path, const std::string& content) {
   // mkstemp wants a mutable template in the destination directory, so the
@@ -48,35 +83,38 @@ void write_file_atomic(const std::string& path, const std::string& content) {
 
   const int fd = ::mkstemp(tmpl.data());
   if (fd < 0) io_fail("mkstemp", path);
-  const std::string tmp_path{tmpl.data()};
+  TempFileGuard tmp{fd, std::string{tmpl.data()}};
+  FsFaultInjector* inj = fs_fault_injector();
 
   const char* data = content.data();
   std::size_t remaining = content.size();
   while (remaining > 0) {
-    const ssize_t written = ::write(fd, data, remaining);
+    std::size_t allow = remaining;
+    if (inj) {
+      // May throw IoError (EIO / ENOSPC) or cap the bytes accepted in this
+      // call to model a short write; the remainder retries below.
+      allow = inj->before_write(tmp.path, remaining);
+      if (allow == 0 || allow > remaining) allow = remaining;
+    }
+    const ssize_t written = ::write(fd, data, allow);
     if (written < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp_path.c_str());
-      io_fail("write", tmp_path);
+      io_fail("write", tmp.path);
     }
     data += written;
     remaining -= static_cast<std::size_t>(written);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp_path.c_str());
-    io_fail("fsync", tmp_path);
-  }
+  if (inj) inj->before_fsync(tmp.path);
+  if (::fsync(fd) != 0) io_fail("fsync", tmp.path);
   if (::close(fd) != 0) {
-    ::unlink(tmp_path.c_str());
-    io_fail("close", tmp_path);
+    tmp.fd = -1;  // already closed; the guard must not close it again
+    io_fail("close", tmp.path);
   }
-  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp_path.c_str());
-    io_fail("rename", path);
-  }
-  // Make the rename itself durable.
+  tmp.fd = -1;
+  if (inj) inj->before_rename(tmp.path, path);
+  if (::rename(tmp.path.c_str(), path.c_str()) != 0) io_fail("rename", path);
+  tmp.armed = false;  // the temp name is gone; nothing left to clean up
+  // Make the rename itself durable (see fsync_directory).
   fsync_directory(directory_of(path));
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <ostream>
 
+#include "ldlb/util/alloc_guard.hpp"
 #include "ldlb/util/error.hpp"
 
 namespace ldlb {
@@ -54,6 +55,10 @@ void BigInt::set_magnitude(std::vector<std::uint32_t> limbs) {
                         : limbs[0]);
     limbs_.clear();
   } else {
+    // The one growth point of exact arithmetic: observing the thread-local
+    // allocation budget here lets the env-fault tests starve a run's BigInt
+    // limbs deterministically (util/alloc_guard.hpp).
+    charge_alloc(limbs.size() * sizeof(std::uint32_t));
     small_ = 0;
     limbs_ = std::move(limbs);
   }

@@ -8,13 +8,16 @@
 //   Error
 //   ├── ContractViolation   broken precondition / internal invariant
 //   ├── ParseError          malformed textual input (line + offending token)
-//   ├── IoError             a filesystem operation failed (path + errno text)
+//   ├── IoError             a filesystem operation failed (path + errno;
+//   │                       real or injected by fault/env_fault)
 //   ├── ModelViolation      an algorithm broke the LOCAL-model output
 //   │                       contract (missing or disagreeing announcements)
 //   ├── BudgetExceeded      a guarded run overran its round / message /
 //   │                       wall-clock budget
-//   └── FaultInjected       a fault plan fired in trap mode (pinpoints the
-//                           first injected fault site)
+//   ├── FaultInjected       a fault plan fired in trap mode (pinpoints the
+//   │                       first injected fault site)
+//   └── Cancelled           a CancellationToken (util/cancellation.hpp) was
+//                           polled after cancellation / deadline expiry
 //
 // These exceptions guard *logic* errors and adversarial misbehaviour; they
 // are not used for ordinary control flow.
@@ -60,17 +63,39 @@ class ParseError : public Error {
 };
 
 /// Thrown by the file helpers (util/atomic_file, the snapshot store) when a
-/// filesystem operation fails. Carries the path involved; the what() text
+/// filesystem operation fails — for real, or injected through the
+/// fault/env_fault seam. Carries the path involved and the errno value, so
+/// the supervision layer can classify transient (ENOSPC, EAGAIN, EINTR)
+/// against permanent (EIO, ...) environment failures; the what() text
 /// includes the failing operation and the errno description.
 class IoError : public Error {
  public:
-  IoError(const std::string& what, std::string path)
-      : Error(what), path_(std::move(path)) {}
+  IoError(const std::string& what, std::string path, int error_code = 0)
+      : Error(what), path_(std::move(path)), error_code_(error_code) {}
 
   [[nodiscard]] const std::string& path() const { return path_; }
+  /// The errno value of the failing operation (0 when unknown).
+  [[nodiscard]] int error_code() const { return error_code_; }
 
  private:
   std::string path_;
+  int error_code_;
+};
+
+/// Thrown by CancellationToken::check() once cancellation was requested (or
+/// the token's deadline passed). Carries the structured reason given to
+/// request_cancel(); the guarded layer classifies this as
+/// RunStatus::kCancelled instead of letting a cancelled run look torn.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what, std::string reason = "")
+      : Error(what), reason_(std::move(reason)) {}
+
+  /// The reason passed to CancellationToken::request_cancel ("" if none).
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
 };
 
 /// Thrown by the simulator when an algorithm breaks the output contract of

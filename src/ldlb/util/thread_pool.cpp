@@ -1,9 +1,11 @@
 #include "ldlb/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <system_error>
 
 namespace ldlb {
 
@@ -32,9 +34,27 @@ std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mutex
 ThreadPool::ThreadPool(int threads) : threads_(std::max(threads, 1)) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   // The calling thread participates in every batch, so n workers serve a
-  // pool of size n+1; a 1-thread pool spawns nothing.
-  for (int i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  // pool of size n+1; a 1-thread pool spawns nothing. A system refusing to
+  // spawn (thread/PID exhaustion) degrades the pool to serial execution —
+  // the library keeps working, just without speed-up.
+  try {
+    for (int i = 1; i < threads_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (const std::system_error& e) {
+    construction_error_ = std::string("thread pool degraded to serial: "
+                                      "spawning worker failed: ") +
+                          e.what();
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    stop_ = false;
+    threads_ = 1;
+    std::fprintf(stderr, "ldlb: %s\n", construction_error_.c_str());
   }
 }
 
@@ -66,21 +86,28 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run_batch(std::vector<std::function<void()>>& tasks) {
+void ThreadPool::run_batch(std::vector<std::function<void()>>& tasks,
+                           CancellationToken* cancel) {
   const std::size_t n = tasks.size();
   if (n == 0) return;
   std::vector<std::exception_ptr> errors(n);
 
+  // Wraps task i with the pre-task cancellation poll; a pending cancel
+  // surfaces as the task's error, so the lowest-index rule applies to
+  // cancellation exactly as to any other failure.
+  auto run_one = [&tasks, &errors, cancel](std::size_t i) {
+    try {
+      if (cancel != nullptr) cancel->check();
+      tasks[i]();
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
   if (threads_ <= 1 || on_worker_thread() || n == 1) {
     // Inline: run every task (as the parallel path would), then report the
     // lowest-index failure.
-    for (std::size_t i = 0; i < n; ++i) {
-      try {
-        tasks[i]();
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    }
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
   } else {
     struct Join {
       std::mutex m;
@@ -90,12 +117,8 @@ void ThreadPool::run_batch(std::vector<std::function<void()>>& tasks) {
     {
       std::lock_guard<std::mutex> lk(mutex_);
       for (std::size_t i = 0; i < n; ++i) {
-        queue_.push_back(Task{[&tasks, &errors, &join, i] {
-          try {
-            tasks[i]();
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
+        queue_.push_back(Task{[&run_one, &join, i] {
+          run_one(i);
           // Notify under the lock: the waiter destroys `join` as soon as it
           // observes done == n, so signalling after unlock would race with
           // the condition variable's destruction.
@@ -125,10 +148,17 @@ void ThreadPool::run_batch(std::vector<std::function<void()>>& tasks) {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              CancellationToken* cancel) {
   if (n == 0) return;
   if (threads_ <= 1 || on_worker_thread() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Poll with the same chunk granularity the parallel path would use, so
+    // cancellation latency does not depend on the thread count.
+    constexpr std::size_t kSerialPollStride = 32;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && i % kSerialPollStride == 0) cancel->check();
+      fn(i);
+    }
     return;
   }
   // Contiguous chunks: the lowest failing chunk's first failure is exactly
@@ -146,11 +176,12 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     });
   }
-  run_batch(tasks);
+  run_batch(tasks, cancel);
 }
 
-void ThreadPool::parallel_invoke(std::vector<std::function<void()>> thunks) {
-  run_batch(thunks);
+void ThreadPool::parallel_invoke(std::vector<std::function<void()>> thunks,
+                                 CancellationToken* cancel) {
+  run_batch(thunks, cancel);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -17,19 +17,30 @@
 //     cannot deadlock the fixed-size pool, and the serial fallback keeps the
 //     same code path as a 1-thread pool.
 //
+// Cooperative cancellation: both entry points take an optional
+// CancellationToken (util/cancellation.hpp) and poll it between chunks /
+// thunks — on every participating thread — so a cancel request lands
+// within one chunk of work rather than one full batch. The resulting
+// Cancelled error is rethrown under the same lowest-index rule.
+//
 // The pool size comes from the LDLB_THREADS environment variable (default:
 // hardware concurrency), clamped to [1, 64]. `set_global_threads` rebuilds
 // the global pool at runtime — tests use it to prove that 1-, 2- and
 // 8-thread runs produce identical bytes. A pool of size 1 executes
-// everything inline and spawns no threads at all.
+// everything inline and spawns no threads at all. If the OS refuses to
+// spawn workers (thread exhaustion), construction degrades to a serial
+// pool instead of failing — see construction_error().
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "ldlb/util/cancellation.hpp"
 
 namespace ldlb {
 
@@ -37,7 +48,9 @@ namespace ldlb {
 class ThreadPool {
  public:
   /// Pool with `threads` workers (clamped to >= 1). A 1-thread pool spawns
-  /// nothing and runs every task inline.
+  /// nothing and runs every task inline. If spawning workers fails with a
+  /// system error the pool falls back to serial execution and records the
+  /// failure in construction_error() instead of throwing.
   explicit ThreadPool(int threads);
   ~ThreadPool();
 
@@ -47,15 +60,25 @@ class ThreadPool {
   /// Number of workers (>= 1); 1 means fully serial.
   [[nodiscard]] int size() const { return threads_; }
 
+  /// Non-empty when construction could not spawn its workers and the pool
+  /// degraded to serial execution (the diagnostic names the cause).
+  [[nodiscard]] const std::string& construction_error() const {
+    return construction_error_;
+  }
+
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for all of
   /// them. Exceptions are rethrown in index order (the lowest failing index
   /// wins), matching a serial loop. Reentrant calls from worker threads run
-  /// inline.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// inline. When `cancel` is given it is polled between chunks; a pending
+  /// cancellation surfaces as Cancelled under the same lowest-index rule.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    CancellationToken* cancel = nullptr);
 
   /// Runs the given thunks concurrently and waits for all of them; the
-  /// first thunk's exception wins. Reentrant calls run inline.
-  void parallel_invoke(std::vector<std::function<void()>> thunks);
+  /// first thunk's exception wins. Reentrant calls run inline. `cancel`, if
+  /// given, is polled before each thunk starts.
+  void parallel_invoke(std::vector<std::function<void()>> thunks,
+                       CancellationToken* cancel = nullptr);
 
   /// The process-wide pool. First use sizes it from LDLB_THREADS (default:
   /// hardware concurrency, clamped to [1, 64]).
@@ -76,10 +99,13 @@ class ThreadPool {
 
   void worker_loop();
   /// Runs `tasks` across the pool (or inline), then rethrows the
-  /// lowest-index exception, if any.
-  void run_batch(std::vector<std::function<void()>>& tasks);
+  /// lowest-index exception, if any. Polls `cancel` before each task on
+  /// every participating thread.
+  void run_batch(std::vector<std::function<void()>>& tasks,
+                 CancellationToken* cancel);
 
   int threads_;
+  std::string construction_error_;
   std::vector<std::thread> workers_;
   std::vector<Task> queue_;  // LIFO; tasks of one batch only
   std::mutex mutex_;

@@ -1,11 +1,15 @@
 #include "ldlb/view/isomorphism.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
+#include <list>
 #include <map>
 #include <mutex>
 #include <tuple>
 #include <unordered_map>
+
+#include "ldlb/util/alloc_guard.hpp"
 
 namespace ldlb {
 
@@ -226,13 +230,44 @@ struct BallKeyHash {
 // Global memo for ball encodings. The certificate chain re-examines the same
 // (graph, witness, radius) triples many times — the adversary verifies each
 // level as it is built and the validator re-derives every ball again — so a
-// small cache removes most extractions. Bounded by wholesale clearing: the
-// working set per certificate is tiny, so eviction precision is not worth
-// LRU bookkeeping. Guarded by a mutex so parallel validation can share it.
+// small cache removes most extractions. Bounded by a byte budget with LRU
+// eviction: large-Δ sweeps cache many long encodings, and evicting the cold
+// tail degrades gracefully where wholesale clearing would thrash. Guarded
+// by a mutex so parallel validation can share it.
 std::mutex g_ball_cache_mutex;
-std::unordered_map<BallKey, std::optional<std::string>, BallKeyHash>
-    g_ball_cache;
-constexpr std::size_t kBallCacheCap = 1 << 16;
+std::list<BallKey> g_ball_lru;  // front = most recently used
+
+struct BallCacheEntry {
+  std::optional<std::string> enc;
+  std::list<BallKey>::iterator lru_it;
+  std::size_t bytes = 0;
+};
+
+std::unordered_map<BallKey, BallCacheEntry, BallKeyHash> g_ball_cache;
+std::size_t g_ball_cache_bytes = 0;
+std::size_t g_ball_cache_budget = [] {
+  if (const char* s = std::getenv("LDLB_BALL_CACHE_BYTES");
+      s != nullptr && *s != '\0') {
+    const long long v = std::atoll(s);
+    if (v >= 0) return static_cast<std::size_t>(v);
+  }
+  return std::size_t{8} << 20;
+}();
+
+// Rough per-entry footprint: key + hash/list/map node overheads + payload.
+std::size_t entry_cost(const std::optional<std::string>& enc) {
+  return 96 + (enc ? enc->size() : 0);
+}
+
+// Evicts LRU entries until the cache fits its budget. Caller holds the lock.
+void evict_to_budget() {
+  while (g_ball_cache_bytes > g_ball_cache_budget && !g_ball_lru.empty()) {
+    auto it = g_ball_cache.find(g_ball_lru.back());
+    g_ball_cache_bytes -= it->second.bytes;
+    g_ball_cache.erase(it);
+    g_ball_lru.pop_back();
+  }
+}
 
 }  // namespace
 
@@ -242,7 +277,10 @@ std::optional<std::string> cached_ball_encoding(const Multigraph& g, NodeId v,
   {
     std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
     auto it = g_ball_cache.find(key);
-    if (it != g_ball_cache.end()) return it->second;
+    if (it != g_ball_cache.end()) {
+      g_ball_lru.splice(g_ball_lru.begin(), g_ball_lru, it->second.lru_it);
+      return it->second.enc;
+    }
   }
   Ball ball = extract_ball(g, v, radius);
   std::optional<std::string> enc;
@@ -253,9 +291,19 @@ std::optional<std::string> cached_ball_encoding(const Multigraph& g, NodeId v,
     enc = canonical_tree_encoding(ball.graph, ball.center);
   }
   {
+    const std::size_t cost = entry_cost(enc);
+    // Observes the thread-local allocation budget of util/alloc_guard —
+    // memoization is the library's one open-ended consumer of memory, so
+    // alloc-failure injection must be able to hit it.
+    charge_alloc(cost);
     std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
-    if (g_ball_cache.size() >= kBallCacheCap) g_ball_cache.clear();
-    g_ball_cache.emplace(key, enc);
+    auto [it, inserted] = g_ball_cache.try_emplace(key);
+    if (inserted) {
+      g_ball_lru.push_front(key);
+      it->second = {enc, g_ball_lru.begin(), cost};
+      g_ball_cache_bytes += cost;
+      evict_to_budget();
+    }
   }
   return enc;
 }
@@ -277,6 +325,19 @@ bool balls_isomorphic_cached(const Multigraph& g, NodeId gv,
 void clear_ball_encoding_cache() {
   std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
   g_ball_cache.clear();
+  g_ball_lru.clear();
+  g_ball_cache_bytes = 0;
+}
+
+void set_ball_encoding_cache_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
+  g_ball_cache_budget = bytes;
+  evict_to_budget();
+}
+
+std::size_t ball_encoding_cache_bytes() {
+  std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
+  return g_ball_cache_bytes;
 }
 
 }  // namespace ldlb

@@ -72,4 +72,13 @@ bool balls_isomorphic_cached(const Multigraph& g, NodeId gv,
 /// want cold-cache timings).
 void clear_ball_encoding_cache();
 
+/// Sets the cache's byte budget. The cache evicts least-recently-used
+/// entries until it fits; a budget of 0 disables memoization entirely (every
+/// insert is evicted immediately). The default is 8 MiB, overridable at
+/// first use via the LDLB_BALL_CACHE_BYTES environment variable.
+void set_ball_encoding_cache_budget(std::size_t bytes);
+
+/// Approximate bytes currently held by the ball-encoding cache.
+[[nodiscard]] std::size_t ball_encoding_cache_bytes();
+
 }  // namespace ldlb

@@ -1,0 +1,241 @@
+// Chaos soak harness: randomized cancel / crash / env-fault / resume cycles.
+//
+// Each cycle picks a degree Δ ∈ {4..8}, a global thread count, and one
+// interference scenario, applies it to a checkpointed adversary run, then
+// resumes with the interference cleared and demands the clean run's exact
+// certificate bytes. Scenarios:
+//
+//   cancel     cooperative cancel fired from the checkpoint hook at a
+//              random level, then resume;
+//   env-fault  EnvFaultPlan armed on a random (fs-op, mode) pair for a
+//              random nth occurrence, then resume;
+//   torn-tail  a completed snapshot truncated at a random byte, then
+//              resume from the salvaged prefix;
+//   guarded    a deadline-expired / budget-capped / allocation-starved
+//              guarded run must classify (kCancelled / kBudgetExceeded /
+//              kEnvFault) without a certificate, then a clean resumable
+//              run from scratch.
+//
+// The seed is printed up front and on every failure; override it with
+// LDLB_CHAOS_SEED and the cycle count with LDLB_CHAOS_CYCLES. Not a gtest
+// binary — scripts/ci.sh runs it as its own bounded stage.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "ldlb/core/adversary.hpp"
+#include "ldlb/core/certificate_io.hpp"
+#include "ldlb/fault/budget_hooks.hpp"
+#include "ldlb/fault/env_fault.hpp"
+#include "ldlb/fault/guarded_run.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/recover/resumable_adversary.hpp"
+#include "ldlb/recover/snapshot_store.hpp"
+#include "ldlb/util/alloc_guard.hpp"
+#include "ldlb/util/atomic_file.hpp"
+#include "ldlb/util/cancellation.hpp"
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/rng.hpp"
+#include "ldlb/util/thread_pool.hpp"
+#include "ldlb/view/isomorphism.hpp"
+
+namespace {
+
+unsigned long long g_seed = 0;
+int g_cycle = -1;
+const char* g_scenario = "setup";
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr,
+               "chaos_soak: FAILED in cycle %d scenario %s: %s\n"
+               "chaos_soak: reproduce with LDLB_CHAOS_SEED=%llu\n",
+               g_cycle, g_scenario, what.c_str(), g_seed);
+  std::exit(1);
+}
+
+void check(bool ok, const std::string& what) {
+  if (!ok) fail(what);
+}
+
+unsigned long long env_u64(const char* name, unsigned long long fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "chaos_soak: ignoring malformed %s='%s'\n", name, s);
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ldlb;
+  namespace fs = std::filesystem;
+
+  g_seed = env_u64("LDLB_CHAOS_SEED", 20140721);
+  const int cycles =
+      static_cast<int>(env_u64("LDLB_CHAOS_CYCLES", 25));
+  std::printf("chaos_soak: seed=%llu cycles=%d\n", g_seed, cycles);
+
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("ldlb_chaos_" + std::to_string(::getpid()) + ".snap"))
+          .string();
+
+  Rng rng{static_cast<std::uint64_t>(g_seed)};
+  std::map<int, std::string> clean_by_delta;
+  const auto clean_bytes = [&](int delta) -> const std::string& {
+    auto it = clean_by_delta.find(delta);
+    if (it == clean_by_delta.end()) {
+      SeqColorPacking alg{delta};
+      it = clean_by_delta.emplace(delta, certificate_to_string(
+                                             run_adversary(alg, delta)))
+               .first;
+    }
+    return it->second;
+  };
+  const auto resume_and_compare = [&](int delta) {
+    SeqColorPacking alg{delta};
+    SnapshotStore store(path);
+    ResumeInfo info;
+    const std::string resumed = certificate_to_string(
+        run_adversary_resumable(alg, delta, store, {}, &info));
+    check(resumed == clean_bytes(delta),
+          "resumed certificate differs from the clean run");
+  };
+
+  try {
+    for (g_cycle = 0; g_cycle < cycles; ++g_cycle) {
+      const int delta = 4 + static_cast<int>(rng.next_below(5));
+      const int threads = 1 + static_cast<int>(rng.next_below(8));
+      ThreadPool::set_global_threads(threads);
+      const std::string& clean = clean_bytes(delta);
+      fs::remove(path);
+
+      switch (rng.next_below(4)) {
+        case 0: {  // cooperative cancel at a random checkpoint, then resume
+          g_scenario = "cancel";
+          const int cancel_level =
+              static_cast<int>(rng.next_below(delta - 1));
+          {
+            SeqColorPacking alg{delta};
+            SnapshotStore store(path);
+            CancellationToken token;
+            ResumeOptions options;
+            options.adversary.cancel = &token;
+            options.on_checkpoint = [&](const CertificateLevel& lv) {
+              if (lv.level == cancel_level) {
+                token.request_cancel("chaos cancel");
+              }
+            };
+            try {
+              run_adversary_resumable(alg, delta, store, options);
+              // A cancel at the final checkpoint lands after the chain is
+              // already complete; nothing was interrupted.
+            } catch (const Cancelled&) {
+            }
+          }
+          resume_and_compare(delta);
+          break;
+        }
+        case 1: {  // fs fault on a random save, then resume
+          g_scenario = "env-fault";
+          const auto op = static_cast<FsOp>(rng.next_below(4));
+          auto mode = static_cast<EnvFaultMode>(rng.next_below(3));
+          if (op != FsOp::kWrite && mode == EnvFaultMode::kShortWrite) {
+            mode = EnvFaultMode::kEio;  // short writes only exist for write()
+          }
+          const int nth = 1 + static_cast<int>(rng.next_below(delta - 1));
+          {
+            EnvFaultPlan plan;
+            ScopedFsFaultInjection install(&plan);
+            plan.arm(op, mode, nth);
+            SeqColorPacking alg{delta};
+            SnapshotStore store(path);
+            try {
+              run_adversary_resumable(alg, delta, store, {});
+              // nth beyond the number of saves: the plan never fired.
+            } catch (const IoError&) {
+            }
+          }
+          resume_and_compare(delta);
+          break;
+        }
+        case 2: {  // tear the tail off a finished snapshot, then resume
+          g_scenario = "torn-tail";
+          {
+            SeqColorPacking alg{delta};
+            SnapshotStore store(path);
+            run_adversary_resumable(alg, delta, store, {});
+          }
+          const std::string full = read_file(path);
+          write_file_atomic(path, full.substr(0, rng.next_below(full.size())));
+          resume_and_compare(delta);
+          break;
+        }
+        default: {  // guarded interruption classifies, then a clean run
+          g_scenario = "guarded";
+          SeqColorPacking alg{delta};
+          GuardedOutcome outcome;
+          RunStatus expected = RunStatus::kOk;
+          switch (rng.next_below(3)) {
+            case 0: {  // already-expired global deadline
+              expected = RunStatus::kCancelled;
+              CancellationToken token{Deadline::in(0.0)};
+              AdversaryOptions opts;
+              opts.cancel = &token;
+              outcome = guarded_run_adversary(alg, delta, opts);
+              break;
+            }
+            case 1: {  // cumulative message cap of 1
+              expected = RunStatus::kBudgetExceeded;
+              BudgetHooks::Limits limits;
+              limits.max_total_messages = 1;
+              BudgetHooks hooks{limits};
+              AdversaryOptions opts;
+              opts.hooks = &hooks;
+              outcome = guarded_run_adversary(alg, delta, opts);
+              break;
+            }
+            default: {  // starved allocation budget
+              expected = RunStatus::kEnvFault;
+              // A warm memo would satisfy the run without charging a byte.
+              clear_ball_encoding_cache();
+              ScopedAllocBudget budget(256);
+              outcome = guarded_run_adversary(alg, delta);
+              break;
+            }
+          }
+          check(outcome.status == expected,
+                std::string("guarded run classified as ") +
+                    outcome.classification() + ", expected " +
+                    to_string(expected));
+          check(!outcome.certificate.has_value(),
+                "interrupted guarded run still produced a certificate");
+          clear_ball_encoding_cache();  // a bad_alloc may have starved it
+          resume_and_compare(delta);
+          break;
+        }
+      }
+      std::printf("chaos_soak: cycle %d ok (delta=%d threads=%d %s)\n",
+                  g_cycle, delta, threads, g_scenario);
+      check(clean == clean_bytes(delta), "clean reference mutated");
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("unexpected exception: ") + e.what());
+  }
+
+  fs::remove(path);
+  ThreadPool::set_global_threads(0);
+  std::printf("chaos_soak: all %d cycles ok (seed=%llu)\n", cycles, g_seed);
+  return 0;
+}

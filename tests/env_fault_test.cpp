@@ -1,0 +1,251 @@
+// Environment fault injection round-trips: every filesystem fault point of
+// write_file_atomic (write / fsync / rename / dir-fsync × EIO / ENOSPC /
+// short-write), injected into a checkpointed adversary run, must leave a
+// loadable snapshot whose resumed run reproduces the clean certificate byte
+// for byte. Allocation-failure injection (util/alloc_guard) must classify
+// as kEnvFault and leave the library reusable afterwards.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ldlb/core/certificate_io.hpp"
+#include "ldlb/fault/env_fault.hpp"
+#include "ldlb/fault/guarded_run.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/recover/resumable_adversary.hpp"
+#include "ldlb/recover/snapshot_store.hpp"
+#include "ldlb/util/alloc_guard.hpp"
+#include "ldlb/util/atomic_file.hpp"
+#include "ldlb/util/bigint.hpp"
+#include "ldlb/util/error.hpp"
+#include "ldlb/view/isomorphism.hpp"
+
+namespace ldlb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+std::string certificate_bytes(const LowerBoundCertificate& cert) {
+  std::ostringstream os;
+  write_certificate(os, cert);
+  return os.str();
+}
+
+int tmp_files_in(const std::string& dir) {
+  int n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().string().find(".tmp.") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+TEST(EnvFaultPlan, FailsExactlyTheArmedOperation) {
+  const std::string path = temp_path("plan_basics.txt");
+  EnvFaultPlan plan;
+  ScopedFsFaultInjection install(&plan);
+
+  plan.arm(FsOp::kWrite, EnvFaultMode::kEio, 1);
+  try {
+    write_file_atomic(path, "payload");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.error_code(), EIO);
+    EXPECT_NE(std::string(e.what()).find("injected env fault"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(plan.fired());
+  EXPECT_FALSE(fs::exists(path));  // failed before the rename
+
+  // One-shot: the same plan does not fire twice without re-arming.
+  write_file_atomic(path, "payload");
+  EXPECT_EQ(read_file(path), "payload");
+  fs::remove(path);
+}
+
+TEST(EnvFaultPlan, ShortWriteAcceptsHalfThenFailsWithEnospc) {
+  const std::string path = temp_path("short_write.txt");
+  EnvFaultPlan plan;
+  ScopedFsFaultInjection install(&plan);
+  plan.arm(FsOp::kWrite, EnvFaultMode::kShortWrite, 1);
+  try {
+    write_file_atomic(path, std::string(4096, 'x'));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.error_code(), ENOSPC);
+  }
+  // The first call accepted half, the retry failed: two write observations.
+  EXPECT_EQ(plan.observed(FsOp::kWrite), 2);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(tmp_files_in(::testing::TempDir()), 0) << "torn temp file left";
+}
+
+TEST(EnvFaultPlan, DirFsyncFaultLeavesContentInPlace) {
+  const std::string path = temp_path("dir_fsync.txt");
+  EnvFaultPlan plan;
+  ScopedFsFaultInjection install(&plan);
+  plan.arm(FsOp::kDirFsync, EnvFaultMode::kEio, 1);
+  EXPECT_THROW(write_file_atomic(path, "survives"), IoError);
+  // The rename already happened; only durability is unconfirmed.
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(read_file(path), "survives");
+  fs::remove(path);
+}
+
+// The acceptance sweep: inject each (operation, mode) pair into the nth
+// checkpoint save of a resumable adversary run, then resume with the fault
+// cleared and demand the clean run's exact certificate bytes.
+TEST(EnvFaultSweep, CheckpointedRunSurvivesEveryFaultPoint) {
+  const int delta = 5;
+  std::string clean;
+  {
+    clear_ball_encoding_cache();
+    SeqColorPacking alg{delta};
+    clean = certificate_bytes(run_adversary(alg, delta));
+  }
+
+  const std::vector<std::pair<FsOp, EnvFaultMode>> points = {
+      {FsOp::kWrite, EnvFaultMode::kEio},
+      {FsOp::kWrite, EnvFaultMode::kEnospc},
+      {FsOp::kWrite, EnvFaultMode::kShortWrite},
+      {FsOp::kFsync, EnvFaultMode::kEio},
+      {FsOp::kFsync, EnvFaultMode::kEnospc},
+      {FsOp::kRename, EnvFaultMode::kEio},
+      {FsOp::kRename, EnvFaultMode::kEnospc},
+      {FsOp::kDirFsync, EnvFaultMode::kEio},
+      {FsOp::kDirFsync, EnvFaultMode::kEnospc},
+  };
+  for (const auto& [op, mode] : points) {
+    SCOPED_TRACE(std::string(to_string(op)) + "/" + to_string(mode));
+    const std::string path = temp_path(std::string("sweep_") +
+                                       to_string(op) + "_" + to_string(mode) +
+                                       ".snap");
+    fs::remove(path);
+    EnvFaultPlan plan;
+    ScopedFsFaultInjection install(&plan);
+
+    // Fault the *second* checkpoint save: level 0 lands cleanly, the fault
+    // hits mid-chain. (Each save is one write_file_atomic call; the payload
+    // fits one write() call, so write occurrence n belongs to save n.)
+    plan.arm(op, mode, 2);
+    {
+      clear_ball_encoding_cache();
+      SeqColorPacking alg{delta};
+      SnapshotStore store(path);
+      // The checkpoint save sits outside per-level supervision, so the
+      // injected IoError surfaces directly whatever the retry policy says.
+      EXPECT_THROW(run_adversary_resumable(alg, delta, store, {}), IoError);
+      EXPECT_TRUE(plan.fired());
+    }
+    plan.disarm();
+
+    // The snapshot must load to a valid prefix — the level-0 checkpoint at
+    // minimum, plus the interrupted save's content iff the fault hit after
+    // its rename (dir-fsync).
+    {
+      SnapshotStore store(path);
+      RecoveryReport report;
+      LowerBoundCertificate partial = store.load(&report);
+      EXPECT_TRUE(report.file_found);
+      EXPECT_TRUE(report.complete) << report.to_string();
+      EXPECT_GE(partial.levels.size(), 1u);
+    }
+
+    // Resume with the fault cleared: byte-identical final certificate.
+    {
+      clear_ball_encoding_cache();
+      SeqColorPacking alg{delta};
+      SnapshotStore store(path);
+      ResumeInfo info;
+      LowerBoundCertificate resumed =
+          run_adversary_resumable(alg, delta, store, {}, &info);
+      EXPECT_GT(info.trusted_levels, 0);
+      EXPECT_EQ(certificate_bytes(resumed), clean);
+    }
+    fs::remove(path);
+  }
+}
+
+// A fault the retry policy deems transient (ENOSPC) and that then clears
+// must be retried and absorbed by the per-level supervision, not surfaced.
+// Note the checkpoint save itself sits outside supervised_level, so the
+// transient fault is injected into a *simulated run* via the allocation
+// path instead — covered below — while ENOSPC on the checkpoint write is
+// exercised here only for classification.
+TEST(EnvFault, EnospcCheckpointFaultIsClassifiedTransient) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.transient(RunStatus::kEnvFault, ENOSPC));
+  EXPECT_TRUE(policy.transient(RunStatus::kEnvFault, EAGAIN));
+  EXPECT_TRUE(policy.transient(RunStatus::kEnvFault, EINTR));
+  EXPECT_FALSE(policy.transient(RunStatus::kEnvFault, EIO));
+  EXPECT_FALSE(policy.transient(RunStatus::kEnvFault, 0));
+}
+
+TEST(AllocGuard, BudgetExhaustionThrowsBadAlloc) {
+  EXPECT_FALSE(ScopedAllocBudget::active());
+  charge_alloc(1 << 30);  // no budget armed: free
+  {
+    ScopedAllocBudget budget(64);
+    EXPECT_TRUE(ScopedAllocBudget::active());
+    charge_alloc(32);
+    EXPECT_THROW(charge_alloc(64), std::bad_alloc);
+    // Pinned at zero: every further charge keeps failing.
+    EXPECT_THROW(charge_alloc(1), std::bad_alloc);
+  }
+  EXPECT_FALSE(ScopedAllocBudget::active());
+}
+
+TEST(AllocGuard, StarvesBigIntLimbGrowth) {
+  BigInt big = BigInt::pow2(200);  // needs > 2 limbs
+  ScopedAllocBudget budget(0);
+  EXPECT_THROW((void)(big * big), std::bad_alloc);
+}
+
+TEST(AllocGuard, AdversaryRunClassifiesAsEnvFault) {
+  // A warm memo would satisfy the run without a single charged allocation.
+  clear_ball_encoding_cache();
+  SeqColorPacking alg{5};
+  GuardedOutcome outcome;
+  {
+    ScopedAllocBudget budget(256);  // starves the ball-encoding memo
+    outcome = guarded_run_adversary(alg, 5);
+  }
+  EXPECT_EQ(outcome.status, RunStatus::kEnvFault);
+  EXPECT_EQ(outcome.env_errno, 0);  // bad_alloc carries no errno
+  EXPECT_FALSE(outcome.certificate.has_value());
+
+  // The library is fully usable once the budget is gone.
+  clear_ball_encoding_cache();
+  GuardedOutcome retry = guarded_run_adversary(alg, 5);
+  EXPECT_EQ(retry.status, RunStatus::kOk);
+  EXPECT_TRUE(retry.certificate.has_value());
+}
+
+TEST(BallCache, RespectsByteBudgetWithLruEviction) {
+  clear_ball_encoding_cache();
+  set_ball_encoding_cache_budget(2048);
+  SeqColorPacking alg{6};
+  (void)run_adversary(alg, 6);  // populates the cache heavily
+  EXPECT_LE(ball_encoding_cache_bytes(), 2048u);
+
+  // Budget 0 disables memoization outright but keeps answers correct.
+  clear_ball_encoding_cache();
+  set_ball_encoding_cache_budget(0);
+  (void)run_adversary(alg, 6);
+  EXPECT_EQ(ball_encoding_cache_bytes(), 0u);
+
+  // Restore the default for the rest of the suite.
+  set_ball_encoding_cache_budget(std::size_t{8} << 20);
+  clear_ball_encoding_cache();
+}
+
+}  // namespace
+}  // namespace ldlb

@@ -14,6 +14,8 @@
 #include "ldlb/core/adversary.hpp"
 #include "ldlb/core/base_case.hpp"
 #include "ldlb/core/certificate_io.hpp"
+#include "ldlb/fault/budget_hooks.hpp"
+#include "ldlb/fault/guarded_run.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
 #include "ldlb/matching/two_phase_packing.hpp"
 #include "ldlb/util/error.hpp"
@@ -254,6 +256,65 @@ TEST(ParallelDeterminism, NonSaturatingAlgorithmRejectedOnAnyThreadCount) {
     AllZero alg;
     EXPECT_THROW(run_adversary(alg, 4), Error) << "threads=" << threads;
   }
+}
+
+// The lifted gate: BudgetHooks declares parallel_safe(), so installing it
+// must keep the parallel fan-out *and* the byte-identity contract. Before
+// this gate existed, any hooks forced the serial path.
+TEST(ParallelDeterminism, BudgetHooksKeepCertificatesByteIdentical) {
+  const int delta = 6;
+  const std::string bare = run_and_serialize(delta, 1);
+  for (int threads : {1, 2, 8}) {
+    PoolOverride pool(threads);
+    clear_ball_encoding_cache();
+    SeqColorPacking alg{delta};
+    BudgetHooks hooks({.max_total_messages = 0});  // enforce, never trip
+    AdversaryOptions opts;
+    opts.hooks = &hooks;
+    opts.verify_p2 = true;
+    EXPECT_EQ(bare, certificate_bytes(run_adversary(alg, delta, opts)))
+        << "threads=" << threads;
+    EXPECT_GT(hooks.total_messages(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, TrippedBudgetClassifiesIdenticallyAcrossThreads) {
+  const int delta = 6;
+  std::string serial_error;
+  for (int threads : {1, 2, 8}) {
+    PoolOverride pool(threads);
+    clear_ball_encoding_cache();
+    SeqColorPacking alg{delta};
+    // A 1-message cumulative cap trips on the first delivery of the first
+    // adversary step, in every schedule; under speculation each branch
+    // crosses the already-exceeded cap on its own next delivery, and the
+    // deterministic lowest-index rethrow surfaces the GH branch's error.
+    BudgetHooks hooks({.max_total_messages = 1});
+    AdversaryOptions opts;
+    opts.hooks = &hooks;
+    GuardedOutcome outcome = guarded_run_adversary(alg, delta, opts);
+    EXPECT_EQ(outcome.status, RunStatus::kBudgetExceeded)
+        << "threads=" << threads;
+    EXPECT_FALSE(outcome.certificate.has_value());
+    if (threads == 1) {
+      serial_error = outcome.error;
+      EXPECT_NE(serial_error.find("cumulative message budget"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(outcome.error, serial_error) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, BudgetHooksDeadlineCancelsRun) {
+  PoolOverride pool(2);
+  SeqColorPacking alg{8};
+  BudgetHooks hooks({.max_total_messages = 0,
+                     .deadline = Deadline::in(0.0)});  // already expired
+  AdversaryOptions opts;
+  opts.hooks = &hooks;
+  GuardedOutcome outcome = guarded_run_adversary(alg, 8, opts);
+  EXPECT_EQ(outcome.status, RunStatus::kCancelled);
 }
 
 }  // namespace

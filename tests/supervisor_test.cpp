@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+
 #include "ldlb/graph/edge_coloring.hpp"
 #include "ldlb/graph/generators.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
@@ -174,6 +176,73 @@ TEST(Supervisor, CleanRunRecordsOneAttempt) {
   EXPECT_EQ(supervisor.log().attempts.size(), 1u);
   EXPECT_EQ(outcome.diagnostics.supervision,
             supervisor.log().to_string());
+}
+
+// Environment-flaky black box: the first `failures` runs die in make_node
+// with an IoError carrying `io_errno`, later runs behave like SeqColorPacking.
+class IoFlaky : public SeqColorPacking {
+ public:
+  IoFlaky(int delta, int failures, int io_errno)
+      : SeqColorPacking(delta), failures_(failures), io_errno_(io_errno) {}
+
+  std::unique_ptr<EcNodeState> make_node(const EcNodeContext& ctx) override {
+    if (runs_seen_ == 0 && failures_ > 0) {
+      --failures_;
+      throw IoError("injected transient I/O failure", "/dev/flaky",
+                    io_errno_);
+    }
+    ++runs_seen_;
+    return SeqColorPacking::make_node(ctx);
+  }
+  [[nodiscard]] std::string name() const override { return "IoFlaky"; }
+  // The failure counters are unsynchronized factory state.
+  [[nodiscard]] bool parallel_safe() const override { return false; }
+
+ private:
+  int failures_;
+  int io_errno_;
+  int runs_seen_ = 0;
+};
+
+TEST(Supervisor, TransientEnospcRetriesThenSucceeds) {
+  Multigraph g = small_graph();
+  IoFlaky alg{num_colors(g), /*failures=*/2, ENOSPC};
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  Supervisor supervisor{policy};
+  GuardedRunOptions options;
+  options.budget.max_rounds = num_colors(g) + 1;
+  GuardedOutcome outcome = supervisor.run_ec(g, alg, options);
+
+  EXPECT_TRUE(outcome.ok());
+  ASSERT_EQ(supervisor.log().attempts.size(), 3u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(supervisor.log().attempts[i].status, RunStatus::kEnvFault);
+    EXPECT_NE(supervisor.log().attempts[i].error.find("transient I/O"),
+              std::string::npos);
+  }
+  EXPECT_EQ(supervisor.log().attempts[2].status, RunStatus::kOk);
+  EXPECT_FALSE(supervisor.log().exhausted);
+  EXPECT_NE(outcome.diagnostics.supervision.find("env-fault"),
+            std::string::npos);
+}
+
+TEST(Supervisor, PermanentEioStopsAfterOneAttempt) {
+  Multigraph g = small_graph();
+  IoFlaky alg{num_colors(g), /*failures=*/1, EIO};
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  Supervisor supervisor{policy};
+  GuardedRunOptions options;
+  options.budget.max_rounds = num_colors(g) + 1;
+  GuardedOutcome outcome = supervisor.run_ec(g, alg, options);
+
+  EXPECT_EQ(outcome.status, RunStatus::kEnvFault);
+  EXPECT_EQ(outcome.env_errno, EIO);
+  EXPECT_EQ(supervisor.log().attempts.size(), 1u);  // EIO never retries
+  EXPECT_FALSE(supervisor.log().exhausted);
+  EXPECT_NE(outcome.diagnostics.supervision.find("env-fault"),
+            std::string::npos);
 }
 
 TEST(SupervisionLog, RendersAllAttempts) {
