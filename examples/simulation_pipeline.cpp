@@ -87,14 +87,14 @@ int main() {
     // ID algorithm -> IdAsOi -> PoFromOi -> EcFromPo -> adversary.
     std::vector<std::uint64_t> pool;
     for (std::uint64_t i = 0; i < 400000; ++i) pool.push_back(i);
-    RankPackingId id_alg{2};
-    IdAsOi oi{id_alg, pool};
+    RankPackingId rank_alg{2};
+    IdAsOi oi{rank_alg, pool};
     PoFromOi po_alg{oi};
     EcFromPo ec_alg{po_alg};
     AdversaryOptions opts;
     opts.max_rounds = 100;
     LowerBoundCertificate cert = run_adversary(ec_alg, 3, opts);
-    std::cout << "ID algorithm '" << id_alg.name()
+    std::cout << "ID algorithm '" << rank_alg.name()
               << "' transported through OI, PO and EC; adversary certifies "
               << "radius " << cert.certified_radius() << " at Δ = 3, valid: "
               << (certificate_is_valid(cert, ec_alg, false) ? "yes" : "NO")

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: build and run the full test suite twice — a plain RelWithDebInfo
-# build, then an AddressSanitizer+UBSan build (see LDLB_SANITIZE in the top
+# CI gate: a fast static lint stage (scripts/lint.sh: ldlb_lint invariant
+# rules, header self-containment, clang-tidy), then build and run the full
+# test suite twice — a plain RelWithDebInfo build with -DLDLB_WERROR=ON,
+# then an AddressSanitizer+UBSan build (see LDLB_SANITIZE in the top
 # CMakeLists) — plus a ThreadSanitizer pass over the concurrency-bearing
 # suites with the thread pool forced wide, and a bounded chaos-soak stage
 # (randomized cancel/crash/env-fault/resume cycles) on the plain and ASan
@@ -37,8 +39,13 @@ run_chaos() {
   fi
 }
 
+echo "== lint =="
+scripts/lint.sh
+
 echo "== plain build =="
-run_suite build
+# Warnings are errors on the primary tree; sanitizer trees keep warnings
+# advisory so a sanitizer-specific diagnostic cannot mask a real failure.
+run_suite build -DLDLB_WERROR=ON
 run_chaos build 25
 
 echo "== address+undefined sanitizer build =="
@@ -60,4 +67,4 @@ LDLB_THREADS=8 LDLB_CANCEL_LATENCY_MS="${LDLB_CANCEL_LATENCY_MS:-2000}" \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
   -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test'
 
-echo "CI green: plain, asan/ubsan, tsan, and chaos-soak stages all pass."
+echo "CI green: lint, plain (werror), asan/ubsan, tsan, and chaos-soak stages all pass."

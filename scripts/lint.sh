@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Static gate — the fast first stage of scripts/ci.sh (also useful alone):
+#   1. ldlb_lint: the in-tree invariant linter over src/ldlb
+#      (docs/STATIC_ANALYSIS.md has the rule catalogue);
+#   2. header self-containment: every public header compiled standalone;
+#   3. clang-tidy with the pinned .clang-tidy profile over
+#      compile_commands.json — skipped loudly when clang-tidy is not
+#      installed, so the stage still gates what the toolchain can check.
+#
+# Uses its own build tree (build-lint) so it never perturbs a developer's
+# cache; nothing here needs libldlb, so the stage stays cheap.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+dir=build-lint
+
+cmake -B "$dir" -S . -DLDLB_WERROR=ON > /dev/null
+cmake --build "$dir" --target ldlb_lint -j "$jobs"
+
+echo "== ldlb_lint =="
+"$dir/tools/lint/ldlb_lint" --root .
+
+echo "== header self-containment =="
+cmake --build "$dir" --target ldlb_header_check -j "$jobs" \
+  | grep -v '^\[' || true
+
+echo "== clang-tidy =="
+if command -v clang-tidy > /dev/null 2>&1; then
+  mapfile -t sources < <(find src/ldlb -name '*.cpp' | sort)
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$dir" "${sources[@]}"
+  else
+    clang-tidy -quiet -p "$dir" "${sources[@]}"
+  fi
+else
+  echo "clang-tidy not installed; skipping (pinned profile: .clang-tidy)"
+fi
+
+echo "lint green: ldlb_lint, header self-containment, clang-tidy stages pass."

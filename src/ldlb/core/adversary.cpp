@@ -39,6 +39,10 @@ FractionalMatching run_on(const Multigraph& g, EcAlgorithm& algorithm,
   // private sink and publishes a complete copy under a lock — the caller's
   // sink is never torn, and after a failure it holds the failing run's
   // partial trace (last writer wins among concurrent branches).
+  //
+  // ldlb-lint: allow(raw-sync): the diagnostics lock orders only
+  // last-writer-wins copies of complete RunDiagnostics snapshots; it can
+  // decide which failing trace survives, never a certificate byte.
   static std::mutex publish_mutex;
   RunDiagnostics local;
   run_options.diagnostics = &local;
@@ -47,6 +51,8 @@ FractionalMatching run_on(const Multigraph& g, EcAlgorithm& algorithm,
     std::lock_guard<std::mutex> lk(publish_mutex);
     *options.diagnostics = local;
     return matching;
+    // ldlb-lint: allow(catch-all): publish-then-rethrow — the exception is
+    // rethrown unchanged after the failing run's trace is published.
   } catch (...) {
     std::lock_guard<std::mutex> lk(publish_mutex);
     *options.diagnostics = local;
@@ -157,6 +163,9 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
     branches.emplace_back([&] {
       try {
         y_gh_slot = run_on(gh, algorithm, budget, options);
+        // ldlb-lint: allow(catch-all): speculative-branch capture — the
+        // exception_ptr is rethrown (or discarded with its branch) at the
+        // decision point, exactly as the lazy serial path would surface it.
       } catch (...) {
         err_gh = std::current_exception();
       }
@@ -165,6 +174,8 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
       try {
         gg = unfold_loop(g, prev.g_loop);
         y_gg_slot = run_on(gg.graph, algorithm, budget, options);
+        // ldlb-lint: allow(catch-all): speculative-branch capture — see the
+        // GH branch above.
       } catch (...) {
         err_gg = std::current_exception();
       }
@@ -173,6 +184,8 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
       try {
         hh = unfold_loop(h, prev.h_loop);
         y_hh_slot = run_on(hh.graph, algorithm, budget, options);
+        // ldlb-lint: allow(catch-all): speculative-branch capture — see the
+        // GH branch above.
       } catch (...) {
         err_hh = std::current_exception();
       }

@@ -78,14 +78,25 @@ class EnvFaultPlan : public FsFaultInjector {
   bool should_fire(FsOp op);
   [[noreturn]] void fail(FsOp op, const std::string& path, int code);
 
+  // The injector must stay installable while the thread pool runs, so its
+  // state is lock-free: flags are release/acquire monotonic latches and the
+  // occurrence counters are fetch_add'd. Which concrete filesystem call
+  // trips the fault may vary with schedule, but the *classification*
+  // (RunStatus::kEnvFault) and the resumed certificate bytes never do —
+  // env_fault_test pins that across the 9-point fault sweep.
+  //
+  // ldlb-lint: allow(raw-sync): lock-free arm/fire latch, see block comment.
   std::atomic<bool> armed_{false};
+  // ldlb-lint: allow(raw-sync): lock-free arm/fire latch, see block comment.
   std::atomic<bool> fired_{false};
   /// Write call that must throw ENOSPC because its predecessor was the
   /// short-write half (kShortWrite spans two before_write calls).
+  // ldlb-lint: allow(raw-sync): lock-free arm/fire latch, see block comment.
   std::atomic<bool> enospc_next_write_{false};
   FsOp op_ = FsOp::kWrite;
   EnvFaultMode mode_ = EnvFaultMode::kEio;
   long long nth_ = 1;
+  // ldlb-lint: allow(raw-sync): monotonic observation counters, see above.
   std::atomic<long long> counts_[4] = {0, 0, 0, 0};  // indexed by FsOp
 };
 

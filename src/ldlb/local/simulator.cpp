@@ -34,6 +34,9 @@ void for_each_node(bool parallel, NodeId n, CancellationToken* cancel,
 // cancel lands mid-round on dense instances.
 constexpr long long kDeliveryPollStride = 4096;
 
+// ldlb-lint: allow(nondeterminism): wall-clock *budget* enforcement only —
+// a monotonic clock that decides when BudgetExceeded fires, never what any
+// node computes; certificate bytes are clock-independent.
 using Clock = std::chrono::steady_clock;
 
 long long elapsed_us(Clock::time_point t0) {

@@ -17,6 +17,9 @@ namespace ldlb {
 
 namespace {
 
+// ldlb-lint: allow(raw-sync): the process-wide injector pointer is swapped
+// atomically so a fault plan can be (un)installed while the pool runs; the
+// pointed-to plan keeps its own thread-safety contract.
 std::atomic<FsFaultInjector*> g_fs_injector{nullptr};
 
 [[noreturn]] void io_fail(const std::string& op, const std::string& path) {

@@ -234,6 +234,11 @@ struct BallKeyHash {
 // eviction: large-Δ sweeps cache many long encodings, and evicting the cold
 // tail degrades gracefully where wholesale clearing would thrash. Guarded
 // by a mutex so parallel validation can share it.
+//
+// ldlb-lint: allow(raw-sync): the ball-memo lock only orders cache
+// insert/evict/lookup; encodings are canonical and keyed by (graph
+// fingerprint, node, radius), so hit-or-miss order cannot change any
+// returned encoding — results are schedule-independent by construction.
 std::mutex g_ball_cache_mutex;
 std::list<BallKey> g_ball_lru;  // front = most recently used
 

@@ -108,7 +108,7 @@ TEST(BigInt, Comparisons) {
 
 TEST(BigInt, LargeDoesNotFitInt64) {
   EXPECT_FALSE(BigInt::pow2(70).fits_int64());
-  EXPECT_THROW(BigInt::pow2(70).to_int64(), ContractViolation);
+  EXPECT_THROW((void)BigInt::pow2(70).to_int64(), ContractViolation);
 }
 
 // Property: arithmetic agrees with int64 on random small operands.

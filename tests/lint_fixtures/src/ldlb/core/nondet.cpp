@@ -1,0 +1,8 @@
+// Fixture: nondeterminism — hidden RNG in a proof-bearing layer.
+#include <cstdlib>
+
+namespace ldlb {
+
+int pick_witness_level() { return std::rand() % 7; }
+
+}  // namespace ldlb

@@ -1,0 +1,13 @@
+// Fixture: raw-file-write — durable output that bypasses util/atomic_file.
+// lint_test pins the diagnostic to the std::ofstream line below.
+#include <fstream>
+#include <string>
+
+namespace ldlb {
+
+void save_certificate_unsafely(const std::string& path) {
+  std::ofstream out(path);
+  out << "not crash-safe\n";
+}
+
+}  // namespace ldlb

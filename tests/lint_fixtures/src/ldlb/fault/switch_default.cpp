@@ -1,0 +1,16 @@
+// Fixture: switch-default-on-enum — the default label would hide new
+// enumerators from -Wswitch.
+namespace ldlb {
+
+enum class RunStatus { kOk, kFailed };
+
+const char* status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk:
+      return "ok";
+    default:
+      return "other";
+  }
+}
+
+}  // namespace ldlb

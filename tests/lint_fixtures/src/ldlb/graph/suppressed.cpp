@@ -1,0 +1,10 @@
+// Fixture: a correctly suppressed raw-sync site — must lint clean.
+#include <mutex>
+
+namespace ldlb {
+
+// ldlb-lint: allow(raw-sync): fixture lock guarding nothing; it exists to
+// prove the suppression path works end to end.
+std::mutex g_graph_stats_lock;
+
+}  // namespace ldlb

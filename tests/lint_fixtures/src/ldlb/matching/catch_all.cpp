@@ -1,0 +1,12 @@
+// Fixture: catch-all — an opaque handler that swallows typed errors.
+namespace ldlb {
+
+int checked_weight_sum() {
+  try {
+    return 42;
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace ldlb

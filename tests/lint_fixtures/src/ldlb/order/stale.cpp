@@ -1,0 +1,7 @@
+// Fixture: stale-suppression — the annotation excuses nothing.
+namespace ldlb {
+
+// ldlb-lint: allow(raw-file-write): this line once wrote a file directly.
+int harmless() { return 1; }
+
+}  // namespace ldlb

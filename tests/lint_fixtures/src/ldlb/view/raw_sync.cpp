@@ -1,0 +1,8 @@
+// Fixture: raw-sync — an ad-hoc lock outside the audited utilities.
+#include <mutex>
+
+namespace ldlb {
+
+std::mutex g_view_lock;
+
+}  // namespace ldlb

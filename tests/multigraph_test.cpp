@@ -46,7 +46,7 @@ TEST(Multigraph, OtherEndpoint) {
   EXPECT_EQ(g.other_endpoint(e01, 0), 1);
   EXPECT_EQ(g.other_endpoint(e01, 1), 0);
   EXPECT_EQ(g.other_endpoint(loop, 2), 2);
-  EXPECT_THROW(g.other_endpoint(e01, 2), ContractViolation);
+  EXPECT_THROW((void)g.other_endpoint(e01, 2), ContractViolation);
 }
 
 TEST(Multigraph, NeighborsDedupeParallelsAndIncludeSelfForLoops) {

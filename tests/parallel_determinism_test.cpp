@@ -268,7 +268,7 @@ TEST(ParallelDeterminism, BudgetHooksKeepCertificatesByteIdentical) {
     PoolOverride pool(threads);
     clear_ball_encoding_cache();
     SeqColorPacking alg{delta};
-    BudgetHooks hooks({.max_total_messages = 0});  // enforce, never trip
+    BudgetHooks hooks({.max_total_messages = 0, .deadline = {}});  // enforce, never trip
     AdversaryOptions opts;
     opts.hooks = &hooks;
     opts.verify_p2 = true;
@@ -289,7 +289,7 @@ TEST(ParallelDeterminism, TrippedBudgetClassifiesIdenticallyAcrossThreads) {
     // adversary step, in every schedule; under speculation each branch
     // crosses the already-exceeded cap on its own next delivery, and the
     // deterministic lowest-index rethrow surfaces the GH branch's error.
-    BudgetHooks hooks({.max_total_messages = 1});
+    BudgetHooks hooks({.max_total_messages = 1, .deadline = {}});
     AdversaryOptions opts;
     opts.hooks = &hooks;
     GuardedOutcome outcome = guarded_run_adversary(alg, delta, opts);

@@ -115,9 +115,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          Subject::kTwoPhase,
                                          Subject::kSimulatedPo),
                        ::testing::Values(3, 4, 5, 6, 7)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return subject_name(std::get<0>(info.param)) + "Delta" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return subject_name(std::get<0>(param_info.param)) + "Delta" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -52,7 +52,9 @@ TEST_P(OrderProperty, BracketAntisymmetricAndOdd) {
   for (int i = 0; i < 300; ++i) {
     TreeCoord x = random_coord(rng), y = random_coord(rng);
     EXPECT_EQ(bracket(x, y), -bracket(y, x));
-    if (x != y) EXPECT_NE(bracket(x, y) % 2, 0);
+    if (x != y) {
+      EXPECT_NE(bracket(x, y) % 2, 0);
+    }
   }
 }
 
@@ -62,7 +64,9 @@ TEST_P(OrderProperty, Transitivity) {
     TreeCoord x = random_coord(rng), y = random_coord(rng),
               z = random_coord(rng);
     if (x == y || y == z || x == z) continue;
-    if (tree_less(x, y) && tree_less(y, z)) EXPECT_TRUE(tree_less(x, z));
+    if (tree_less(x, y) && tree_less(y, z)) {
+      EXPECT_TRUE(tree_less(x, z));
+    }
   }
 }
 
@@ -97,9 +101,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, OrderProperty,
     ::testing::Combine(::testing::Values(1, 2, 3, 5),
                        ::testing::Values(4, 10, 24)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return "D" + std::to_string(std::get<0>(info.param)) + "Len" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return "D" + std::to_string(std::get<0>(param_info.param)) + "Len" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

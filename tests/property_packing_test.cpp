@@ -152,10 +152,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          Family::kRandom, Family::kLoopyTree,
                                          Family::kComplete),
                        ::testing::Values(1u, 2u, 3u)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return algo_name(std::get<0>(info.param)) +
-             family_name(std::get<1>(info.param)) + "Seed" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return algo_name(std::get<0>(param_info.param)) +
+             family_name(std::get<1>(param_info.param)) + "Seed" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 }  // namespace

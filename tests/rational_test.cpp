@@ -79,7 +79,9 @@ TEST(Rational, FieldAxiomsRandomised) {
     EXPECT_EQ(a + Rational(0), a);
     EXPECT_EQ(a * Rational(1), a);
     EXPECT_EQ(a - a, Rational(0));
-    if (!a.is_zero()) EXPECT_EQ(a / a, Rational(1));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a / a, Rational(1));
+    }
   }
 }
 

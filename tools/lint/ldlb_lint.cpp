@@ -1,0 +1,72 @@
+// ldlb_lint CLI.
+//
+//   ldlb_lint [--root <dir>] [file...]
+//
+// With no files, lints every .hpp/.cpp under <root>/src/ldlb (the
+// invariant-bearing tree; tests, benches, and examples are free to use
+// streams, clocks, and threads directly). With files, lints exactly those,
+// each given relative to the root — rule scopes key off that path, so a
+// fixture tree laid out as <root>/src/ldlb/... lints like the real one.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ldlb_lint [--root <dir>] [--list-rules] [file...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage();
+      root = argv[i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& name : ldlb::lint::rule_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    const std::vector<ldlb::lint::Diagnostic> diagnostics =
+        files.empty() ? ldlb::lint::lint_tree(root)
+                      : ldlb::lint::lint_files(root, files);
+    for (const auto& d : diagnostics) {
+      std::printf("%s\n", ldlb::lint::format(d).c_str());
+    }
+    if (!diagnostics.empty()) {
+      std::fprintf(stderr, "ldlb_lint: %zu diagnostic(s); see "
+                           "docs/STATIC_ANALYSIS.md for the rule catalogue "
+                           "and suppression syntax\n",
+                   diagnostics.size());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ldlb_lint: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

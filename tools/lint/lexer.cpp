@@ -1,0 +1,216 @@
+// Comment/string stripping and suppression-annotation parsing for
+// ldlb_lint. The stripper keeps the output exactly as long as the input
+// and never touches newlines, so byte offsets and line numbers in the
+// stripped text match the original file.
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <string>
+#include <string_view>
+
+#include "lint_core.hpp"
+
+namespace ldlb::lint {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+// True when position `i` sits on the opening '"' of a raw string literal,
+// i.e. the preceding chars form R, uR, UR, LR, or u8R starting a token.
+bool raw_string_opens_at(std::string_view src, std::size_t i,
+                         std::size_t* prefix_start) {
+  if (i == 0 || src[i] != '"' || src[i - 1] != 'R') return false;
+  std::size_t j = i - 1;  // points at 'R'
+  if (j >= 2 && src[j - 2] == 'u' && src[j - 1] == '8') {
+    j -= 2;
+  } else if (j >= 1 && (src[j - 1] == 'u' || src[j - 1] == 'U' ||
+                        src[j - 1] == 'L')) {
+    j -= 1;
+  }
+  if (j > 0 && is_ident(src[j - 1])) return false;  // part of a longer token
+  *prefix_start = j;
+  return true;
+}
+
+}  // namespace
+
+Stripped strip_source(std::string_view src) {
+  Stripped result;
+  std::string out(src);
+  const std::size_t n = src.size();
+  int line = 1;
+  std::size_t line_start = 0;
+
+  auto blank = [&out](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < out.size(); ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  auto code_before = [&](std::size_t pos) {
+    for (std::size_t k = line_start; k < pos; ++k) {
+      if (!is_space(out[k])) return true;
+    }
+    return false;
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      line_start = ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      result.comments.push_back(
+          {line, code_before(start), std::string(src.substr(start, i - start))});
+      blank(start, i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      const bool has_code = code_before(start);
+      i += 2;
+      while (i < n && !(i + 1 < n && src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
+        ++i;
+      }
+      i = std::min(n, i + 2);  // consume the closing */
+      result.comments.push_back(
+          {start_line, has_code, std::string(src.substr(start, i - start))});
+      blank(start, i);
+      continue;
+    }
+    std::size_t prefix_start = 0;
+    if (c == '"' && raw_string_opens_at(src, i, &prefix_start)) {
+      // R"delim( ... )delim" — blank everything between the outer quotes.
+      const std::size_t quote = i;
+      std::size_t d = i + 1;
+      while (d < n && src[d] != '(') ++d;
+      const std::string close =
+          ")" + std::string(src.substr(i + 1, d - (i + 1))) + "\"";
+      std::size_t end = src.find(close, d);
+      end = (end == std::string_view::npos) ? n : end + close.size();
+      blank(quote, end);
+      line += static_cast<int>(
+          std::count(src.begin() + static_cast<std::ptrdiff_t>(quote),
+                     src.begin() + static_cast<std::ptrdiff_t>(end), '\n'));
+      i = end;
+      // line_start only matters for code_before; a multi-line raw string
+      // leaves blanked text on the current line, which reads as no-code.
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      if (c == '\'' && i > 0 && is_ident(src[i - 1])) {
+        ++i;  // digit separator as in 1'000'000
+        continue;
+      }
+      const char quote = c;
+      const std::size_t start = i++;
+      while (i < n && src[i] != quote && src[i] != '\n') {
+        i += (src[i] == '\\' && i + 1 < n) ? 2 : 1;
+      }
+      if (i < n && src[i] == quote) ++i;
+      blank(start + 1, i > start + 1 ? i - 1 : start + 1);
+      continue;
+    }
+    ++i;
+  }
+  result.text = std::move(out);
+  return result;
+}
+
+std::vector<Annotation> parse_annotations(const Stripped& stripped,
+                                          const std::string& path,
+                                          std::vector<Diagnostic>& out) {
+  // Line start offsets of the stripped text, for next-code-line targeting.
+  std::vector<std::size_t> starts{0};
+  for (std::size_t k = 0; k < stripped.text.size(); ++k) {
+    if (stripped.text[k] == '\n') starts.push_back(k + 1);
+  }
+  auto line_has_code = [&](int ln) {
+    if (ln < 1 || ln > static_cast<int>(starts.size())) return false;
+    const std::size_t from = starts[static_cast<std::size_t>(ln - 1)];
+    const std::size_t to = ln < static_cast<int>(starts.size())
+                               ? starts[static_cast<std::size_t>(ln)]
+                               : stripped.text.size();
+    for (std::size_t k = from; k < to; ++k) {
+      if (!is_space(stripped.text[k])) return true;
+    }
+    return false;
+  };
+
+  static const std::regex kAllow(
+      R"(ldlb-lint:\s*allow\(([A-Za-z0-9_-]+)\)\s*(:\s*(.*))?)");
+  static const std::regex kMarker(R"(ldlb-lint)");
+
+  std::vector<Annotation> annotations;
+  for (const Comment& comment : stripped.comments) {
+    if (!std::regex_search(comment.text, kMarker)) continue;
+    std::smatch m;
+    if (!std::regex_search(comment.text, m, kAllow)) {
+      out.push_back({path, comment.line, "bad-annotation",
+                     "malformed ldlb-lint annotation; expected "
+                     "'ldlb-lint: allow(<rule>): <reason>'"});
+      continue;
+    }
+    std::string rule = m[1].str();
+    std::string reason = m[3].matched ? m[3].str() : std::string();
+    // Trim a block comment's closing token and surrounding whitespace.
+    if (auto close = reason.find("*/"); close != std::string::npos) {
+      reason.erase(close);
+    }
+    while (!reason.empty() && is_space(reason.back())) reason.pop_back();
+    if (reason.empty()) {
+      out.push_back({path, comment.line, "bad-annotation",
+                     "ldlb-lint: allow(" + rule +
+                         ") has no reason; every suppression must say why "
+                         "the site is safe"});
+      continue;
+    }
+    const auto& names = rule_names();
+    if (std::find(names.begin(), names.end(), rule) == names.end()) {
+      out.push_back({path, comment.line, "unknown-rule",
+                     "allow(" + rule + ") names an unknown rule"});
+      continue;
+    }
+    Annotation a;
+    a.line = comment.line;
+    a.rule = std::move(rule);
+    a.reason = std::move(reason);
+    if (comment.code_before) {
+      a.target_line = comment.line;
+    } else {
+      // First following line with code; blank and comment-only lines are
+      // skipped so an explanation may span several comment lines.
+      for (int ln = comment.line + 1; ln <= static_cast<int>(starts.size());
+           ++ln) {
+        if (line_has_code(ln)) {
+          a.target_line = ln;
+          break;
+        }
+      }
+    }
+    annotations.push_back(std::move(a));
+  }
+  return annotations;
+}
+
+std::string format(const Diagnostic& d) {
+  return d.path + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+}  // namespace ldlb::lint

@@ -1,0 +1,93 @@
+// ldlb_lint — in-tree invariant linter.
+//
+// The paper's lower-bound certificates are compared byte for byte (the
+// (G_i, H_i) witness sequences of Section 4), so the repo's reproducibility
+// invariants — durable writes only via util/atomic_file, no hidden
+// nondeterminism in the proof-bearing layers, raw concurrency confined to
+// the audited utilities — must not regress silently. This linter is the
+// static gate in front of the sanitizer/chaos stages: a lightweight C++
+// lexer strips comments, string literals, character literals, and raw
+// strings (preserving line structure), then named pattern rules run over
+// the stripped text and report file:line diagnostics.
+//
+// Suppressions: a site that legitimately breaks a rule carries
+//
+//   // ldlb-lint: allow(<rule>): <reason>
+//
+// either trailing the offending line or on a comment line directly above
+// it (intervening comment-only lines are fine). The reason is mandatory.
+// A suppression that stops matching anything is itself reported
+// (stale-suppression), so annotations cannot outlive the code they excuse.
+//
+// Rule catalogue, scopes, and how to add a rule: docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldlb::lint {
+
+struct Diagnostic {
+  std::string path;  // repo-root-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// "path:line: [rule] message" — the exact format tests assert on.
+[[nodiscard]] std::string format(const Diagnostic& d);
+
+/// One comment found while stripping; `code_before` is true when the line
+/// carries code before the comment starts (trailing-comment position).
+struct Comment {
+  int line = 0;
+  bool code_before = false;
+  std::string text;
+};
+
+/// Source with comments and literal *contents* blanked to spaces. Line
+/// structure is preserved exactly, so pattern hits report real lines.
+struct Stripped {
+  std::string text;
+  std::vector<Comment> comments;
+};
+
+[[nodiscard]] Stripped strip_source(std::string_view source);
+
+/// A parsed `ldlb-lint: allow(<rule>): <reason>` annotation.
+struct Annotation {
+  int line = 0;         // line of the comment itself
+  int target_line = 0;  // line it suppresses (0 when no code line follows)
+  std::string rule;
+  std::string reason;
+  bool used = false;  // set when it suppressed at least one diagnostic
+};
+
+/// Extracts annotations from `stripped.comments`. Malformed annotations
+/// (missing reason) and unknown rule names are reported into `out` as
+/// bad-annotation / unknown-rule diagnostics and dropped.
+[[nodiscard]] std::vector<Annotation> parse_annotations(
+    const Stripped& stripped, const std::string& path,
+    std::vector<Diagnostic>& out);
+
+/// Names of all enforceable rules, for allow() validation and --list-rules.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+/// Lints one file. `rel_path` is the path relative to the repo root
+/// (e.g. "src/ldlb/core/adversary.cpp"); rule scoping keys off it.
+[[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& rel_path,
+                                               std::string_view content);
+
+/// Lints every .hpp/.cpp under <root>/src/ldlb, sorted by path so output
+/// is deterministic. Throws std::runtime_error if the tree is missing.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(
+    const std::filesystem::path& root);
+
+/// Lints an explicit list of files, each given relative to `root`.
+[[nodiscard]] std::vector<Diagnostic> lint_files(
+    const std::filesystem::path& root,
+    const std::vector<std::string>& rel_paths);
+
+}  // namespace ldlb::lint
