@@ -4,9 +4,11 @@
 # test suite twice — a plain RelWithDebInfo build with -DLDLB_WERROR=ON,
 # then an AddressSanitizer+UBSan build (see LDLB_SANITIZE in the top
 # CMakeLists) — plus a ThreadSanitizer pass over the concurrency-bearing
-# suites with the thread pool forced wide, and a bounded chaos-soak stage
-# (randomized cancel/crash/env-fault/resume cycles) on the plain and ASan
-# trees. All stages must be green.
+# suites with the thread pool forced wide, a bounded chaos-soak stage
+# (randomized cancel/crash/env-fault/resume/fleet-kill cycles) on the plain
+# and ASan trees, and a fleet-determinism stage that byte-compares the
+# coordinator/worker engine's certificates across worker counts, kill-9
+# histories and a crash/resume cycle. All stages must be green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,12 +33,59 @@ run_suite() {
 
 run_chaos() {
   local dir="$1" cycles="$2"
-  echo "== chaos soak ($dir, ${cycles} cycles, seed ${chaos_seed}) =="
+  echo "== chaos soak ($dir, ${cycles} cycles, seed ${chaos_seed}, fleet-kill on) =="
+  # LDLB_CHAOS_KILL=1 keeps the worker-SIGKILL fleet scenario in the
+  # rotation; set it to 0 to soak without forking (e.g. under a debugger).
   if ! LDLB_CHAOS_SEED="$chaos_seed" LDLB_CHAOS_CYCLES="$cycles" \
+      LDLB_CHAOS_KILL="${LDLB_CHAOS_KILL:-1}" \
       "$dir/tests/chaos_soak"; then
     echo "chaos soak failed; reproduce with LDLB_CHAOS_SEED=${chaos_seed}" >&2
     exit 1
   fi
+}
+
+# Byte-compares ldlb_fleet certificates across worker counts and kill
+# histories, then smokes the crash-stop/resume cycle. The kill seeds are
+# fixed (and logged by the driver) so a divergence is replayable.
+run_fleet_determinism() {
+  local dir="$1" bin="$1/tools/fleet/ldlb_fleet"
+  local tmp; tmp="$(mktemp -d)"
+  echo "== fleet determinism ($dir, delta 4..10 x workers 0/1/2/4 + chaos) =="
+  local delta workers
+  for delta in 4 5 6 7 8 9 10; do
+    "$bin" --delta "$delta" --workers 0 --snapshot "$tmp/ref.snap" \
+      --print > "$tmp/ref.txt"
+    for workers in 1 2 4; do
+      "$bin" --delta "$delta" --workers "$workers" --snapshot "$tmp/w.snap" \
+        --print > "$tmp/w.txt"
+      if ! cmp -s "$tmp/ref.txt" "$tmp/w.txt"; then
+        echo "fleet certificate diverged: delta $delta, $workers workers" >&2
+        exit 1
+      fi
+    done
+    "$bin" --delta "$delta" --workers 2 --kill-every-level "$((delta * 1009))" \
+      --snapshot "$tmp/k.snap" --print > "$tmp/k.txt"
+    if ! cmp -s "$tmp/ref.txt" "$tmp/k.txt"; then
+      echo "fleet certificate diverged under kill-9 chaos at delta $delta" >&2
+      exit 1
+    fi
+  done
+  local rc=0
+  "$bin" --delta 8 --workers 2 --abort-after-level 3 \
+    --snapshot "$tmp/resume.snap" > /dev/null || rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "fleet crash-stop smoke: expected exit 3, got $rc" >&2
+    exit 1
+  fi
+  "$bin" --delta 8 --workers 2 --resume --snapshot "$tmp/resume.snap" \
+    --print > "$tmp/resumed.txt"
+  "$bin" --delta 8 --workers 0 --snapshot "$tmp/ref.snap" \
+    --print > "$tmp/ref.txt"
+  if ! cmp -s "$tmp/ref.txt" "$tmp/resumed.txt"; then
+    echo "fleet certificate diverged across the crash/resume cycle" >&2
+    exit 1
+  fi
+  rm -rf "$tmp"
 }
 
 echo "== lint =="
@@ -47,6 +96,7 @@ echo "== plain build =="
 # advisory so a sanitizer-specific diagnostic cannot mask a real failure.
 run_suite build -DLDLB_WERROR=ON
 run_chaos build 25
+run_fleet_determinism build
 
 echo "== address+undefined sanitizer build =="
 # Sanitized builds are slower: relax the cancel-latency assertion and run a
@@ -67,4 +117,4 @@ LDLB_THREADS=8 LDLB_CANCEL_LATENCY_MS="${LDLB_CANCEL_LATENCY_MS:-2000}" \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
   -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test'
 
-echo "CI green: lint, plain (werror), asan/ubsan, tsan, and chaos-soak stages all pass."
+echo "CI green: lint, plain (werror), fleet-determinism, asan/ubsan, tsan, and chaos-soak stages all pass."

@@ -17,12 +17,12 @@
 
 namespace ldlb {
 
-namespace {
-
-int round_budget(int delta, const AdversaryOptions& options) {
+int adversary_round_budget(int delta, const AdversaryOptions& options) {
   return options.max_rounds > 0 ? options.max_rounds
                                 : 16 * (delta + 2) * (delta + 2);
 }
+
+namespace {
 
 // All simulated runs inside a step share the round budget, the optional
 // observation hooks, and the cancellation token.
@@ -127,94 +127,41 @@ Multigraph build_mix(const Multigraph& g, EdgeId e, NodeId g_node,
 
 }  // namespace
 
-CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
-                                const CertificateLevel& prev,
-                                const AdversaryOptions& options) {
-  if (options.cancel) options.cancel->check();
-  const int budget = round_budget(delta, options);
-  const Multigraph& g = prev.g;
-  const Multigraph& h = prev.h;
-
+AdversaryStepPlan plan_adversary_step(const CertificateLevel& prev) {
+  AdversaryStepPlan plan;
   // The mix's weight on the new colour-c edge decides which unfolding
   // becomes the next G.
-  Multigraph gh =
-      build_mix(g, prev.g_loop, prev.g_node, h, prev.h_loop, prev.h_node,
-                prev.c);
-  const EdgeId g_surviving = g.edge_count() - 1;
-  const EdgeId h_surviving = h.edge_count() - 1;
-  const EdgeId mix_edge = gh.edge_count() - 1;
+  plan.gh = build_mix(prev.g, prev.g_loop, prev.g_node, prev.h, prev.h_loop,
+                      prev.h_node, prev.c);
+  plan.gg = unfold_loop(prev.g, prev.g_loop);
+  plan.hh = unfold_loop(prev.h, prev.h_loop);
+  plan.g_surviving = prev.g.edge_count() - 1;
+  plan.h_surviving = prev.h.edge_count() - 1;
+  plan.mix_edge = plan.gh.edge_count() - 1;
+  return plan;
+}
 
-  // Serial execution is lazy: only the unfolding the mix weight selects is
-  // ever simulated. With a thread-safe algorithm and idle cores we instead
-  // run GH, GG and HH speculatively in one batch; the branch the decision
-  // discards also discards its result *and* any failure it produced, so
-  // observable behaviour — certificates and surfaced exceptions alike —
-  // matches the lazy path exactly.
-  const bool speculate =
-      algorithm.parallel_safe() &&
-      (options.hooks == nullptr || options.hooks->parallel_safe()) &&
-      global_pool().size() > 1;
-  std::optional<FractionalMatching> y_gh_slot, y_gg_slot, y_hh_slot;
-  TwoLift gg, hh;
-  std::exception_ptr err_gg, err_hh;
-  if (speculate) {
-    std::exception_ptr err_gh;
-    std::vector<std::function<void()>> branches;
-    branches.emplace_back([&] {
-      try {
-        y_gh_slot = run_on(gh, algorithm, budget, options);
-        // ldlb-lint: allow(catch-all): speculative-branch capture — the
-        // exception_ptr is rethrown (or discarded with its branch) at the
-        // decision point, exactly as the lazy serial path would surface it.
-      } catch (...) {
-        err_gh = std::current_exception();
-      }
-    });
-    branches.emplace_back([&] {
-      try {
-        gg = unfold_loop(g, prev.g_loop);
-        y_gg_slot = run_on(gg.graph, algorithm, budget, options);
-        // ldlb-lint: allow(catch-all): speculative-branch capture — see the
-        // GH branch above.
-      } catch (...) {
-        err_gg = std::current_exception();
-      }
-    });
-    branches.emplace_back([&] {
-      try {
-        hh = unfold_loop(h, prev.h_loop);
-        y_hh_slot = run_on(hh.graph, algorithm, budget, options);
-        // ldlb-lint: allow(catch-all): speculative-branch capture — see the
-        // GH branch above.
-      } catch (...) {
-        err_hh = std::current_exception();
-      }
-    });
-    global_pool().parallel_invoke(std::move(branches), options.cancel);
-    if (err_gh) std::rethrow_exception(err_gh);
-  } else {
-    y_gh_slot = run_on(gh, algorithm, budget, options);
-  }
-  FractionalMatching& y_gh = *y_gh_slot;
-  const Rational w_mix = y_gh.weight(mix_edge);
+CertificateLevel combine_adversary_step(int delta,
+                                        const CertificateLevel& prev,
+                                        AdversaryStepPlan&& plan,
+                                        FractionalMatching y_gh,
+                                        const BranchFetch& fetch,
+                                        const std::string& algorithm_name,
+                                        const AdversaryOptions& options) {
+  const Rational w_mix = y_gh.weight(plan.mix_edge);
 
   CertificateLevel next;
   next.level = prev.level + 1;
 
   if (w_mix != prev.g_weight) {
     // Case (GG, GH): the disagreement lives in the shared copy of G − e.
-    if (speculate) {
-      if (err_gg) std::rethrow_exception(err_gg);
-    } else {
-      gg = unfold_loop(g, prev.g_loop);
-      y_gg_slot = run_on(gg.graph, algorithm, budget, options);
-    }
-    FractionalMatching& y_gg = *y_gg_slot;
-    check_lift_invariance(y_gg, g_surviving, prev.g_weight, algorithm.name());
+    FractionalMatching y_gg = fetch(/*want_gg=*/true);
+    check_lift_invariance(y_gg, plan.g_surviving, prev.g_weight,
+                          algorithm_name);
 
-    Multigraph common = g.without_edge(prev.g_loop);
-    FractionalMatching y1(g_surviving), y2(g_surviving);
-    for (EdgeId j = 0; j < g_surviving; ++j) {
+    Multigraph common = prev.g.without_edge(prev.g_loop);
+    FractionalMatching y1(plan.g_surviving), y2(plan.g_surviving);
+    for (EdgeId j = 0; j < plan.g_surviving; ++j) {
       y1.set_weight(j, y_gg.weight(2 * j));   // copy 0 of GG
       y2.set_weight(j, y_gh.weight(j));       // G-part of GH
     }
@@ -222,8 +169,8 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
     PropagationResult hit =
         propagate_disagreement(common, y1, y2, prev.g_node, kNoEdge);
 
-    next.g = std::move(gg.graph);
-    next.h = std::move(gh);
+    next.g = std::move(plan.gg.graph);
+    next.h = std::move(plan.gh);
     next.g_node = hit.node;  // copy 0 keeps base ids
     next.h_node = hit.node;  // G-part of GH keeps base ids
     next.c = common.edge(hit.loop).color;
@@ -235,31 +182,26 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
   } else {
     // w_mix == w_e != w_f — case (HH, GH): disagreement in the copy of H−f.
     LDLB_ENSURE(w_mix != prev.h_weight);
-    if (speculate) {
-      if (err_hh) std::rethrow_exception(err_hh);
-    } else {
-      hh = unfold_loop(h, prev.h_loop);
-      y_hh_slot = run_on(hh.graph, algorithm, budget, options);
-    }
-    FractionalMatching& y_hh = *y_hh_slot;
-    check_lift_invariance(y_hh, h_surviving, prev.h_weight, algorithm.name());
+    FractionalMatching y_hh = fetch(/*want_gg=*/false);
+    check_lift_invariance(y_hh, plan.h_surviving, prev.h_weight,
+                          algorithm_name);
 
-    Multigraph common = h.without_edge(prev.h_loop);
-    FractionalMatching y1(h_surviving), y2(h_surviving);
-    for (EdgeId j = 0; j < h_surviving; ++j) {
-      y1.set_weight(j, y_hh.weight(2 * j));             // copy 0 of HH
-      y2.set_weight(j, y_gh.weight(g_surviving + j));   // H-part of GH
+    Multigraph common = prev.h.without_edge(prev.h_loop);
+    FractionalMatching y1(plan.h_surviving), y2(plan.h_surviving);
+    for (EdgeId j = 0; j < plan.h_surviving; ++j) {
+      y1.set_weight(j, y_hh.weight(2 * j));                  // copy 0 of HH
+      y2.set_weight(j, y_gh.weight(plan.g_surviving + j));   // H-part of GH
     }
     PropagationResult hit =
         propagate_disagreement(common, y1, y2, prev.h_node, kNoEdge);
 
-    next.g = std::move(hh.graph);
-    next.h = std::move(gh);
+    next.g = std::move(plan.hh.graph);
+    next.h = std::move(plan.gh);
     next.g_node = hit.node;
-    next.h_node = hit.node + g.node_count();  // H-part of GH is offset
+    next.h_node = hit.node + prev.g.node_count();  // H-part of GH is offset
     next.c = common.edge(hit.loop).color;
     next.g_loop = 2 * hit.loop;
-    next.h_loop = g_surviving + hit.loop;
+    next.h_loop = plan.g_surviving + hit.loop;
     next.g_weight = y1.weight(hit.loop);
     next.h_weight = y2.weight(hit.loop);
     next.propagation_steps = static_cast<int>(hit.path.size());
@@ -267,6 +209,81 @@ CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
 
   verify_level(next, delta, options);
   return next;
+}
+
+CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
+                                const CertificateLevel& prev,
+                                const AdversaryOptions& options) {
+  if (options.cancel) options.cancel->check();
+  const int budget = adversary_round_budget(delta, options);
+  AdversaryStepPlan plan = plan_adversary_step(prev);
+
+  // Serial execution is lazy: only the unfolding the mix weight selects is
+  // ever simulated. With a thread-safe algorithm and idle cores we instead
+  // run GH, GG and HH speculatively in one batch; the branch the decision
+  // discards also discards its result *and* any failure it produced, so
+  // observable behaviour — certificates and surfaced exceptions alike —
+  // matches the lazy path exactly.
+  const bool speculate =
+      algorithm.parallel_safe() &&
+      (options.hooks == nullptr || options.hooks->parallel_safe()) &&
+      global_pool().size() > 1;
+  if (!speculate) {
+    FractionalMatching y_gh = run_on(plan.gh, algorithm, budget, options);
+    // Lazy fetch: simulate the selected unfolding only when asked for it.
+    // `plan` outlives the combine call, so the reference capture is sound.
+    BranchFetch fetch = [&](bool want_gg) {
+      return run_on(want_gg ? plan.gg.graph : plan.hh.graph, algorithm,
+                    budget, options);
+    };
+    return combine_adversary_step(delta, prev, std::move(plan),
+                                  std::move(y_gh), fetch, algorithm.name(),
+                                  options);
+  }
+
+  std::optional<FractionalMatching> y_gh_slot, y_gg_slot, y_hh_slot;
+  std::exception_ptr err_gh, err_gg, err_hh;
+  std::vector<std::function<void()>> branches;
+  branches.emplace_back([&] {
+    try {
+      y_gh_slot = run_on(plan.gh, algorithm, budget, options);
+      // ldlb-lint: allow(catch-all): speculative-branch capture — the
+      // exception_ptr is rethrown (or discarded with its branch) at the
+      // decision point, exactly as the lazy serial path would surface it.
+    } catch (...) {
+      err_gh = std::current_exception();
+    }
+  });
+  branches.emplace_back([&] {
+    try {
+      y_gg_slot = run_on(plan.gg.graph, algorithm, budget, options);
+      // ldlb-lint: allow(catch-all): speculative-branch capture — see the
+      // GH branch above.
+    } catch (...) {
+      err_gg = std::current_exception();
+    }
+  });
+  branches.emplace_back([&] {
+    try {
+      y_hh_slot = run_on(plan.hh.graph, algorithm, budget, options);
+      // ldlb-lint: allow(catch-all): speculative-branch capture — see the
+      // GH branch above.
+    } catch (...) {
+      err_hh = std::current_exception();
+    }
+  });
+  global_pool().parallel_invoke(std::move(branches), options.cancel);
+  if (err_gh) std::rethrow_exception(err_gh);
+  // Precomputed fetch: hand over the selected branch's result, or surface
+  // its captured failure; the discarded branch's fate is never observed.
+  BranchFetch fetch = [&](bool want_gg) -> FractionalMatching {
+    std::exception_ptr& err = want_gg ? err_gg : err_hh;
+    if (err) std::rethrow_exception(err);
+    return std::move(want_gg ? *y_gg_slot : *y_hh_slot);
+  };
+  return combine_adversary_step(delta, prev, std::move(plan),
+                                std::move(*y_gh_slot), fetch,
+                                algorithm.name(), options);
 }
 
 LowerBoundCertificate run_adversary(EcAlgorithm& algorithm, int delta,
@@ -277,7 +294,7 @@ LowerBoundCertificate run_adversary(EcAlgorithm& algorithm, int delta,
   cert.algorithm_name = algorithm.name();
 
   CertificateLevel level =
-      build_base_case(algorithm, delta, round_budget(delta, options));
+      build_base_case(algorithm, delta, adversary_round_budget(delta, options));
   verify_level(level, delta, options);
   cert.levels.push_back(level);
   // Steps for i = 0 .. Δ-3 produce levels 1 .. Δ-2; beyond that the pairs

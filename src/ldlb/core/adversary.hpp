@@ -26,8 +26,13 @@
 // bogus certificate.
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "ldlb/core/certificate.hpp"
+#include "ldlb/cover/lift.hpp"
 #include "ldlb/local/algorithm.hpp"
+#include "ldlb/matching/fractional_matching.hpp"
 
 namespace ldlb {
 
@@ -75,5 +80,57 @@ LowerBoundCertificate run_adversary(EcAlgorithm& algorithm, int delta,
 CertificateLevel adversary_step(EcAlgorithm& algorithm, int delta,
                                 const CertificateLevel& prev,
                                 const AdversaryOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Shardable step API. One inductive step decomposes into (a) pure graph
+// construction — the mix GH and the two unfoldings GG, HH — and (b) three
+// independent simulations of the algorithm, one per constructed graph, and
+// (c) a deterministic combine that compares weights, propagates the
+// disagreement and emits the next level. The fleet engine (fault/fleet.hpp)
+// ships the three graphs of (b) to worker processes and feeds the returned
+// matchings into (c); the in-process paths below are thin wrappers over the
+// same plan/combine pair, so every execution mode shares one construction.
+// ---------------------------------------------------------------------------
+
+/// The step's three speculative simulation inputs, plus the bookkeeping the
+/// combine needs to interpret their edge ids.
+struct AdversaryStepPlan {
+  Multigraph gh;  ///< the mix of G − e and H − f joined by a colour-c edge
+  TwoLift gg;     ///< unfolding of G's witness loop
+  TwoLift hh;     ///< unfolding of H's witness loop
+  EdgeId g_surviving = 0;  ///< edges of G − e (prefix of gh's edge ids)
+  EdgeId h_surviving = 0;  ///< edges of H − f
+  EdgeId mix_edge = 0;     ///< the joining edge (last edge of gh)
+};
+
+/// Builds the mix and both unfoldings for the step prev → prev.level + 1.
+/// Pure graph work — no simulation, no randomness; safe to call in any
+/// process and byte-deterministic in its edge orderings.
+AdversaryStepPlan plan_adversary_step(const CertificateLevel& prev);
+
+/// Supplies the matching of the branch the decision selected: called with
+/// `want_gg` true for the GG branch, false for HH — at most once. May
+/// compute lazily (serial path), return a precomputed result (speculative
+/// path) or a worker's reply (fleet); it surfaces that branch's failure by
+/// throwing, exactly as the lazy serial path would.
+using BranchFetch = std::function<FractionalMatching(bool want_gg)>;
+
+/// Deterministic second half of the step: decides the case from y_gh's
+/// weight on the mix edge, checks lift-invariance of the selected
+/// unfolding, propagates the disagreement (Fact 3) and assembles the next
+/// level (verifying (P1)/(P2) per `options`). Consumes the plan's graphs.
+/// `algorithm_name` only labels lift-invariance diagnostics.
+CertificateLevel combine_adversary_step(int delta,
+                                        const CertificateLevel& prev,
+                                        AdversaryStepPlan&& plan,
+                                        FractionalMatching y_gh,
+                                        const BranchFetch& fetch,
+                                        const std::string& algorithm_name,
+                                        const AdversaryOptions& options = {});
+
+/// The round budget an adversary run at `delta` grants each simulation:
+/// options.max_rounds, or the 16·(Δ+2)² default. Exposed so out-of-process
+/// executors budget their runs identically to in-process ones.
+int adversary_round_budget(int delta, const AdversaryOptions& options);
 
 }  // namespace ldlb

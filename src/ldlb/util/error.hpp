@@ -16,8 +16,11 @@
 //   │                       wall-clock budget
 //   ├── FaultInjected       a fault plan fired in trap mode (pinpoints the
 //   │                       first injected fault site)
-//   └── Cancelled           a CancellationToken (util/cancellation.hpp) was
-//                           polled after cancellation / deadline expiry
+//   ├── Cancelled           a CancellationToken (util/cancellation.hpp) was
+//   │                       polled after cancellation / deadline expiry
+//   └── WorkerLost          a fleet worker process died, hung past its
+//                           deadline, or sent a corrupt frame — and the
+//                           respawn budget ran out (fault/fleet.hpp)
 //
 // These exceptions guard *logic* errors and adversarial misbehaviour; they
 // are not used for ordinary control flow.
@@ -162,6 +165,33 @@ class FaultInjected : public Error {
   std::int64_t node_;
   std::int64_t edge_;
   int round_;
+};
+
+/// Thrown by the fleet coordinator (fault/fleet.hpp) when worker processes
+/// keep failing after the supervised respawn budget is exhausted, or when a
+/// single incident is configured as fatal. Carries the incident kind
+/// ("exit", "signal", "hang", "corrupt-frame", "spawn") and the worker slot
+/// involved; a *single* lost worker is normally transient and never throws
+/// — it is respawned and its tasks replayed.
+class WorkerLost : public Error {
+ public:
+  WorkerLost(const std::string& what, std::string incident_kind,
+             int worker_slot = -1)
+      : Error(what),
+        incident_kind_(std::move(incident_kind)),
+        worker_slot_(worker_slot) {}
+
+  /// The fault class of the final incident: "exit", "signal", "hang",
+  /// "corrupt-frame" or "spawn".
+  [[nodiscard]] const std::string& incident_kind() const {
+    return incident_kind_;
+  }
+  /// Coordinator-side worker slot (0-based; -1 when not slot-specific).
+  [[nodiscard]] int worker_slot() const { return worker_slot_; }
+
+ private:
+  std::string incident_kind_;
+  int worker_slot_;
 };
 
 namespace detail {

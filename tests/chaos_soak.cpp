@@ -14,11 +14,16 @@
 //   guarded    a deadline-expired / budget-capped / allocation-starved
 //              guarded run must classify (kCancelled / kBudgetExceeded /
 //              kEnvFault) without a certificate, then a clean resumable
-//              run from scratch.
+//              run from scratch;
+//   fleet-kill (only with LDLB_CHAOS_KILL=1) a coordinator/worker fleet
+//              run with workers SIGKILLed at random levels — every kill
+//              must be survived by respawn+replay and the certificate must
+//              still match the clean run byte for byte.
 //
 // The seed is printed up front and on every failure; override it with
 // LDLB_CHAOS_SEED and the cycle count with LDLB_CHAOS_CYCLES. Not a gtest
-// binary — scripts/ci.sh runs it as its own bounded stage.
+// binary — scripts/ci.sh runs it as its own bounded stage (with
+// LDLB_CHAOS_KILL=1 so the fleet scenario is in the rotation).
 #include <unistd.h>
 
 #include <cstdio>
@@ -26,13 +31,16 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "ldlb/core/adversary.hpp"
 #include "ldlb/core/certificate_io.hpp"
 #include "ldlb/fault/budget_hooks.hpp"
 #include "ldlb/fault/env_fault.hpp"
+#include "ldlb/fault/fleet.hpp"
 #include "ldlb/fault/guarded_run.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
 #include "ldlb/recover/resumable_adversary.hpp"
@@ -41,6 +49,7 @@
 #include "ldlb/util/atomic_file.hpp"
 #include "ldlb/util/cancellation.hpp"
 #include "ldlb/util/error.hpp"
+#include "ldlb/util/ipc.hpp"
 #include "ldlb/util/rng.hpp"
 #include "ldlb/util/thread_pool.hpp"
 #include "ldlb/view/isomorphism.hpp"
@@ -84,7 +93,9 @@ int main() {
   g_seed = env_u64("LDLB_CHAOS_SEED", 20140721);
   const int cycles =
       static_cast<int>(env_u64("LDLB_CHAOS_CYCLES", 25));
-  std::printf("chaos_soak: seed=%llu cycles=%d\n", g_seed, cycles);
+  const bool fleet_kill = env_u64("LDLB_CHAOS_KILL", 0) != 0;
+  std::printf("chaos_soak: seed=%llu cycles=%d fleet-kill=%s\n", g_seed,
+              cycles, fleet_kill ? "on" : "off");
 
   const std::string path =
       (fs::temp_directory_path() /
@@ -121,7 +132,7 @@ int main() {
       const std::string& clean = clean_bytes(delta);
       fs::remove(path);
 
-      switch (rng.next_below(4)) {
+      switch (rng.next_below(fleet_kill ? 5 : 4)) {
         case 0: {  // cooperative cancel at a random checkpoint, then resume
           g_scenario = "cancel";
           const int cancel_level =
@@ -182,7 +193,7 @@ int main() {
           resume_and_compare(delta);
           break;
         }
-        default: {  // guarded interruption classifies, then a clean run
+        case 3: {  // guarded interruption classifies, then a clean run
           g_scenario = "guarded";
           SeqColorPacking alg{delta};
           GuardedOutcome outcome;
@@ -223,6 +234,32 @@ int main() {
                 "interrupted guarded run still produced a certificate");
           clear_ball_encoding_cache();  // a bad_alloc may have starved it
           resume_and_compare(delta);
+          break;
+        }
+        default: {  // fleet run with workers SIGKILLed at random levels
+          g_scenario = "fleet-kill";
+          const int workers = 1 + static_cast<int>(rng.next_below(3));
+          FleetOptions options;
+          options.workers = workers;
+          options.backoff_base_seconds = 0.001;  // soak fast, still backing off
+          options.on_level = [&](int, const std::vector<pid_t>& pids) {
+            if (pids.empty() || rng.next_below(2) != 0) return;
+            const auto victim = static_cast<std::size_t>(
+                rng.next_u64() % static_cast<std::uint64_t>(pids.size()));
+            ipc::kill_process(pids[victim]);
+          };
+          const AlgorithmFactory factory = [delta]() {
+            return std::make_unique<SeqColorPacking>(delta);
+          };
+          SnapshotStore store(path);
+          FleetReport report;
+          const std::string bytes = certificate_to_string(
+              run_adversary_fleet(factory, delta, store, options, &report));
+          check(report.status == RunStatus::kOk,
+                "fleet run did not survive the kills: " + report.to_string());
+          check(bytes == clean,
+                "fleet certificate differs from the clean run after " +
+                    std::to_string(report.respawns) + " respawns");
           break;
         }
       }

@@ -1,0 +1,182 @@
+// The fleet's determinism and fault-tolerance contract (fault/fleet.hpp):
+// the certificate is byte-identical to plain run_adversary across worker
+// counts, across SIGKILL-respawn histories, across crash/resume cycles,
+// and across the degrade-to-in-process path; exhausting the respawn budget
+// fails permanently as WorkerLost / RunStatus::kWorkerLost.
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ldlb/core/adversary.hpp"
+#include "ldlb/core/certificate_io.hpp"
+#include "ldlb/fault/fleet.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/ipc.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace ldlb {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+AlgorithmFactory factory_for(int delta) {
+  return [delta]() { return std::make_unique<SeqColorPacking>(delta); };
+}
+
+std::string reference_bytes(int delta) {
+  SeqColorPacking algorithm{delta};
+  return certificate_to_string(run_adversary(algorithm, delta));
+}
+
+std::string fleet_bytes(int delta, const std::string& snapshot_name,
+                        FleetOptions options, FleetReport* report = nullptr) {
+  SnapshotStore store{temp_path(snapshot_name)};
+  store.remove();
+  const LowerBoundCertificate cert =
+      run_adversary_fleet(factory_for(delta), delta, store, options, report);
+  store.remove();
+  return certificate_to_string(cert);
+}
+
+TEST(FleetDeterminism, ByteIdenticalAcrossWorkerCounts) {
+  for (int delta : {4, 5, 6}) {
+    const std::string reference = reference_bytes(delta);
+    for (int workers : {0, 1, 2, 4}) {
+      FleetOptions options;
+      options.workers = workers;
+      FleetReport report;
+      const std::string got =
+          fleet_bytes(delta,
+                      "fleet_d" + std::to_string(delta) + "_w" +
+                          std::to_string(workers) + ".snap",
+                      options, &report);
+      EXPECT_EQ(got, reference)
+          << "delta " << delta << ", workers " << workers;
+      EXPECT_EQ(report.status, RunStatus::kOk) << report.to_string();
+      EXPECT_EQ(report.workers_spawned, workers);
+      EXPECT_TRUE(report.incidents.empty()) << report.to_string();
+    }
+  }
+}
+
+TEST(FleetDeterminism, KilledWorkersRespawnAndBytesDoNotChange) {
+  const int delta = 6;
+  const std::string reference = reference_bytes(delta);
+
+  FleetOptions options;
+  options.workers = 2;
+  options.backoff_base_seconds = 0.001;  // keep the soak fast
+  Rng rng{20260808};
+  options.on_level = [&rng](int level, const std::vector<pid_t>& pids) {
+    if (level % 2 != 0 || pids.empty()) return;  // kill on even levels
+    const auto victim = static_cast<std::size_t>(
+        rng.next_u64() % static_cast<std::uint64_t>(pids.size()));
+    ipc::kill_process(pids[victim]);
+  };
+
+  FleetReport report;
+  const std::string got =
+      fleet_bytes(delta, "fleet_chaos.snap", options, &report);
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(report.status, RunStatus::kOk) << report.to_string();
+  EXPECT_GT(report.respawns, 0) << report.to_string();
+  EXPECT_GT(report.requests_replayed, 0) << report.to_string();
+  ASSERT_FALSE(report.incidents.empty());
+  for (const WorkerIncident& incident : report.incidents) {
+    EXPECT_TRUE(incident.respawned) << incident.to_string();
+  }
+}
+
+TEST(FleetDeterminism, CrashAtCheckpointThenFleetResumeIsByteIdentical) {
+  const int delta = 6;
+  const std::string reference = reference_bytes(delta);
+  SnapshotStore store{temp_path("fleet_resume.snap")};
+  store.remove();
+
+  FleetOptions crashing;
+  crashing.workers = 2;
+  crashing.on_checkpoint = crash_at_level(2);
+  FleetReport crash_report;
+  EXPECT_THROW((void)run_adversary_fleet(factory_for(delta), delta, store,
+                                         crashing, &crash_report),
+               FaultInjected);
+  EXPECT_EQ(crash_report.status, RunStatus::kFaultInjected);
+  EXPECT_GE(crash_report.resume.computed_levels, 3);  // levels 0..2 durable
+
+  FleetOptions resuming;
+  resuming.workers = 2;
+  FleetReport resume_report;
+  const LowerBoundCertificate cert = run_adversary_fleet(
+      factory_for(delta), delta, store, resuming, &resume_report);
+  EXPECT_EQ(certificate_to_string(cert), reference);
+  EXPECT_EQ(resume_report.resume.loaded_levels, 3);
+  EXPECT_EQ(resume_report.resume.trusted_levels, 3)
+      << resume_report.resume.discard_reason;
+  EXPECT_LT(resume_report.resume.computed_levels, delta - 1);
+  store.remove();
+}
+
+TEST(FleetDeterminism, SpawnRefusalDegradesToInProcessEngine) {
+  const int delta = 5;
+  const std::string reference = reference_bytes(delta);
+
+  FleetOptions options;
+  options.workers = 2;
+  ipc::set_spawn_failures_for_test(1);  // the very first spawn refuses
+  FleetReport report;
+  const std::string got =
+      fleet_bytes(delta, "fleet_degrade.snap", options, &report);
+  ipc::set_spawn_failures_for_test(0);
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(report.status, RunStatus::kOk) << report.to_string();
+  EXPECT_TRUE(report.degraded_in_process);
+  EXPECT_FALSE(report.degrade_reason.empty());
+}
+
+TEST(FleetDeterminism, RespawnBudgetExhaustionIsWorkerLost) {
+  const int delta = 5;
+  FleetOptions options;
+  options.workers = 1;
+  options.max_respawns_per_level = 0;  // first incident is fatal
+  options.on_level = [](int, const std::vector<pid_t>& pids) {
+    for (pid_t pid : pids) ipc::kill_process(pid);
+  };
+
+  SnapshotStore store{temp_path("fleet_lost.snap")};
+  store.remove();
+  FleetReport report;
+  try {
+    (void)run_adversary_fleet(factory_for(delta), delta, store, options,
+                              &report);
+    FAIL() << "expected WorkerLost";
+  } catch (const WorkerLost& e) {
+    EXPECT_EQ(e.incident_kind(), "signal");
+    EXPECT_NE(std::string(e.what()).find("respawn budget"),
+              std::string::npos);
+  }
+  EXPECT_EQ(report.status, RunStatus::kWorkerLost);
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_FALSE(report.incidents.back().respawned)
+      << report.incidents.back().to_string();
+  store.remove();
+}
+
+TEST(FleetDeterminism, ReportToStringMentionsTheHeadlines) {
+  FleetOptions options;
+  options.workers = 2;
+  FleetReport report;
+  (void)fleet_bytes(4, "fleet_report.snap", options, &report);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("2/2 workers"), std::string::npos) << text;
+  EXPECT_NE(text.find("status: ok"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace ldlb

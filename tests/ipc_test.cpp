@@ -1,0 +1,206 @@
+// Tests for util/ipc: frame integrity under damage (truncation, bit flips,
+// timeouts, dead peers), worker lifecycle (spawn / echo / clean exit /
+// SIGKILL classification), and the spawn-failure test seam the fleet's
+// degradation path hangs off.
+#include <unistd.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/ipc.hpp"
+
+namespace ldlb::ipc {
+namespace {
+
+// A connected pipe whose ends close exactly once.
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+
+  Pipe() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::pipe(fds), 0);
+    read_fd = fds[0];
+    write_fd = fds[1];
+  }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (read_fd >= 0) ::close(read_fd);
+    read_fd = -1;
+  }
+  void close_write() {
+    if (write_fd >= 0) ::close(write_fd);
+    write_fd = -1;
+  }
+};
+
+TEST(IpcFrames, RoundTripsPayloadsOfManySizes) {
+  Pipe p;
+  // Largest payload stays under the 64 KiB pipe capacity: with no reader
+  // draining concurrently, a bigger frame would block write_frame forever.
+  const std::vector<std::string> payloads = {
+      "", "x", std::string("run 0 64\n") + "3 0 1\n0 1\n",
+      std::string(40000, 'w')};
+  for (const std::string& payload : payloads) {
+    write_frame(p.write_fd, payload);
+    const FrameResult got = read_frame(p.read_fd);
+    ASSERT_EQ(got.status, FrameStatus::kOk) << got.detail;
+    EXPECT_EQ(got.payload, payload);
+  }
+}
+
+TEST(IpcFrames, BackToBackFramesStayDelimited) {
+  Pipe p;
+  write_frame(p.write_fd, "first");
+  write_frame(p.write_fd, "second");
+  EXPECT_EQ(read_frame(p.read_fd).payload, "first");
+  EXPECT_EQ(read_frame(p.read_fd).payload, "second");
+}
+
+TEST(IpcFrames, ClosedWriterReadsAsEof) {
+  Pipe p;
+  p.close_write();
+  const FrameResult got = read_frame(p.read_fd);
+  EXPECT_EQ(got.status, FrameStatus::kEof);
+}
+
+TEST(IpcFrames, TornHeaderAndTornPayloadReadAsCorrupt) {
+  // A peer that dies mid-frame leaves a prefix; unlike a clean close before
+  // any bytes (kEof), a torn frame is classified kCorrupt.
+  {
+    Pipe p;
+    ASSERT_EQ(::write(p.write_fd, "LDF1\x05", 5), 5);  // header cut short
+    p.close_write();
+    EXPECT_EQ(read_frame(p.read_fd).status, FrameStatus::kCorrupt);
+  }
+  {
+    Pipe p;
+    write_frame(p.write_fd, "a payload that will lose its tail");
+    std::string raw(200, '\0');
+    const ssize_t n = ::read(p.read_fd, raw.data(), raw.size());
+    ASSERT_GT(n, 25);
+    Pipe torn;
+    ASSERT_EQ(::write(torn.write_fd, raw.data(), static_cast<size_t>(n - 5)),
+              n - 5);
+    torn.close_write();
+    EXPECT_EQ(read_frame(torn.read_fd).status, FrameStatus::kCorrupt);
+  }
+}
+
+TEST(IpcFrames, BadMagicAndFlippedPayloadByteReadAsCorrupt) {
+  {
+    Pipe p;
+    const std::string junk = "this is not a frame header at all......";
+    ASSERT_EQ(::write(p.write_fd, junk.data(), junk.size()),
+              static_cast<ssize_t>(junk.size()));
+    const FrameResult got = read_frame(p.read_fd);
+    EXPECT_EQ(got.status, FrameStatus::kCorrupt);
+    EXPECT_NE(got.detail.find("magic"), std::string::npos) << got.detail;
+  }
+  {
+    Pipe p;
+    write_frame(p.write_fd, "checksummed payload");
+    std::string raw(200, '\0');
+    const ssize_t n = ::read(p.read_fd, raw.data(), raw.size());
+    ASSERT_GT(n, 20);
+    raw[static_cast<size_t>(n) - 1] ^= 0x40;  // flip a payload bit
+    Pipe tampered;
+    ASSERT_EQ(::write(tampered.write_fd, raw.data(), static_cast<size_t>(n)),
+              n);
+    const FrameResult got = read_frame(tampered.read_fd);
+    EXPECT_EQ(got.status, FrameStatus::kCorrupt);
+    EXPECT_NE(got.detail.find("checksum"), std::string::npos) << got.detail;
+  }
+}
+
+TEST(IpcFrames, SilentPeerReadsAsTimeoutAndStreamSurvives) {
+  Pipe p;
+  const FrameResult got = read_frame(p.read_fd, Deadline::in(0.05));
+  EXPECT_EQ(got.status, FrameStatus::kTimeout);
+  // The stream is still usable: nothing was consumed.
+  write_frame(p.write_fd, "late but intact");
+  EXPECT_EQ(read_frame(p.read_fd, Deadline::in(5.0)).payload,
+            "late but intact");
+}
+
+TEST(IpcFrames, WriteToDeadReaderThrowsIoErrorNotSigpipe) {
+  ignore_sigpipe();
+  Pipe p;
+  p.close_read();
+  EXPECT_THROW(write_frame(p.write_fd, "nobody is listening"), IoError);
+}
+
+TEST(IpcWorkers, EchoChildRoundTripsAndExitsCleanly) {
+  WorkerProcess worker = spawn_worker([](int in_fd, int out_fd) {
+    while (true) {
+      const FrameResult request = read_frame(in_fd);
+      if (request.status != FrameStatus::kOk) return 0;
+      write_frame(out_fd, "echo: " + request.payload);
+    }
+  });
+  ASSERT_TRUE(worker.valid());
+  write_frame(worker.to_fd, "ping");
+  EXPECT_EQ(read_frame(worker.from_fd, Deadline::in(30.0)).payload,
+            "echo: ping");
+  close_worker_fds(worker);
+  const ExitStatus status = wait_exit(worker.pid, Deadline::in(30.0));
+  EXPECT_EQ(status.kind, ExitKind::kExited);
+  EXPECT_EQ(status.code, 0);
+  EXPECT_EQ(status.to_string(), "exited(0)");
+}
+
+TEST(IpcWorkers, KilledChildIsReapedAsSignaled) {
+  WorkerProcess worker = spawn_worker([](int in_fd, int) {
+    (void)read_frame(in_fd);  // parked: no request ever arrives
+    return 0;
+  });
+  ASSERT_TRUE(worker.valid());
+  EXPECT_EQ(poll_exit(worker.pid).kind, ExitKind::kRunning);
+  kill_process(worker.pid);
+  const ExitStatus status = wait_exit(worker.pid, Deadline::in(30.0));
+  EXPECT_EQ(status.kind, ExitKind::kSignaled);
+  EXPECT_EQ(status.sig, SIGKILL);
+  EXPECT_EQ(status.to_string().rfind("signaled(", 0), 0u);
+  // The pipe now reads as a dead peer.
+  EXPECT_EQ(read_frame(worker.from_fd, Deadline::in(5.0)).status,
+            FrameStatus::kEof);
+  close_worker_fds(worker);
+}
+
+TEST(IpcWorkers, ChildNonzeroReturnBecomesExitCode) {
+  WorkerProcess worker = spawn_worker([](int, int) { return 7; });
+  close_worker_fds(worker);
+  const ExitStatus status = wait_exit(worker.pid, Deadline::in(30.0));
+  EXPECT_EQ(status.kind, ExitKind::kExited);
+  EXPECT_EQ(status.code, 7);
+}
+
+TEST(IpcWorkers, SpawnFailureSeamThrowsIoErrorThenRecovers) {
+  set_spawn_failures_for_test(2);
+  EXPECT_THROW((void)spawn_worker([](int, int) { return 0; }), IoError);
+  EXPECT_THROW((void)spawn_worker([](int, int) { return 0; }), IoError);
+  WorkerProcess worker = spawn_worker([](int, int) { return 0; });
+  ASSERT_TRUE(worker.valid());
+  close_worker_fds(worker);
+  EXPECT_EQ(wait_exit(worker.pid, Deadline::in(30.0)).kind, ExitKind::kExited);
+}
+
+TEST(IpcStrings, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(FrameStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(FrameStatus::kEof), "eof");
+  EXPECT_STREQ(to_string(FrameStatus::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(FrameStatus::kCorrupt), "corrupt-frame");
+  EXPECT_STREQ(to_string(ExitKind::kRunning), "running");
+  EXPECT_STREQ(to_string(ExitKind::kExited), "exited");
+  EXPECT_STREQ(to_string(ExitKind::kSignaled), "signaled");
+}
+
+}  // namespace
+}  // namespace ldlb::ipc

@@ -1,0 +1,8 @@
+// Fixture: raw-process — a bare fork(2) outside the audited ipc module.
+#include <unistd.h>
+
+namespace ldlb {
+
+int spawn_unaudited() { return static_cast<int>(fork()); }
+
+}  // namespace ldlb

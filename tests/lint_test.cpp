@@ -117,6 +117,17 @@ TEST(LintRules, UnknownRuleNameIsRejected) {
   EXPECT_EQ(diags[0].rule, "unknown-rule");
 }
 
+TEST(LintRules, IpcIsExemptFromRawProcess) {
+  const std::string source = "pid_t pid = ::fork();\n";
+  EXPECT_TRUE(lint_core_snippet("src/ldlb/util/ipc.cpp", source).empty());
+  EXPECT_EQ(lint_core_snippet("src/ldlb/fault/x.cpp", source).size(), 1u);
+  // Wrapper names containing the tokens are not raw calls.
+  EXPECT_TRUE(lint_core_snippet("src/ldlb/fault/x.cpp",
+                                "ipc::kill_process(pid);\n"
+                                "auto k = ipc::wait_exit(pid, 1.0);\n")
+                  .empty());
+}
+
 TEST(LintRules, SwitchWithoutDefaultIsExhaustivenessClean) {
   EXPECT_TRUE(lint_core_snippet("src/ldlb/fault/x.cpp",
                                 "switch (s) {\n"
@@ -142,6 +153,7 @@ TEST(LintFixtures, ExactDiagnosticsFromPlantedTree) {
   const std::vector<std::string> expected = {
       "src/ldlb/core/nondet.cpp:6:nondeterminism",
       "src/ldlb/core/raw_write.cpp:9:raw-file-write",
+      "src/ldlb/fault/raw_process.cpp:6:raw-process",
       "src/ldlb/fault/switch_default.cpp:11:switch-default-on-enum",
       "src/ldlb/matching/catch_all.cpp:7:catch-all",
       "src/ldlb/order/stale.cpp:4:stale-suppression",
@@ -171,6 +183,7 @@ TEST(LintBinary, FailsOnEachPlantedFixtureAlone) {
       "src/ldlb/core/raw_write.cpp",    "src/ldlb/core/nondet.cpp",
       "src/ldlb/view/raw_sync.cpp",     "src/ldlb/matching/catch_all.cpp",
       "src/ldlb/fault/switch_default.cpp", "src/ldlb/order/stale.cpp",
+      "src/ldlb/fault/raw_process.cpp",
   };
   for (const std::string& file : planted) {
     const auto [code, output] =
@@ -185,7 +198,7 @@ TEST(LintBinary, FixtureTreeFailsRealTreePasses) {
   const auto fixture =
       run(std::string(LDLB_LINT_BIN) + " --root " + LDLB_FIXTURE_ROOT);
   EXPECT_EQ(fixture.first, 1);
-  EXPECT_EQ(std::count(fixture.second.begin(), fixture.second.end(), '\n'), 6)
+  EXPECT_EQ(std::count(fixture.second.begin(), fixture.second.end(), '\n'), 7)
       << fixture.second;
 
   const auto real = run(std::string(LDLB_LINT_BIN) + " --root " +

@@ -1,0 +1,142 @@
+// Driver for the crash-tolerant adversary fleet (fault/fleet.hpp).
+//
+//   ldlb_fleet --delta <d> --snapshot <path> [options]
+//
+//   --workers <n>            worker processes (0 = in-process engine)
+//   --print                  write the final certificate text to stdout
+//   --report                 write the FleetReport to stderr
+//   --resume                 keep an existing snapshot (default: start fresh)
+//   --kill-every-level <s>   chaos: SIGKILL one seed-chosen worker as each
+//                            level's requests go out (seed logged to stderr)
+//   --abort-after-level <L>  crash-stop right after level L is checkpointed
+//                            (exit 3; re-run with --resume to finish)
+//   --max-respawns <n>       respawn budget per level (default 3)
+//
+// The CI fleet-determinism stage byte-compares --print output across
+// worker counts and kill histories; exit 0 = certified, 3 = injected
+// crash-stop fired (resumable), anything else = real failure.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "ldlb/core/certificate_io.hpp"
+#include "ldlb/fault/fleet.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/util/ipc.hpp"
+#include "ldlb/util/rng.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --delta <d> --snapshot <path> [--workers <n>] [--print]"
+               " [--report] [--resume] [--kill-every-level <seed>]"
+               " [--abort-after-level <L>] [--max-respawns <n>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ldlb;
+
+  int delta = 0;
+  int workers = 2;
+  std::string snapshot;
+  bool print = false;
+  bool report_wanted = false;
+  bool resume = false;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
+  int abort_after_level = -1;
+  int max_respawns = 3;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--delta") {
+      delta = std::atoi(value());
+    } else if (arg == "--workers") {
+      workers = std::atoi(value());
+    } else if (arg == "--snapshot") {
+      snapshot = value();
+    } else if (arg == "--print") {
+      print = true;
+    } else if (arg == "--report") {
+      report_wanted = true;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--kill-every-level") {
+      chaos = true;
+      chaos_seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--abort-after-level") {
+      abort_after_level = std::atoi(value());
+    } else if (arg == "--max-respawns") {
+      max_respawns = std::atoi(value());
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (delta < 2 || workers < 0 || snapshot.empty()) return usage(argv[0]);
+
+  SnapshotStore store{snapshot};
+  if (!resume) store.remove();
+
+  const AlgorithmFactory factory = [delta]() {
+    return std::make_unique<SeqColorPacking>(delta);
+  };
+
+  FleetOptions options;
+  options.workers = workers;
+  options.max_respawns_per_level = max_respawns;
+
+  Rng rng{chaos_seed};
+  if (chaos) {
+    std::cerr << "chaos: SIGKILL one worker per level, seed " << chaos_seed
+              << "\n";
+    options.on_level = [&rng](int level, const std::vector<pid_t>& pids) {
+      if (pids.empty()) return;
+      const auto victim = static_cast<std::size_t>(
+          rng.next_u64() % static_cast<std::uint64_t>(pids.size()));
+      std::cerr << "chaos: level " << level << ": killing worker pid "
+                << pids[victim] << "\n";
+      ipc::kill_process(pids[victim]);
+    };
+  }
+  if (abort_after_level >= 0) {
+    options.on_checkpoint = crash_at_level(abort_after_level);
+  }
+
+  FleetReport report;
+  try {
+    const LowerBoundCertificate cert =
+        run_adversary_fleet(factory, delta, store, options, &report);
+    if (report_wanted) std::cerr << report.to_string() << "\n";
+    if (print) {
+      std::cout << certificate_to_string(cert);
+    } else {
+      std::cout << "certified levels 0.." << cert.certified_radius()
+                << " for delta " << delta << " with " << workers
+                << " workers (" << report.respawns << " respawns)\n";
+    }
+    return 0;
+  } catch (const FaultInjected& e) {
+    if (report_wanted) std::cerr << report.to_string() << "\n";
+    std::cerr << "crash-stop: " << e.what() << "\n";
+    return 3;
+  } catch (const Error& e) {
+    if (report_wanted) std::cerr << report.to_string() << "\n";
+    std::cerr << "fleet run failed (" << to_string(report.status)
+              << "): " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -140,6 +140,26 @@ std::vector<Rule> build_rules() {
     rules.push_back(std::move(r));
   }
 
+  {
+    Rule r;
+    r.name = "raw-process";
+    r.prefix = "raw process control ";
+    r.suffix =
+        " outside util/ipc; spawn, signal and reap workers through the ipc "
+        "module so every process-control site is audited";
+    r.patterns = {
+        pat(R"(\bv?fork\s*\()", "fork("),
+        pat(R"(\bexec[lv][pe]{0,2}\s*\()", "exec*("),
+        pat(R"(\bpipe2?\s*\()", "pipe("),
+        pat(R"(\bwait(pid|id|3|4)\s*\(|::wait\s*\()", "waitpid("),
+        pat(R"(\bkill(pg)?\s*\()", "kill("),
+        pat(R"(\bsig(action|procmask|nal)\s*\()", "signal("),
+        pat(R"(\b_exit\s*\()", "_exit("),
+    };
+    for (auto& p : r.patterns) p.excludes = {"util/ipc."};
+    rules.push_back(std::move(r));
+  }
+
   // switch-default-on-enum is structural; registered for name validation.
   {
     Rule r;
