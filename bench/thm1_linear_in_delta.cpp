@@ -29,6 +29,8 @@
 #include "ldlb/matching/seq_color_packing.hpp"
 #include "ldlb/matching/two_phase_packing.hpp"
 #include "ldlb/recover/snapshot_store.hpp"
+#include "ldlb/util/ipc.hpp"
+#include "ldlb/util/net.hpp"
 #include "ldlb/util/rng.hpp"
 #include "ldlb/util/thread_pool.hpp"
 #include "ldlb/view/isomorphism.hpp"
@@ -80,11 +82,20 @@ int measured_rounds_on_loopy_graphs(EcAlgorithm& alg, int delta) {
 // (1 = serial, 0 = hardware default), `workers` the fleet process count
 // (0 = in-process run_adversary; >0 = run_adversary_fleet, whose output
 // is byte-identical but whose wall time includes the IPC round-trips).
+// `socket` routes the fleet over the TCP transport to a freshly forked
+// localhost daemon instead of forked pipe workers, so the telemetry
+// separates framing/handshake/heartbeat overhead from fork overhead.
 struct SweepConfig {
   int threads = 1;
   int workers = 0;
+  bool socket = false;
   bool print_table = false;
 };
+
+const char* transport_name(const SweepConfig& config) {
+  if (config.workers == 0) return "in-process";
+  return config.socket ? "socket" : "pipe";
+}
 
 void sweep(bench::JsonWriter& json, const SweepConfig& config,
            const std::map<int, double>& baseline) {
@@ -101,10 +112,27 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
   json.begin_object()
       .key("threads").value(global_pool().size())
       .key("workers").value(config.workers)
+      .key("transport").value(transport_name(config))
       .key("runs").begin_array();
   for (int delta = 3; delta <= 12; ++delta) {
     SeqColorPacking seq{delta};
     TwoPhasePacking two{delta};
+    const AlgorithmFactory factory = [delta]() {
+      return std::make_unique<SeqColorPacking>(delta);
+    };
+    // Socket configs serve every rep's worker connections for this delta
+    // from one localhost daemon (the daemon forks a child per connection,
+    // so the measured cost is framing + handshake, not daemon startup).
+    pid_t daemon_pid = -1;
+    std::vector<RemoteEndpoint> remotes;
+    if (config.workers > 0 && config.socket) {
+      net::Listener listener = net::Listener::on("127.0.0.1", 0);
+      remotes.push_back({"127.0.0.1", listener.port()});
+      daemon_pid = ipc::spawn_child([&listener, factory, delta]() {
+        return run_fleet_daemon(factory, delta, listener);
+      });
+      listener.close();
+    }
     // Min over a few repetitions: single-shot wall times on shared CI
     // machines jitter by 10-20%, enough to blur a 2x comparison. The ball
     // cache is cleared before every repetition so each one is a cold-cache
@@ -122,9 +150,7 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
         store.remove();  // a fresh chain every rep, never a resume
         FleetOptions options;
         options.workers = config.workers;
-        const AlgorithmFactory factory = [delta]() {
-          return std::make_unique<SeqColorPacking>(delta);
-        };
+        options.remotes = remotes;
         cert = run_adversary_fleet(factory, delta, store, options);
         store.remove();
       } else {
@@ -136,6 +162,10 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
       const double v = elapsed_ms(t0);
       if (rep == 0 || a < adversary_ms) adversary_ms = a;
       if (rep == 0 || v < validate_ms) validate_ms = v;
+    }
+    if (daemon_pid > 0) {
+      ipc::kill_process(daemon_pid);
+      (void)ipc::wait_exit(daemon_pid, Deadline::in(10.0));
     }
     int lower = cert.certified_radius() + 1;  // needs > Δ-2, i.e. >= Δ-1
     int seq_rounds = measured_rounds_on_loopy_graphs(seq, delta);
@@ -172,14 +202,18 @@ void report() {
   const std::map<int, double> baseline = parse_baseline_env();
 
   // Serial reference (prints the reproduction table), the multi-threaded
-  // speculative engine, and the coordinator/worker fleet at two sizes —
-  // all producing byte-identical certificates, so the telemetry compares
-  // pure engine overheads/speedups on one axis per config.
+  // speculative engine, and the coordinator/worker fleet at two sizes on
+  // each transport — all producing byte-identical certificates, so the
+  // telemetry compares pure engine overheads/speedups on one axis per
+  // config (and socket vs pipe isolates the TCP framing cost).
   const SweepConfig configs[] = {
-      {/*threads=*/1, /*workers=*/0, /*print_table=*/true},
-      {/*threads=*/0, /*workers=*/0, /*print_table=*/false},  // hw threads
-      {/*threads=*/1, /*workers=*/2, /*print_table=*/false},
-      {/*threads=*/1, /*workers=*/4, /*print_table=*/false},
+      {/*threads=*/1, /*workers=*/0, /*socket=*/false, /*print_table=*/true},
+      {/*threads=*/0, /*workers=*/0, /*socket=*/false,
+       /*print_table=*/false},  // hw threads
+      {/*threads=*/1, /*workers=*/2, /*socket=*/false, /*print_table=*/false},
+      {/*threads=*/1, /*workers=*/4, /*socket=*/false, /*print_table=*/false},
+      {/*threads=*/1, /*workers=*/2, /*socket=*/true, /*print_table=*/false},
+      {/*threads=*/1, /*workers=*/4, /*socket=*/true, /*print_table=*/false},
   };
   bench::JsonWriter json;
   json.begin_object()

@@ -5,10 +5,13 @@
 # then an AddressSanitizer+UBSan build (see LDLB_SANITIZE in the top
 # CMakeLists) — plus a ThreadSanitizer pass over the concurrency-bearing
 # suites with the thread pool forced wide, a bounded chaos-soak stage
-# (randomized cancel/crash/env-fault/resume/fleet-kill cycles) on the plain
-# and ASan trees, and a fleet-determinism stage that byte-compares the
-# coordinator/worker engine's certificates across worker counts, kill-9
-# histories and a crash/resume cycle. All stages must be green.
+# (randomized cancel/crash/env-fault/resume/fleet-kill/net-fault cycles) on
+# the plain and ASan trees, a fleet-determinism stage that byte-compares
+# the coordinator/worker engine's certificates across worker counts, kill-9
+# histories and a crash/resume cycle, and a socket-fleet stage that repeats
+# the byte-comparison over the TCP transport against a live worker daemon
+# (plus disconnect chaos and the exit-4 / degradation ladder smokes). All
+# stages must be green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,11 +36,13 @@ run_suite() {
 
 run_chaos() {
   local dir="$1" cycles="$2"
-  echo "== chaos soak ($dir, ${cycles} cycles, seed ${chaos_seed}, fleet-kill on) =="
+  echo "== chaos soak ($dir, ${cycles} cycles, seed ${chaos_seed}, fleet-kill + net-fault on) =="
   # LDLB_CHAOS_KILL=1 keeps the worker-SIGKILL fleet scenario in the
-  # rotation; set it to 0 to soak without forking (e.g. under a debugger).
+  # rotation and LDLB_CHAOS_NET=1 the socket-fleet network-fault scenario;
+  # set either to 0 to soak without forking (e.g. under a debugger).
   if ! LDLB_CHAOS_SEED="$chaos_seed" LDLB_CHAOS_CYCLES="$cycles" \
       LDLB_CHAOS_KILL="${LDLB_CHAOS_KILL:-1}" \
+      LDLB_CHAOS_NET="${LDLB_CHAOS_NET:-1}" \
       "$dir/tests/chaos_soak"; then
     echo "chaos soak failed; reproduce with LDLB_CHAOS_SEED=${chaos_seed}" >&2
     exit 1
@@ -88,6 +93,72 @@ run_fleet_determinism() {
   rm -rf "$tmp"
 }
 
+# Repeats the byte-comparison over the TCP transport: one live worker
+# daemon per delta (ephemeral port, parsed from its announcement line),
+# a clean socket run and a disconnect-chaos run against it, then the
+# documented remote failure modes — exit 4 when a dead endpoint may not
+# degrade, and the full socket→pipe fallback with reference bytes when it
+# may.
+run_socket_fleet_determinism() {
+  local dir="$1" bin="$1/tools/fleet/ldlb_fleet"
+  local tmp; tmp="$(mktemp -d)"
+  echo "== socket fleet determinism ($dir, delta 4..8 + disconnect chaos + degradation smokes) =="
+  local delta port daemon_pid
+  for delta in 4 5 6 7 8; do
+    "$bin" --delta "$delta" --workers 0 --snapshot "$tmp/ref.snap" \
+      --print > "$tmp/ref.txt"
+    "$bin" --delta "$delta" --listen 0 > "$tmp/daemon.$delta.log" &
+    daemon_pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+      port="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' \
+        "$tmp/daemon.$delta.log")"
+      [ -n "$port" ] && break
+      sleep 0.05
+    done
+    if [ -z "$port" ]; then
+      echo "socket fleet daemon did not announce a port (delta $delta)" >&2
+      kill "$daemon_pid" 2>/dev/null || true
+      exit 1
+    fi
+    "$bin" --delta "$delta" --workers 2 --connect "127.0.0.1:$port" \
+      --snapshot "$tmp/s.snap" --print > "$tmp/s.txt"
+    if ! cmp -s "$tmp/ref.txt" "$tmp/s.txt"; then
+      echo "socket fleet certificate diverged: delta $delta" >&2
+      exit 1
+    fi
+    "$bin" --delta "$delta" --workers 2 --connect "127.0.0.1:$port" \
+      --kill-every-level "$((delta * 2027))" \
+      --snapshot "$tmp/sk.snap" --print > "$tmp/sk.txt"
+    if ! cmp -s "$tmp/ref.txt" "$tmp/sk.txt"; then
+      echo "socket fleet diverged under disconnect chaos at delta $delta" >&2
+      exit 1
+    fi
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  done
+  # A dead endpoint with degradation refused must exit 4 (remote transport
+  # exhausted), the code the --help contract documents for automation.
+  local rc=0
+  "$bin" --delta 5 --workers 2 --connect 127.0.0.1:1 --no-degrade \
+    --snapshot "$tmp/dead.snap" > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 4 ]; then
+    echo "socket exhaustion smoke: expected exit 4, got $rc" >&2
+    exit 1
+  fi
+  # The same dead endpoint with degradation on must walk the ladder to the
+  # pipe transport and still produce the reference bytes.
+  "$bin" --delta 5 --workers 0 --snapshot "$tmp/ref.snap" \
+    --print > "$tmp/ref.txt"
+  "$bin" --delta 5 --workers 2 --connect 127.0.0.1:1 \
+    --snapshot "$tmp/deg.snap" --print > "$tmp/deg.txt"
+  if ! cmp -s "$tmp/ref.txt" "$tmp/deg.txt"; then
+    echo "degraded socket fleet diverged from the reference bytes" >&2
+    exit 1
+  fi
+  rm -rf "$tmp"
+}
+
 echo "== lint =="
 scripts/lint.sh
 
@@ -97,6 +168,7 @@ echo "== plain build =="
 run_suite build -DLDLB_WERROR=ON
 run_chaos build 25
 run_fleet_determinism build
+run_socket_fleet_determinism build
 
 echo "== address+undefined sanitizer build =="
 # Sanitized builds are slower: relax the cancel-latency assertion and run a
@@ -107,14 +179,16 @@ run_chaos build-asan 10
 
 # ThreadSanitizer stage: the suites that exercise the thread pool (the
 # parallel simulator, speculative adversary, concurrent validator, and the
-# serial/parallel byte-identity tests), run with LDLB_THREADS=8 so races
-# are reachable even on single-core CI machines. TSan and ASan cannot be
+# serial/parallel byte-identity tests) plus the thread-based socket
+# transport suite (net_test is fork-free by design so TSan can watch the
+# heartbeat/deadline threads), run with LDLB_THREADS=8 so races are
+# reachable even on single-core CI machines. TSan and ASan cannot be
 # combined, hence the separate build tree.
 echo "== thread sanitizer build =="
 cmake -B build-tsan -S . "-DLDLB_SANITIZE=thread"
 cmake --build build-tsan -j "$jobs"
 LDLB_THREADS=8 LDLB_CANCEL_LATENCY_MS="${LDLB_CANCEL_LATENCY_MS:-2000}" \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test'
+  -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test|net_test'
 
-echo "CI green: lint, plain (werror), fleet-determinism, asan/ubsan, tsan, and chaos-soak stages all pass."
+echo "CI green: lint, plain (werror), fleet-determinism (pipe + socket), asan/ubsan, tsan, and chaos-soak stages all pass."

@@ -10,9 +10,12 @@
 
 #include "ldlb/core/base_case.hpp"
 #include "ldlb/core/certificate_io.hpp"
+#include "ldlb/fault/transport.hpp"
 #include "ldlb/graph/graph_io.hpp"
+#include "ldlb/util/checksum.hpp"
 #include "ldlb/util/ipc.hpp"
 #include "ldlb/util/line_reader.hpp"
+#include "ldlb/util/net.hpp"
 
 namespace ldlb {
 
@@ -239,7 +242,111 @@ std::string handle_request(EcAlgorithm& algorithm, const std::string& payload,
   }
 }
 
+// The socket cousin of fleet_worker_main: one accepted connection, served
+// until the coordinator hangs up. Heartbeats are sent only while *idle* —
+// recv with no deadline but a staleness window of one heartbeat interval
+// wakes us exactly when the link has been quiet that long, so a computing
+// worker stays silent and a waiting one breathes.
+int serve_connection(EcAlgorithm& algorithm, net::FrameChannel& channel,
+                     std::uint64_t fingerprint, double heartbeat_interval) {
+  try {
+    net::server_handshake(channel, fingerprint, Deadline::in(30.0));
+  } catch (const HandshakeMismatch&) {
+    return 4;  // foreign coordinator; the reject frame already explained
+  } catch (const IoError&) {
+    return 2;  // peer vanished mid-handshake
+  }
+  for (;;) {
+    net::RecvResult request;
+    try {
+      request = channel.recv(Deadline(), heartbeat_interval);
+    } catch (const IoError&) {
+      return 2;  // connection reset under us
+    }
+    if (request.frame.status == ipc::FrameStatus::kTimeout) {
+      // Only the staleness window can fire here (no deadline): idle.
+      try {
+        channel.send_heartbeat();
+      } catch (const IoError&) {
+        return 2;
+      }
+      continue;
+    }
+    if (request.frame.status == ipc::FrameStatus::kEof) return 0;
+    if (request.frame.status != ipc::FrameStatus::kOk) return 3;
+    bool shutdown = false;
+    const std::string reply =
+        handle_request(algorithm, request.frame.payload, shutdown);
+    if (shutdown) return 0;
+    try {
+      channel.send(reply);
+    } catch (const IoError&) {
+      return 2;
+    }
+  }
+}
+
 }  // namespace
+
+std::uint64_t fleet_fingerprint(int delta,
+                                const std::string& algorithm_name) {
+  std::ostringstream os;
+  os << "ldlb-fleet " << delta << " " << algorithm_name;
+  return fnv1a_64(os.str());
+}
+
+int run_fleet_daemon(const AlgorithmFactory& factory, int delta,
+                     net::Listener& listener,
+                     const FleetDaemonOptions& options) {
+  LDLB_REQUIRE(delta >= 2);
+  LDLB_REQUIRE_MSG(factory != nullptr, "fleet daemon needs a factory");
+  LDLB_REQUIRE_MSG(listener.valid(), "fleet daemon needs a bound listener");
+  const std::unique_ptr<EcAlgorithm> algorithm = factory();
+  LDLB_REQUIRE_MSG(algorithm != nullptr, "algorithm factory returned null");
+  const std::uint64_t fingerprint =
+      fleet_fingerprint(delta, algorithm->name());
+
+  std::vector<pid_t> children;
+  long long served = 0;
+  for (;;) {
+    std::optional<net::FrameChannel> accepted =
+        listener.accept_channel(Deadline::in(0.25));
+    // Opportunistic reap between accepts, so finished connection children
+    // never pile up as zombies.
+    for (std::size_t i = 0; i < children.size();) {
+      if (ipc::poll_exit(children[i]).kind != ipc::ExitKind::kRunning) {
+        children[i] = children.back();
+        children.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (!accepted.has_value()) {
+      if (options.max_connections > 0 && served >= options.max_connections &&
+          children.empty()) {
+        return 0;
+      }
+      continue;
+    }
+    ++served;
+    net::FrameChannel connection = std::move(*accepted);
+    const double heartbeat = options.heartbeat_interval_seconds;
+    try {
+      const pid_t pid = ipc::spawn_child([&]() {
+        listener.close();  // the child serves one connection, never accepts
+        const std::unique_ptr<EcAlgorithm> worker = factory();
+        LDLB_REQUIRE_MSG(worker != nullptr,
+                         "algorithm factory returned null");
+        return serve_connection(*worker, connection, fingerprint, heartbeat);
+      });
+      children.push_back(pid);
+    } catch (const IoError&) {
+      // Cannot fork right now: dropping the connection tells the
+      // coordinator to back off and reconnect.
+    }
+    connection.close();  // parent keeps only the listener
+  }
+}
 
 int fleet_worker_main(const AlgorithmFactory& factory, int in_fd, int out_fd) {
   LDLB_REQUIRE_MSG(factory != nullptr, "fleet worker needs a factory");
@@ -269,37 +376,50 @@ int fleet_worker_main(const AlgorithmFactory& factory, int in_fd, int out_fd) {
 namespace {
 
 // The coordinator's view of the worker pool: fixed slots, each holding a
-// live process and the requests it has not answered yet. All chain state
-// lives in the coordinator, so a slot can be killed, respawned and replayed
-// at any moment without touching the chain.
+// live transport link and the requests it has not answered yet. All chain
+// state lives in the coordinator, so a slot can be killed, disconnected,
+// reopened and replayed at any moment without touching the chain.
 class Fleet {
  public:
-  Fleet(const AlgorithmFactory& factory, std::string algorithm_name,
+  Fleet(Transport& transport, std::string algorithm_name,
         const FleetOptions& options, FleetReport& report)
-      : options_(options),
+      : transport_(transport),
+        options_(options),
         report_(report),
-        algorithm_name_(std::move(algorithm_name)),
-        body_([factory](int in_fd, int out_fd) {
-          return fleet_worker_main(factory, in_fd, out_fd);
-        }) {}
+        algorithm_name_(std::move(algorithm_name)) {}
 
   Fleet(const Fleet&) = delete;
   Fleet& operator=(const Fleet&) = delete;
 
   ~Fleet() { terminate_all(); }
 
-  /// Spawns the initial pool. Throws IoError when the OS refuses — the
-  /// caller degrades to the in-process engine.
+  /// Opens the initial pool. For the pipe transport an IoError (fork
+  /// refused) propagates — the caller degrades to the in-process engine.
+  /// For the socket transport each failed connect/handshake consumes the
+  /// kConnectSetupLevel respawn budget and retries with backoff (a remote
+  /// may be rebooting); exhaustion throws WorkerLost and the caller
+  /// degrades to the pipe fleet.
   void spawn_all() {
-    slots_.reserve(static_cast<std::size_t>(options_.workers));
+    slots_ = std::vector<Slot>(static_cast<std::size_t>(options_.workers));
     try {
       for (int i = 0; i < options_.workers; ++i) {
-        Slot slot;
-        slot.proc = ipc::spawn_worker(body_);
-        slots_.push_back(std::move(slot));
-        ++report_.workers_spawned;
+        Slot& slot = slots_[static_cast<std::size_t>(i)];
+        try {
+          slot.link = transport_.open(i);
+          ++report_.workers_spawned;
+        } catch (const HandshakeMismatch& e) {
+          revive(kConnectSetupLevel, i, "handshake", e.what());
+          ++report_.workers_spawned;
+        } catch (const IoError& e) {
+          if (!transport_.open_retries()) throw;
+          revive(kConnectSetupLevel, i, transport_.open_failure_kind(),
+                 e.what());
+          ++report_.workers_spawned;
+        }
       }
-    } catch (const IoError&) {
+      // ldlb-lint: allow(catch-all): whatever aborts the initial spawn
+      // (WorkerLost, Cancelled, bad_alloc) must not leak live workers.
+    } catch (...) {
       terminate_all();
       throw;
     }
@@ -308,7 +428,9 @@ class Fleet {
   [[nodiscard]] std::vector<pid_t> pids() const {
     std::vector<pid_t> out;
     out.reserve(slots_.size());
-    for (const Slot& slot : slots_) out.push_back(slot.proc.pid);
+    for (const Slot& slot : slots_) {
+      out.push_back(slot.link != nullptr ? slot.link->pid() : -1);
+    }
     return out;
   }
 
@@ -317,7 +439,7 @@ class Fleet {
   CertificateLevel step(int delta, const CertificateLevel& prev, int rounds) {
     AdversaryStepPlan plan = plan_adversary_step(prev);
     const int level = prev.level + 1;
-    if (options_.on_level) options_.on_level(level, pids());
+    run_chaos_hooks(level);
 
     std::vector<std::pair<int, std::string>> requests;
     requests.emplace_back(0, run_request(0, rounds, plan.gh));
@@ -363,35 +485,24 @@ class Fleet {
     return keep;
   }
 
-  /// Graceful teardown: shutdown frames, then reap; stragglers get killed.
+  /// Graceful teardown: shutdown frames, then close (pipes also reap,
+  /// killing stragglers).
   void shutdown() {
     for (Slot& slot : slots_) {
-      if (!slot.proc.valid()) continue;
-      try {
-        ipc::write_frame(slot.proc.to_fd, "shutdown");
-      } catch (const IoError&) {
-        // Already gone; the reap below cleans up.
-      }
-      ipc::close_worker_fds(slot.proc);
-    }
-    for (Slot& slot : slots_) {
-      if (!slot.proc.valid()) continue;
-      ipc::ExitStatus status =
-          ipc::wait_exit(slot.proc.pid, Deadline::in(5.0));
-      if (status.kind == ipc::ExitKind::kRunning) {
-        ipc::kill_process(slot.proc.pid);
-        (void)ipc::wait_exit(slot.proc.pid, Deadline::in(5.0));
-      }
-      slot.proc = {};
+      if (slot.link == nullptr) continue;
+      slot.link->finish();
+      slot.link.reset();
     }
   }
 
   /// The incident-accounting bucket for revalidation exchanges.
   static constexpr int kRevalidationLevel = -1;
+  /// The incident-accounting bucket for the initial socket connects.
+  static constexpr int kConnectSetupLevel = -2;
 
  private:
   struct Slot {
-    ipc::WorkerProcess proc;
+    std::unique_ptr<WorkerLink> link;
     std::deque<std::pair<int, std::string>> outstanding;  // id, payload
   };
 
@@ -399,24 +510,33 @@ class Fleet {
   // kill, reap, never throw.
   void terminate_all() noexcept {
     for (Slot& slot : slots_) {
-      if (!slot.proc.valid()) continue;
-      try {
-        ipc::close_worker_fds(slot.proc);
-        ipc::kill_process(slot.proc.pid);
-        (void)ipc::wait_exit(slot.proc.pid, Deadline::in(5.0));
-        // ldlb-lint: allow(catch-all): teardown must not throw out of a
-        // destructor; a worker we cannot reap is abandoned to init.
-      } catch (...) {
-      }
-      slot.proc = {};
+      if (slot.link == nullptr) continue;
+      slot.link->terminate();
+      slot.link.reset();
+    }
+  }
+
+  // The chaos seams, fired before each level's requests go out.
+  void run_chaos_hooks(int level) {
+    if (options_.on_level) options_.on_level(level, pids());
+    if (options_.on_level_drop) {
+      options_.on_level_drop(
+          level, static_cast<int>(slots_.size()), [this](int s) {
+            LDLB_REQUIRE_MSG(
+                s >= 0 && s < static_cast<int>(slots_.size()),
+                "on_level_drop slot " << s << " out of range");
+            Slot& slot = slots_[static_cast<std::size_t>(s)];
+            if (slot.link != nullptr) slot.link->drop();
+          });
     }
   }
 
   // Survives the loss of slot `s`: records the incident, enforces the
   // per-level respawn budget (throwing WorkerLost once it is spent), waits
-  // out the geometric backoff and spawns a replacement. A refused respawn
-  // is itself an incident ("spawn") and consumes budget like any other.
-  // Does NOT replay the slot's outstanding requests — callers rewrite them.
+  // out the geometric backoff and reopens the slot through the transport.
+  // A refused reopen is itself an incident ("spawn"/"connect"/"handshake")
+  // and consumes budget like any other. Does NOT replay the slot's
+  // outstanding requests — callers rewrite them.
   void revive(int level, int s, const std::string& hint_kind,
               std::string detail) {
     Slot& slot = slots_[static_cast<std::size_t>(s)];
@@ -428,24 +548,14 @@ class Fleet {
     WorkerIncident incident;
     incident.level = level;
     incident.worker_slot = s;
-    if (slot.proc.valid()) {
-      ipc::close_worker_fds(slot.proc);
-      ipc::kill_process(slot.proc.pid);
-      const ipc::ExitStatus status =
-          ipc::wait_exit(slot.proc.pid, Deadline::in(10.0));
-      // An EOF incident takes its kind from how the child actually died; a
-      // hang / corrupt frame keeps the frame-level classification (the kill
-      // above then shows as SIGKILL, which would mislabel it "signal").
-      incident.kind =
-          !hint_kind.empty()
-              ? hint_kind
-              : (status.kind == ipc::ExitKind::kSignaled ? "signal" : "exit");
-      incident.detail =
-          detail.empty() ? status.to_string()
-                         : detail + "; " + status.to_string();
-      slot.proc = {};
+    if (slot.link != nullptr) {
+      const LinkLoss loss = slot.link->close_after_loss(hint_kind, detail);
+      slot.link.reset();
+      incident.kind = loss.kind;
+      incident.detail = loss.detail;
     } else {
-      incident.kind = hint_kind.empty() ? "spawn" : hint_kind;
+      incident.kind =
+          hint_kind.empty() ? transport_.open_failure_kind() : hint_kind;
       incident.detail = std::move(detail);
     }
 
@@ -466,22 +576,29 @@ class Fleet {
     if (delay > options_.backoff_max_seconds) {
       delay = options_.backoff_max_seconds;
     }
-    ipc::sleep_seconds(delay);
+    // Cancellation-aware: a cancel landing mid-backoff throws Cancelled
+    // here instead of sleeping the geometric wait out.
+    ipc::sleep_seconds(delay, options_.adversary.cancel);
 
     try {
-      slot.proc = ipc::spawn_worker(body_);
+      slot.link = transport_.open(s);
       ++report_.respawns;
       incident.respawned = true;
       report_.incidents.push_back(incident);
-    } catch (const IoError& e) {
+    } catch (const HandshakeMismatch& e) {
       incident.respawned = false;
       report_.incidents.push_back(incident);
       // Recursion is bounded by the respawn budget consumed above.
-      revive(level, s, "spawn", e.what());
+      revive(level, s, "handshake", e.what());
+    } catch (const IoError& e) {
+      incident.respawned = false;
+      report_.incidents.push_back(incident);
+      revive(level, s, transport_.open_failure_kind(), e.what());
     }
   }
 
-  // From how the child died, when no frame-level classification applies.
+  // Used when no frame-level classification applies (the transport then
+  // classifies: pipes from the reaped exit status, sockets "disconnect").
   static std::string no_hint() { return std::string(); }
 
   // (Re)writes every outstanding request of slot `s`, reviving on write
@@ -491,7 +608,7 @@ class Fleet {
       Slot& slot = slots_[static_cast<std::size_t>(s)];
       try {
         for (const auto& [id, payload] : slot.outstanding) {
-          ipc::write_frame(slot.proc.to_fd, payload);
+          slot.link->send(payload);
         }
         if (replay) {
           report_.requests_replayed +=
@@ -531,12 +648,13 @@ class Fleet {
     for (int s = 0; s < width; ++s) {
       Slot& slot = slots_[static_cast<std::size_t>(s)];
       while (!slot.outstanding.empty()) {
-        const ipc::FrameResult frame = ipc::read_frame(
-            slot.proc.from_fd,
+        const net::RecvResult received = slot.link->recv(
             Deadline::in(options_.reply_deadline_seconds));
+        const ipc::FrameResult& frame = received.frame;
         if (frame.status != ipc::FrameStatus::kOk) {
           const std::string hint =
-              frame.status == ipc::FrameStatus::kTimeout ? "hang"
+              received.stale ? "stale-heartbeat"
+              : frame.status == ipc::FrameStatus::kTimeout ? "hang"
               : frame.status == ipc::FrameStatus::kCorrupt ? "corrupt-frame"
                                                            : no_hint();
           revive(level, s, hint, frame.detail);
@@ -570,10 +688,10 @@ class Fleet {
     return std::move(reply.matching);
   }
 
+  Transport& transport_;
   const FleetOptions& options_;
   FleetReport& report_;
   const std::string algorithm_name_;
-  const ipc::WorkerMain body_;
   std::vector<Slot> slots_;
   int incident_level_ = INT_MIN;
   int incidents_this_level_ = 0;
@@ -694,6 +812,8 @@ std::string WorkerIncident::to_string() const {
   std::ostringstream os;
   if (level == Fleet::kRevalidationLevel) {
     os << "revalidation";
+  } else if (level == Fleet::kConnectSetupLevel) {
+    os << "connect-setup";
   } else {
     os << "level " << level;
   }
@@ -707,6 +827,10 @@ std::string FleetReport::to_string() const {
   os << "fleet: " << workers_spawned << "/" << workers_requested
      << " workers, " << respawns << " respawns, " << requests_sent
      << " requests (" << requests_replayed << " replayed)";
+  if (!transport.empty()) os << ", transport " << transport;
+  for (const std::string& step : degrades) {
+    os << "\ndegraded: " << step;
+  }
   if (degraded_in_process) {
     os << "\ndegraded in-process: " << degrade_reason;
   }
@@ -737,6 +861,7 @@ LowerBoundCertificate run_adversary_fleet(const AlgorithmFactory& factory,
 
   const auto run_in_process =
       [&](const std::string& degrade_reason) -> LowerBoundCertificate {
+    rep.transport = "in-process";
     rep.degraded_in_process = !degrade_reason.empty();
     rep.degrade_reason = degrade_reason;
     ResumeOptions resume_options;
@@ -749,18 +874,11 @@ LowerBoundCertificate run_adversary_fleet(const AlgorithmFactory& factory,
                                    &rep.resume);
   };
 
-  return classify_into_report(rep, [&]() -> LowerBoundCertificate {
-    if (options.workers == 0) return run_in_process("");
-
-    Fleet fleet(factory, algorithm->name(), options, rep);
-    try {
-      fleet.spawn_all();
-    } catch (const IoError& e) {
-      // Mirrors ThreadPool::construction_error(): an environment that
-      // cannot fork still certifies, just without isolation.
-      return run_in_process(e.what());
-    }
-
+  // The whole chain run over one (already spawned) fleet. Resuming is free
+  // across degradation steps: every certified level is already in the
+  // store, so a fall-back transport picks up exactly where the failed one
+  // stopped, without recomputing a level.
+  const auto run_with = [&](Fleet& fleet) -> LowerBoundCertificate {
     LowerBoundCertificate chain = store.load(&rep.resume.recovery);
     rep.resume.loaded_levels = static_cast<int>(chain.levels.size());
 
@@ -827,6 +945,50 @@ LowerBoundCertificate run_adversary_fleet(const AlgorithmFactory& factory,
     LDLB_ENSURE(chain.certified_radius() == delta - 2);
     fleet.shutdown();
     return chain;
+  };
+
+  return classify_into_report(rep, [&]() -> LowerBoundCertificate {
+    if (options.workers == 0) return run_in_process("");
+
+    const ipc::WorkerMain body = [factory](int in_fd, int out_fd) {
+      return fleet_worker_main(factory, in_fd, out_fd);
+    };
+
+    const auto run_pipe = [&]() -> LowerBoundCertificate {
+      rep.transport = "pipe";
+      const std::unique_ptr<Transport> pipe = make_pipe_transport(body);
+      Fleet fleet(*pipe, algorithm->name(), options, rep);
+      try {
+        fleet.spawn_all();
+      } catch (const IoError& e) {
+        // Mirrors ThreadPool::construction_error(): an environment that
+        // cannot fork still certifies, just without isolation.
+        if (!options.degrade) throw;
+        rep.degrades.push_back(std::string("pipe -> in-process: ") +
+                               e.what());
+        return run_in_process(e.what());
+      }
+      return run_with(fleet);
+    };
+
+    if (options.remotes.empty()) return run_pipe();
+
+    rep.transport = "socket";
+    const std::unique_ptr<Transport> socket = make_socket_transport(
+        options.remotes, fleet_fingerprint(delta, algorithm->name()),
+        SocketTuning{options.connect_timeout_seconds,
+                     options.stale_after_seconds});
+    try {
+      Fleet fleet(*socket, algorithm->name(), options, rep);
+      fleet.spawn_all();
+      return run_with(fleet);
+    } catch (const WorkerLost& e) {
+      // The remote fleet is exhausted; the chain so far is checkpointed,
+      // so the pipe fleet resumes it without recomputing a level.
+      if (!options.degrade) throw;
+      rep.degrades.push_back(std::string("socket -> pipe: ") + e.what());
+      return run_pipe();
+    }
   });
 }
 

@@ -13,18 +13,31 @@
 //   SIGKILL / crash     EOF on the reply pipe + reap   transient
 //   hung worker         reply frame deadline expired   transient
 //   corrupt frame       bad magic / checksum / torn    transient
+//   disconnect          socket EOF / EPIPE / RST       transient
+//   stale heartbeat     no frame in staleness window   transient
+//   handshake mismatch  wrong version / fingerprint    transient
 //   respawns exhausted  too many incidents one level   permanent
 //   fork(2) refused     IoError from spawn_worker      degrade in-process
+//   remotes exhausted   WorkerLost on the socket path  degrade to pipe
 //
-// A transient incident kills and reaps the worker, waits out a geometric
-// backoff, respawns a replacement into the same slot and replays that
-// slot's outstanding requests — the chain state lives only in the
-// coordinator, so nothing is lost but time. Once one level accumulates
+// The coordinator talks to workers through the Transport abstraction
+// (fault/transport.hpp): forked pipe workers on this host, or — when
+// FleetOptions::remotes names worker daemons — TCP connections speaking
+// the same frames with a versioned handshake and idle heartbeats. A
+// transient incident tears the link down (kill+reap / close), waits out a
+// geometric backoff, reopens the same slot (respawn / reconnect) and
+// replays that slot's outstanding requests — the chain state lives only in
+// the coordinator, so nothing is lost but time. Once one level accumulates
 // more than `max_respawns_per_level` incidents the run fails permanently
 // with WorkerLost (classified RunStatus::kWorkerLost), carrying the
-// incident log in the FleetReport. If workers cannot be spawned at all the
-// fleet degrades to the in-process resumable engine, mirroring
-// ThreadPool::construction_error().
+// incident log in the FleetReport.
+//
+// Degradation runs outward-in: a socket fleet whose respawn budget is
+// spent falls back to the pipe fleet (resuming from the snapshot store,
+// so no certified level is recomputed), and a host that cannot fork
+// degrades to the in-process resumable engine, mirroring
+// ThreadPool::construction_error(). Every step of the ladder produces the
+// byte-identical certificate; set `degrade = false` to fail fast instead.
 //
 // Determinism: workers only ever *simulate* — every decision (case choice,
 // propagation, verification) happens in the coordinator, and the simulator
@@ -48,9 +61,11 @@
 
 #include "ldlb/core/adversary.hpp"
 #include "ldlb/fault/guarded_run.hpp"
+#include "ldlb/fault/transport.hpp"
 #include "ldlb/recover/resumable_adversary.hpp"
 #include "ldlb/recover/snapshot_store.hpp"
 #include "ldlb/recover/supervisor.hpp"
+#include "ldlb/util/net.hpp"
 
 namespace ldlb {
 
@@ -86,10 +101,34 @@ struct FleetOptions {
   bool revalidate = true;
   /// Check (Δ-1-i)-loopiness during revalidation (slow for large Δ).
   bool check_loopiness = false;
+  /// Worker daemons to connect to instead of forking: non-empty switches
+  /// the fleet to the socket transport, slots mapping onto endpoints
+  /// round-robin. The daemons must serve the same delta and algorithm
+  /// (enforced by the handshake fingerprint).
+  std::vector<RemoteEndpoint> remotes;
+  /// Walk the degradation ladder (socket → pipe → in-process) instead of
+  /// failing fast when a transport is exhausted.
+  bool degrade = true;
+  /// Socket transport: how long one connect + handshake may take.
+  double connect_timeout_seconds = 5.0;
+  /// Socket transport: a reply wait going this long without even a
+  /// heartbeat classifies the worker as stale (idle workers heartbeat
+  /// every few hundred ms; a computing worker is silent, so this must
+  /// exceed the worst-case single-request compute time).
+  double stale_after_seconds = 30.0;
   /// Chaos seam: called before each level's requests go out, with the live
   /// worker pids. Tests SIGKILL a pid here (via ipc::kill_process) to drive
-  /// the kill-respawn-replay path deterministically.
+  /// the kill-respawn-replay path deterministically. Pipe transport only
+  /// (socket slots have no local pid) — prefer on_level_drop.
   std::function<void(int level, const std::vector<pid_t>& pids)> on_level;
+  /// Transport-agnostic chaos seam: called before each level's requests go
+  /// out with the slot count and a `drop` function that violently severs
+  /// one slot's link (SIGKILL for pipe workers, an abortive RST close for
+  /// sockets). Drives the lose-reconnect-replay path deterministically on
+  /// either transport.
+  std::function<void(int level, int slots,
+                     const std::function<void(int slot)>& drop)>
+      on_level_drop;
   /// Called after each freshly certified level is durably checkpointed
   /// (same contract as ResumeOptions::on_checkpoint, including
   /// crash_at_level).
@@ -98,9 +137,12 @@ struct FleetOptions {
 
 /// One worker failure, as the coordinator classified and survived it.
 struct WorkerIncident {
-  int level = 0;        ///< chain level being built (or -1: revalidation)
+  int level = 0;        ///< chain level being built (-1: revalidation,
+                        ///< -2: initial connection setup)
   int worker_slot = 0;  ///< 0-based slot of the lost worker
-  std::string kind;     ///< "exit", "signal", "hang", "corrupt-frame", "spawn"
+  /// "exit", "signal", "hang", "corrupt-frame", "spawn" (pipe);
+  /// "disconnect", "stale-heartbeat", "handshake", "connect" (socket).
+  std::string kind;
   std::string detail;   ///< exit status / frame defect / errno text
   bool respawned = false;  ///< false only for the final, fatal incident
 
@@ -115,6 +157,11 @@ struct FleetReport {
   int respawns = 0;         ///< replacement workers over the whole run
   int requests_sent = 0;    ///< run/validate requests dispatched
   int requests_replayed = 0;  ///< re-sent to a replacement worker
+  /// Transport that produced the final certificate: "socket", "pipe" or
+  /// "in-process".
+  std::string transport;
+  /// One entry per degradation step taken ("socket -> pipe: <why>", ...).
+  std::vector<std::string> degrades;
   bool degraded_in_process = false;  ///< fork refused; in-process engine ran
   std::string degrade_reason;        ///< why ("" unless degraded)
   std::vector<WorkerIncident> incidents;
@@ -141,5 +188,32 @@ LowerBoundCertificate run_adversary_fleet(const AlgorithmFactory& factory,
 /// `in_fd`, write replies to `out_fd`, return the exit code. Exposed so the
 /// protocol can be exercised against a worker in isolation (ipc_test).
 int fleet_worker_main(const AlgorithmFactory& factory, int in_fd, int out_fd);
+
+/// The handshake fingerprint of a fleet job: FNV-1a over the delta and the
+/// algorithm name. A coordinator only ever shards work to daemons serving
+/// the same job, so a stale daemon (wrong delta, different algorithm)
+/// surfaces as a typed HandshakeMismatch before any request goes out.
+[[nodiscard]] std::uint64_t fleet_fingerprint(int delta,
+                                              const std::string& algorithm_name);
+
+/// Tuning for a worker daemon (run_fleet_daemon).
+struct FleetDaemonOptions {
+  /// Idle connections send a heartbeat frame this often, so a coordinator
+  /// waiting out a long backoff still sees a breathing peer.
+  double heartbeat_interval_seconds = 0.25;
+  /// Stop accepting once this many connections have been served *and*
+  /// every per-connection child has exited; 0 serves forever.
+  long long max_connections = 0;
+};
+
+/// Serves fleet workers on `listener` until killed (or `max_connections`
+/// is reached): each accepted connection is handed to a forked child
+/// (ipc::spawn_child) that answers the versioned handshake for
+/// fleet_fingerprint(delta, algorithm name) and then serves run/validate
+/// requests — heartbeating while idle — until the coordinator hangs up.
+/// Returns the daemon's exit code.
+int run_fleet_daemon(const AlgorithmFactory& factory, int delta,
+                     net::Listener& listener,
+                     const FleetDaemonOptions& options = {});
 
 }  // namespace ldlb

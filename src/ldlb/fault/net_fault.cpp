@@ -1,0 +1,108 @@
+#include "ldlb/fault/net_fault.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "ldlb/util/error.hpp"
+
+namespace ldlb {
+
+const char* to_string(NetFaultKind kind) {
+  switch (kind) {
+    case NetFaultKind::kConnectRefused:
+      return "connect-refused";
+    case NetFaultKind::kMidFrameDisconnect:
+      return "mid-frame-disconnect";
+    case NetFaultKind::kCorruptByte:
+      return "corrupt-byte";
+    case NetFaultKind::kDelay:
+      return "delay";
+    case NetFaultKind::kPartition:
+      return "partition";
+  }
+  return "unknown";
+}
+
+void NetFaultPlan::arm(NetFaultKind kind, int nth, double value) {
+  armed_.store(false, std::memory_order_relaxed);
+  kind_ = kind;
+  nth_ = nth < 1 ? 1 : nth;
+  value_ = value;
+  fired_.store(false, std::memory_order_relaxed);
+  connects_.store(0, std::memory_order_relaxed);
+  sends_.store(0, std::memory_order_relaxed);
+  partition_left_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void NetFaultPlan::on_connect(const std::string& host, int port) {
+  const long long seen =
+      connects_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!armed_.load(std::memory_order_acquire)) return;
+  if (kind_ != NetFaultKind::kConnectRefused || seen != nth_) return;
+  if (fired_.exchange(true, std::memory_order_acq_rel)) return;
+  std::ostringstream os;
+  os << "injected net fault: connect to " << host << ":" << port
+     << " refused: " << std::strerror(ECONNREFUSED);
+  throw IoError(os.str(), host + ":" + std::to_string(port), ECONNREFUSED);
+}
+
+NetFaultPlan::SendAction NetFaultPlan::on_send(std::string& frame) {
+  SendAction action;
+  const long long seen = sends_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!armed_.load(std::memory_order_acquire)) return action;
+  if (kind_ == NetFaultKind::kConnectRefused) return action;
+
+  // An already-opened partition swallows frames regardless of `seen`.
+  if (kind_ == NetFaultKind::kPartition) {
+    for (;;) {
+      long long left = partition_left_.load(std::memory_order_acquire);
+      if (left <= 0) break;
+      if (partition_left_.compare_exchange_weak(left, left - 1,
+                                                std::memory_order_acq_rel)) {
+        action.drop = true;
+        return action;
+      }
+    }
+  }
+
+  if (seen != nth_) return action;
+  if (fired_.exchange(true, std::memory_order_acq_rel)) return action;
+  switch (kind_) {
+    case NetFaultKind::kConnectRefused:
+      break;  // handled above
+    case NetFaultKind::kMidFrameDisconnect: {
+      long cut = static_cast<long>(value_);
+      if (cut < 0) cut = 0;
+      if (static_cast<std::size_t>(cut) >= frame.size() && !frame.empty()) {
+        cut = static_cast<long>(frame.size()) - 1;
+      }
+      action.truncate_at = cut;
+      break;
+    }
+    case NetFaultKind::kCorruptByte: {
+      if (!frame.empty()) {
+        const std::size_t at =
+            static_cast<std::size_t>(value_ < 0 ? 0 : value_) % frame.size();
+        frame[at] = static_cast<char>(frame[at] ^ 0x20);
+      }
+      break;
+    }
+    case NetFaultKind::kDelay:
+      action.delay_seconds = value_ < 0 ? 0 : value_;
+      break;
+    case NetFaultKind::kPartition: {
+      long long frames = static_cast<long long>(value_);
+      if (frames < 1) frames = 1;
+      // This frame is the first casualty; the rest of the budget swallows
+      // the frames after it.
+      partition_left_.store(frames - 1, std::memory_order_release);
+      action.drop = true;
+      break;
+    }
+  }
+  return action;
+}
+
+}  // namespace ldlb

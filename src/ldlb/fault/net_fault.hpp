@@ -1,0 +1,117 @@
+// Network fault injection: hostile-wire plans for the socket fleet.
+//
+// fault/env_fault.hpp attacks the filesystem under the checkpoint layer;
+// this file attacks the *network* under the socket transport. NetFaultPlan
+// implements util/net.hpp's NetFaultInjector seam and injects, at the two
+// audited call sites (connect_channel, FrameChannel::send), the failure
+// modes a pipe can never produce:
+//
+//   kConnectRefused      the nth connect attempt throws ECONNREFUSED
+//   kMidFrameDisconnect  the nth outbound frame is cut after `value` bytes
+//                        and the socket hard-closed — the peer sees a torn
+//                        frame (kCorrupt/kEof), exactly like a crashed host
+//   kCorruptByte         byte `value` of the nth outbound frame is flipped
+//                        — the peer's checksum catches it as kCorrupt
+//   kDelay               the nth outbound frame is delayed `value` seconds
+//                        — a slow link; deadlines classify it as kTimeout
+//   kPartition           starting at the nth outbound frame, `value` frames
+//                        (data and heartbeats alike) are silently dropped,
+//                        then the link heals — the peer goes stale
+//
+// The fleet-level tests and the chaos harness prove that every one of
+// these, injected anywhere in a run, still ends in a byte-identical
+// certificate: the coordinator reconnects, replays, or degrades — never
+// diverges.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "ldlb/util/net.hpp"
+
+namespace ldlb {
+
+/// Which wire behaviour to inject.
+enum class NetFaultKind {
+  kConnectRefused,
+  kMidFrameDisconnect,
+  kCorruptByte,
+  kDelay,
+  kPartition,
+};
+
+[[nodiscard]] const char* to_string(NetFaultKind kind);
+
+/// A one-shot network fault: fire on the `nth` occurrence (1-based) of the
+/// targeted operation (connects for kConnectRefused, sends otherwise).
+/// Counting is cumulative from arm(); a fresh arm() restarts it. Counters
+/// are atomic so a plan may stay installed while multiple channels send.
+class NetFaultPlan : public net::NetFaultInjector {
+ public:
+  /// Arms the plan. `value` parameterises the kind: the cut/flip byte
+  /// offset (kMidFrameDisconnect/kCorruptByte), the delay in seconds
+  /// (kDelay), or the number of frames to swallow (kPartition).
+  void arm(NetFaultKind kind, int nth = 1, double value = 1);
+
+  /// Disarms without clearing observation counters.
+  void disarm() { armed_.store(false, std::memory_order_release); }
+
+  /// True once the armed fault has fired. A partition counts as fired from
+  /// its first dropped frame.
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+  /// Connect attempts / outbound frames observed since the last arm().
+  [[nodiscard]] long long observed_connects() const {
+    return connects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long observed_sends() const {
+    return sends_.load(std::memory_order_relaxed);
+  }
+
+  // NetFaultInjector interface.
+  void on_connect(const std::string& host, int port) override;
+  SendAction on_send(std::string& frame) override;
+
+ private:
+  // Installable while channels are in flight, so the state is lock-free:
+  // latches are release/acquire and the counters fetch_add'd, mirroring
+  // EnvFaultPlan. Which frame a concurrent schedule hits may vary; the
+  // fleet-level outcome (reconnect/replay → identical certificate) must
+  // not, and the determinism tests pin that.
+  //
+  // ldlb-lint: allow(raw-sync): lock-free arm/fire latch, see block comment.
+  std::atomic<bool> armed_{false};
+  // ldlb-lint: allow(raw-sync): lock-free arm/fire latch, see block comment.
+  std::atomic<bool> fired_{false};
+  // ldlb-lint: allow(raw-sync): monotonic observation counters, see above.
+  std::atomic<long long> connects_{0};
+  // ldlb-lint: allow(raw-sync): monotonic observation counters, see above.
+  std::atomic<long long> sends_{0};
+  /// Frames still to swallow in an active partition.
+  // ldlb-lint: allow(raw-sync): monotonic observation counters, see above.
+  std::atomic<long long> partition_left_{0};
+  NetFaultKind kind_ = NetFaultKind::kConnectRefused;
+  long long nth_ = 1;
+  double value_ = 1;
+};
+
+/// Installs `plan` as the process-wide net injector for its scope and
+/// restores the previous injector on destruction.
+class ScopedNetFaultInjection {
+ public:
+  explicit ScopedNetFaultInjection(net::NetFaultInjector* plan)
+      : previous_(net::net_fault_injector()) {
+    net::set_net_fault_injector(plan);
+  }
+  ~ScopedNetFaultInjection() { net::set_net_fault_injector(previous_); }
+
+  ScopedNetFaultInjection(const ScopedNetFaultInjection&) = delete;
+  ScopedNetFaultInjection& operator=(const ScopedNetFaultInjection&) = delete;
+
+ private:
+  net::NetFaultInjector* previous_;
+};
+
+}  // namespace ldlb

@@ -114,6 +114,16 @@ const char* to_string(FrameStatus status) {
   return "unknown";
 }
 
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.resize(kHeaderBytes + payload.size());
+  std::memcpy(out.data(), kMagic, 4);
+  put_u64(out.data() + 4, payload.size());
+  put_u64(out.data() + 12, fnv1a_64(payload));
+  std::memcpy(out.data() + kHeaderBytes, payload.data(), payload.size());
+  return out;
+}
+
 void write_frame(int fd, std::string_view payload) {
   char header[kHeaderBytes];
   std::memcpy(header, kMagic, 4);
@@ -238,6 +248,37 @@ WorkerProcess spawn_worker(const WorkerMain& main) {
   return worker;
 }
 
+pid_t spawn_child(const std::function<int()>& main) {
+  LDLB_REQUIRE_MSG(main != nullptr, "spawn_child needs a child body");
+  if (g_spawn_failures_for_test > 0) {
+    --g_spawn_failures_for_test;
+    throw IoError("ipc fork failed: injected spawn failure (test seam)",
+                  "<fork>", EAGAIN);
+  }
+  ignore_sigpipe();
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw_io("fork", -1, errno);
+  if (pid == 0) {
+    ThreadPool::note_forked_child();
+    int code = 125;
+    try {
+      code = main();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ldlb child %d: %s\n",
+                   static_cast<int>(::getpid()), e.what());
+      // ldlb-lint: allow(catch-all): process boundary — an exception
+      // escaping the child body must become a nonzero _exit code for the
+      // parent to classify, whatever its type; nothing outlives _exit.
+    } catch (...) {
+      std::fprintf(stderr, "ldlb child %d: unknown exception\n",
+                   static_cast<int>(::getpid()));
+    }
+    ::_exit(code);
+  }
+  return pid;
+}
+
 void close_worker_fds(WorkerProcess& worker) {
   if (worker.to_fd >= 0) ::close(worker.to_fd);
   if (worker.from_fd >= 0) ::close(worker.from_fd);
@@ -305,7 +346,11 @@ ExitStatus wait_exit(pid_t pid, const Deadline& deadline) {
     if (status.kind != ExitKind::kRunning) return status;
     if (deadline.expired()) return status;  // kRunning: caller may kill
     // Sleep a tick without pulling in clock headers: poll with no fds.
-    ::poll(nullptr, 0, 2);
+    // A signal may cut the tick short (EINTR); the loop re-polls waitpid
+    // either way, so no explicit retry is needed beyond re-entering.
+    if (::poll(nullptr, 0, 2) < 0 && errno != EINTR) {
+      throw_io("poll", -1, errno);
+    }
   }
 }
 
@@ -321,11 +366,19 @@ void ignore_sigpipe() {
   ::sigaction(SIGPIPE, &action, nullptr);
 }
 
-void sleep_seconds(double seconds) {
+void sleep_seconds(double seconds, CancellationToken* cancel) {
   const Deadline deadline = Deadline::in(seconds < 0 ? 0 : seconds);
   while (!deadline.expired()) {
-    ::poll(nullptr, 0, poll_timeout_ms(deadline));
+    if (cancel != nullptr) cancel->check();
+    // With a token, wait in <=10ms slices so a cancel mid-backoff lands
+    // within the latency budget; without one, sleep the rest in one poll.
+    int timeout = poll_timeout_ms(deadline);
+    if (cancel != nullptr && (timeout < 0 || timeout > 10)) timeout = 10;
+    if (::poll(nullptr, 0, timeout) < 0 && errno != EINTR) {
+      throw_io("poll", -1, errno);
+    }
   }
+  if (cancel != nullptr) cancel->check();
 }
 
 void set_spawn_failures_for_test(int n) { g_spawn_failures_for_test = n; }

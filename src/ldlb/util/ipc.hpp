@@ -58,6 +58,12 @@ struct FrameResult {
 /// near this is a corrupt length field, not data).
 inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
 
+/// Serialises one frame (20-byte header + payload) into a byte string —
+/// exactly what write_frame puts on the wire. The socket layer (util/net)
+/// uses this so its fault-injection seam can corrupt, truncate or delay the
+/// raw bytes before they hit the descriptor.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
 /// Writes one frame (header + payload) to `fd`, retrying short writes and
 /// EINTR. Throws IoError (with errno; EPIPE when the reader is gone) on
 /// failure — callers treat that as a lost peer, not a torn stream.
@@ -90,6 +96,14 @@ using WorkerMain = std::function<int(int in_fd, int out_fd)>;
 /// fleet degrades to the in-process engine on that, mirroring
 /// ThreadPool::construction_error().
 [[nodiscard]] WorkerProcess spawn_worker(const WorkerMain& main);
+
+/// Forks a plain child (no pipes) that enters post-fork serial thread-pool
+/// mode, runs `main`, and _exit()s with its return value (escaping
+/// exceptions exit 125, as in spawn_worker). Used by the socket-fleet
+/// daemon to serve each accepted connection in its own process, and by
+/// tests that need a background daemon. Throws IoError when fork(2)
+/// refuses; the set_spawn_failures_for_test seam applies here too.
+[[nodiscard]] pid_t spawn_child(const std::function<int()>& main);
 
 /// Closes both coordinator-side descriptors (idempotent).
 void close_worker_fds(WorkerProcess& worker);
@@ -130,8 +144,11 @@ void ignore_sigpipe();
 
 /// Sleeps for `seconds` (>= 0) on the monotonic clock via poll(2) — the
 /// fleet's backoff timer. Lives here so process-control call sites stay
-/// confined to this module.
-void sleep_seconds(double seconds);
+/// confined to this module. When `cancel` is given, the wait is sliced into
+/// short polls and the token is checked between them, so a cancel landing
+/// mid-backoff throws Cancelled within ~10ms instead of sleeping out the
+/// whole geometric wait.
+void sleep_seconds(double seconds, CancellationToken* cancel = nullptr);
 
 /// Test seam: the next `n` spawn_worker calls throw IoError as if fork(2)
 /// had refused, exercising the fleet's degradation path. Not thread-safe;

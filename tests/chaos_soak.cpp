@@ -18,12 +18,19 @@
 //   fleet-kill (only with LDLB_CHAOS_KILL=1) a coordinator/worker fleet
 //              run with workers SIGKILLed at random levels — every kill
 //              must be survived by respawn+replay and the certificate must
-//              still match the clean run byte for byte.
+//              still match the clean run byte for byte;
+//   net-fault  (only with LDLB_CHAOS_NET=1) a socket-fleet run against
+//              localhost worker daemons with one random network fault
+//              armed on the coordinator's side of the wire — refused
+//              connect, mid-frame disconnect, corrupt byte, delay or a
+//              short partition — survived by reconnect+replay with the
+//              clean run's exact bytes.
 //
 // The seed is printed up front and on every failure; override it with
 // LDLB_CHAOS_SEED and the cycle count with LDLB_CHAOS_CYCLES. Not a gtest
 // binary — scripts/ci.sh runs it as its own bounded stage (with
-// LDLB_CHAOS_KILL=1 so the fleet scenario is in the rotation).
+// LDLB_CHAOS_KILL=1 and LDLB_CHAOS_NET=1 so the fleet and network
+// scenarios are in the rotation).
 #include <unistd.h>
 
 #include <cstdio>
@@ -42,6 +49,7 @@
 #include "ldlb/fault/env_fault.hpp"
 #include "ldlb/fault/fleet.hpp"
 #include "ldlb/fault/guarded_run.hpp"
+#include "ldlb/fault/net_fault.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
 #include "ldlb/recover/resumable_adversary.hpp"
 #include "ldlb/recover/snapshot_store.hpp"
@@ -50,6 +58,7 @@
 #include "ldlb/util/cancellation.hpp"
 #include "ldlb/util/error.hpp"
 #include "ldlb/util/ipc.hpp"
+#include "ldlb/util/net.hpp"
 #include "ldlb/util/rng.hpp"
 #include "ldlb/util/thread_pool.hpp"
 #include "ldlb/view/isomorphism.hpp"
@@ -94,8 +103,10 @@ int main() {
   const int cycles =
       static_cast<int>(env_u64("LDLB_CHAOS_CYCLES", 25));
   const bool fleet_kill = env_u64("LDLB_CHAOS_KILL", 0) != 0;
-  std::printf("chaos_soak: seed=%llu cycles=%d fleet-kill=%s\n", g_seed,
-              cycles, fleet_kill ? "on" : "off");
+  const bool net_chaos = env_u64("LDLB_CHAOS_NET", 0) != 0;
+  std::printf("chaos_soak: seed=%llu cycles=%d fleet-kill=%s net-fault=%s\n",
+              g_seed, cycles, fleet_kill ? "on" : "off",
+              net_chaos ? "on" : "off");
 
   const std::string path =
       (fs::temp_directory_path() /
@@ -132,7 +143,15 @@ int main() {
       const std::string& clean = clean_bytes(delta);
       fs::remove(path);
 
-      switch (rng.next_below(fleet_kill ? 5 : 4)) {
+      // Scenario slots: 0..3 always, 4 = fleet-kill (LDLB_CHAOS_KILL=1),
+      // 5 = net-fault (LDLB_CHAOS_NET=1). The remap keeps each slot's
+      // meaning stable regardless of which flags are set, so a seed
+      // replays the same scenario sequence under the same flags.
+      const std::uint64_t scenario_count =
+          4 + (fleet_kill ? 1 : 0) + (net_chaos ? 1 : 0);
+      std::uint64_t pick = rng.next_below(scenario_count);
+      if (!fleet_kill && pick == 4) pick = 5;
+      switch (pick) {
         case 0: {  // cooperative cancel at a random checkpoint, then resume
           g_scenario = "cancel";
           const int cancel_level =
@@ -236,7 +255,7 @@ int main() {
           resume_and_compare(delta);
           break;
         }
-        default: {  // fleet run with workers SIGKILLed at random levels
+        case 4: {  // fleet run with workers SIGKILLed at random levels
           g_scenario = "fleet-kill";
           const int workers = 1 + static_cast<int>(rng.next_below(3));
           FleetOptions options;
@@ -260,6 +279,79 @@ int main() {
           check(bytes == clean,
                 "fleet certificate differs from the clean run after " +
                     std::to_string(report.respawns) + " respawns");
+          break;
+        }
+        default: {  // socket fleet with one random wire fault armed
+          g_scenario = "net-fault";
+          const AlgorithmFactory factory = [delta]() {
+            return std::make_unique<SeqColorPacking>(delta);
+          };
+          // Fork the daemons BEFORE arming: the injector is process-wide,
+          // and the fault must shape only the coordinator's side of the
+          // wire, never the daemons it connects to.
+          const int daemons = 1 + static_cast<int>(rng.next_below(2));
+          std::vector<RemoteEndpoint> remotes;
+          std::vector<pid_t> daemon_pids;
+          for (int d = 0; d < daemons; ++d) {
+            net::Listener listener = net::Listener::on("127.0.0.1", 0);
+            remotes.push_back({"127.0.0.1", listener.port()});
+            daemon_pids.push_back(
+                ipc::spawn_child([&listener, &factory, delta]() {
+                  return run_fleet_daemon(factory, delta, listener);
+                }));
+            listener.close();
+          }
+          const auto kind = static_cast<NetFaultKind>(rng.next_below(5));
+          const int nth = 1 + static_cast<int>(rng.next_below(4));
+          double value = 1;
+          switch (kind) {
+            case NetFaultKind::kConnectRefused:
+              break;  // value unused
+            case NetFaultKind::kMidFrameDisconnect:
+              value = 1 + static_cast<double>(rng.next_below(30));
+              break;
+            case NetFaultKind::kCorruptByte:
+              value = static_cast<double>(rng.next_below(40));
+              break;
+            case NetFaultKind::kDelay:
+              value = 0.01 + 0.01 * static_cast<double>(rng.next_below(5));
+              break;
+            case NetFaultKind::kPartition:
+              value = 1 + static_cast<double>(rng.next_below(2));
+              break;
+          }
+          FleetOptions options;
+          options.workers = 1 + static_cast<int>(rng.next_below(2));
+          options.remotes = remotes;
+          options.backoff_base_seconds = 0.001;
+          // A partition swallows a request without severing the stream,
+          // and the idle daemon's heartbeats keep the link un-stale — the
+          // loss must surface as a fast reply-deadline "hang", not a
+          // default-length stall.
+          options.reply_deadline_seconds = 1.0;
+          options.stale_after_seconds = 5.0;
+          std::string bytes;
+          FleetReport report;
+          {
+            NetFaultPlan plan;
+            ScopedNetFaultInjection install(&plan);
+            plan.arm(kind, nth, value);
+            SnapshotStore store(path);
+            bytes = certificate_to_string(
+                run_adversary_fleet(factory, delta, store, options, &report));
+          }
+          for (const pid_t pid : daemon_pids) {
+            ipc::kill_process(pid);
+            (void)ipc::wait_exit(pid, Deadline::in(10.0));
+          }
+          check(report.status == RunStatus::kOk,
+                std::string("socket fleet did not survive ") +
+                    to_string(kind) + ": " + report.to_string());
+          check(bytes == clean,
+                std::string(
+                    "socket-fleet certificate differs from the clean run "
+                    "under ") +
+                    to_string(kind));
           break;
         }
       }

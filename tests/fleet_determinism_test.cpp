@@ -1,12 +1,16 @@
 // The fleet's determinism and fault-tolerance contract (fault/fleet.hpp):
 // the certificate is byte-identical to plain run_adversary across worker
-// counts, across SIGKILL-respawn histories, across crash/resume cycles,
-// and across the degrade-to-in-process path; exhausting the respawn budget
-// fails permanently as WorkerLost / RunStatus::kWorkerLost.
+// counts AND transports (serial / pipe fleet / socket fleet), across
+// kill-and-disconnect histories on either transport, across crash/resume
+// cycles, and down every step of the degradation ladder
+// (socket -> pipe -> in-process); exhausting a respawn budget with
+// degradation refused fails permanently as WorkerLost /
+// RunStatus::kWorkerLost carrying the right incident kind.
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,6 +21,7 @@
 #include "ldlb/matching/seq_color_packing.hpp"
 #include "ldlb/util/error.hpp"
 #include "ldlb/util/ipc.hpp"
+#include "ldlb/util/net.hpp"
 #include "ldlb/util/rng.hpp"
 
 namespace ldlb {
@@ -175,7 +180,269 @@ TEST(FleetDeterminism, ReportToStringMentionsTheHeadlines) {
   (void)fleet_bytes(4, "fleet_report.snap", options, &report);
   const std::string text = report.to_string();
   EXPECT_NE(text.find("2/2 workers"), std::string::npos) << text;
+  EXPECT_NE(text.find("transport pipe"), std::string::npos) << text;
   EXPECT_NE(text.find("status: ok"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Socket fleet: worker daemons on localhost, coordinator over TCP.
+// ---------------------------------------------------------------------------
+
+// A forked worker daemon on an ephemeral localhost port, killed and reaped
+// on destruction.
+class DaemonGuard {
+ public:
+  explicit DaemonGuard(int delta) {
+    net::Listener listener = net::Listener::on("127.0.0.1", 0);
+    port_ = listener.port();
+    pid_ = ipc::spawn_child([&listener, delta]() {
+      return run_fleet_daemon(factory_for(delta), delta, listener);
+    });
+    // The parent's copy of the listening socket; the daemon owns its own.
+    listener.close();
+  }
+  DaemonGuard(const DaemonGuard&) = delete;
+  DaemonGuard& operator=(const DaemonGuard&) = delete;
+  ~DaemonGuard() {
+    ipc::kill_process(pid_);
+    (void)ipc::wait_exit(pid_, Deadline::in(10.0));
+  }
+
+  [[nodiscard]] RemoteEndpoint endpoint() const {
+    return {"127.0.0.1", port_};
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int port_ = 0;
+};
+
+TEST(SocketFleet, ByteIdenticalAcrossTransportsAndWorkerCounts) {
+  for (int delta : {4, 5, 6}) {
+    const std::string reference = reference_bytes(delta);
+    DaemonGuard daemon_a(delta);
+    DaemonGuard daemon_b(delta);
+    for (int workers : {1, 2, 4}) {
+      FleetOptions options;
+      options.workers = workers;
+      options.remotes = {daemon_a.endpoint(), daemon_b.endpoint()};
+      FleetReport report;
+      const std::string got =
+          fleet_bytes(delta,
+                      "socket_d" + std::to_string(delta) + "_w" +
+                          std::to_string(workers) + ".snap",
+                      options, &report);
+      EXPECT_EQ(got, reference)
+          << "delta " << delta << ", workers " << workers;
+      EXPECT_EQ(report.status, RunStatus::kOk) << report.to_string();
+      EXPECT_EQ(report.transport, "socket") << report.to_string();
+      EXPECT_TRUE(report.degrades.empty()) << report.to_string();
+      EXPECT_TRUE(report.incidents.empty()) << report.to_string();
+    }
+  }
+}
+
+// Every worker's link is severed at every level — SIGKILL under the pipe
+// transport, an abortive RST close under the socket transport — and every
+// loss must be survived by reconnect-and-replay with identical bytes.
+TEST(SocketFleet, EveryWorkerDisconnectedEveryLevelOnBothTransports) {
+  const int delta = 5;
+  const std::string reference = reference_bytes(delta);
+  DaemonGuard daemon(delta);
+
+  for (const bool socket : {true, false}) {
+    FleetOptions options;
+    options.workers = 2;
+    options.backoff_base_seconds = 0.001;
+    options.max_respawns_per_level = 4;  // two losses per level, headroom
+    if (socket) options.remotes = {daemon.endpoint()};
+    options.on_level_drop = [](int level, int slots,
+                               const std::function<void(int)>& drop) {
+      if (level < 1) return;
+      for (int s = 0; s < slots; ++s) drop(s);
+    };
+    FleetReport report;
+    const std::string got = fleet_bytes(
+        delta, socket ? "socket_dropall.snap" : "pipe_dropall.snap", options,
+        &report);
+    EXPECT_EQ(got, reference) << (socket ? "socket" : "pipe");
+    EXPECT_EQ(report.status, RunStatus::kOk) << report.to_string();
+    EXPECT_EQ(report.transport, socket ? "socket" : "pipe");
+    EXPECT_GT(report.respawns, 0) << report.to_string();
+    EXPECT_GT(report.requests_replayed, 0) << report.to_string();
+    ASSERT_FALSE(report.incidents.empty());
+    for (const WorkerIncident& incident : report.incidents) {
+      EXPECT_TRUE(incident.respawned) << incident.to_string();
+      if (socket) {
+        EXPECT_EQ(incident.kind, "disconnect") << incident.to_string();
+      }
+    }
+  }
+}
+
+TEST(SocketFleet, ExhaustedRemotesDegradeToPipeWithIdenticalBytes) {
+  const int delta = 5;
+  const std::string reference = reference_bytes(delta);
+  // Bind-then-close guarantees a port that refuses every connect.
+  int dead_port = 0;
+  {
+    net::Listener listener = net::Listener::on("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+
+  FleetOptions options;
+  options.workers = 2;
+  options.backoff_base_seconds = 0.001;
+  options.connect_timeout_seconds = 1.0;
+  options.remotes = {{"127.0.0.1", dead_port}};
+  FleetReport report;
+  const std::string got =
+      fleet_bytes(delta, "socket_degrade.snap", options, &report);
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(report.status, RunStatus::kOk) << report.to_string();
+  EXPECT_EQ(report.transport, "pipe") << report.to_string();
+  ASSERT_FALSE(report.degrades.empty());
+  EXPECT_NE(report.degrades.front().find("socket -> pipe"),
+            std::string::npos)
+      << report.degrades.front();
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents.front().kind, "connect")
+      << report.incidents.front().to_string();
+  EXPECT_EQ(report.incidents.front().level, -2  /* connect-setup bucket */)
+      << report.incidents.front().to_string();
+}
+
+TEST(SocketFleet, FullLadderSocketToPipeToInProcessStillCertifies) {
+  const int delta = 4;
+  const std::string reference = reference_bytes(delta);
+  int dead_port = 0;
+  {
+    net::Listener listener = net::Listener::on("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+
+  FleetOptions options;
+  options.workers = 1;
+  options.backoff_base_seconds = 0.001;
+  options.max_respawns_per_level = 1;
+  options.remotes = {{"127.0.0.1", dead_port}};
+  // After the socket transport exhausts, the pipe transport's first fork
+  // refuses too: the ladder must land on the in-process engine.
+  ipc::set_spawn_failures_for_test(1);
+  FleetReport report;
+  const std::string got =
+      fleet_bytes(delta, "socket_ladder.snap", options, &report);
+  ipc::set_spawn_failures_for_test(0);
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(report.status, RunStatus::kOk) << report.to_string();
+  EXPECT_EQ(report.transport, "in-process") << report.to_string();
+  EXPECT_TRUE(report.degraded_in_process);
+  ASSERT_GE(report.degrades.size(), 2u) << report.to_string();
+  EXPECT_NE(report.degrades[0].find("socket -> pipe"), std::string::npos);
+  EXPECT_NE(report.degrades[1].find("pipe -> in-process"),
+            std::string::npos);
+}
+
+TEST(SocketFleet, ExhaustedRemotesWithDegradeRefusedIsWorkerLost) {
+  const int delta = 4;
+  int dead_port = 0;
+  {
+    net::Listener listener = net::Listener::on("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+
+  FleetOptions options;
+  options.workers = 1;
+  options.backoff_base_seconds = 0.001;
+  options.max_respawns_per_level = 1;
+  options.remotes = {{"127.0.0.1", dead_port}};
+  options.degrade = false;
+  SnapshotStore store{temp_path("socket_lost.snap")};
+  store.remove();
+  FleetReport report;
+  try {
+    (void)run_adversary_fleet(factory_for(delta), delta, store, options,
+                              &report);
+    FAIL() << "expected WorkerLost";
+  } catch (const WorkerLost& e) {
+    EXPECT_EQ(e.incident_kind(), "connect");
+  }
+  EXPECT_EQ(report.status, RunStatus::kWorkerLost);
+  EXPECT_EQ(report.transport, "socket");
+  store.remove();
+}
+
+TEST(SocketFleet, WrongJobDaemonIsAHandshakeIncidentThenDegrades) {
+  const int delta = 4;
+  const std::string reference = reference_bytes(delta);
+  // A live daemon serving a *different* delta: the fingerprints differ, so
+  // every connect ends in a typed handshake rejection, never sharded work.
+  DaemonGuard foreign(delta + 1);
+
+  FleetOptions options;
+  options.workers = 1;
+  options.backoff_base_seconds = 0.001;
+  options.max_respawns_per_level = 1;
+  options.remotes = {foreign.endpoint()};
+  FleetReport report;
+  const std::string got =
+      fleet_bytes(delta, "socket_handshake.snap", options, &report);
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(report.transport, "pipe") << report.to_string();
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents.front().kind, "handshake")
+      << report.incidents.front().to_string();
+}
+
+TEST(SocketFleet, SilentPeerIsAStaleHeartbeatIncident) {
+  const int delta = 4;
+  // A fake daemon that answers the handshake and then stops breathing: no
+  // heartbeats, no replies. The coordinator must classify the worker as
+  // stale within the staleness window, not wait out the reply deadline.
+  net::Listener listener = net::Listener::on("127.0.0.1", 0);
+  const int port = listener.port();
+  std::thread fake_peer([&listener, delta] {
+    std::optional<net::FrameChannel> peer =
+        listener.accept_channel(Deadline::in(10.0));
+    if (!peer.has_value()) return;
+    net::server_handshake(*peer, fleet_fingerprint(delta, "SeqColorPacking"),
+                          Deadline::in(10.0));
+    // Swallow requests silently until the coordinator hangs up.
+    while (peer->recv(Deadline::in(10.0)).frame.status ==
+           ipc::FrameStatus::kOk) {
+    }
+  });
+
+  FleetOptions options;
+  options.workers = 1;
+  options.max_respawns_per_level = 0;  // first incident is fatal
+  options.remotes = {{"127.0.0.1", port}};
+  options.stale_after_seconds = 0.1;
+  options.reply_deadline_seconds = 60.0;  // far beyond the stale window
+  options.degrade = false;
+  SnapshotStore store{temp_path("socket_stale.snap")};
+  store.remove();
+  FleetReport report;
+  const Deadline guard = Deadline::in(30.0);
+  try {
+    (void)run_adversary_fleet(factory_for(delta), delta, store, options,
+                              &report);
+    FAIL() << "expected WorkerLost";
+  } catch (const WorkerLost& e) {
+    EXPECT_EQ(e.incident_kind(), "stale-heartbeat") << e.what();
+  }
+  EXPECT_FALSE(guard.expired()) << "stale detection waited out the deadline";
+  EXPECT_EQ(report.status, RunStatus::kWorkerLost);
+  fake_peer.join();
+  store.remove();
+}
+
+TEST(SocketFleet, FingerprintSeparatesJobs) {
+  EXPECT_NE(fleet_fingerprint(4, "SeqColorPacking"),
+            fleet_fingerprint(5, "SeqColorPacking"));
+  EXPECT_NE(fleet_fingerprint(4, "SeqColorPacking"),
+            fleet_fingerprint(4, "other-algorithm"));
+  EXPECT_EQ(fleet_fingerprint(6, "a"), fleet_fingerprint(6, "a"));
 }
 
 }  // namespace

@@ -192,6 +192,94 @@ TEST(IpcWorkers, SpawnFailureSeamThrowsIoErrorThenRecovers) {
   EXPECT_EQ(wait_exit(worker.pid, Deadline::in(30.0)).kind, ExitKind::kExited);
 }
 
+// Which header field a byte offset belongs to, for failure messages.
+const char* header_field(std::size_t byte) {
+  if (byte < 4) return "magic";        // 'L' 'D' 'F' + the version digit
+  if (byte < 12) return "length";      // u64 little-endian payload length
+  return "checksum";                   // u64 FNV-1a over the payload
+}
+
+TEST(IpcFrames, EveryFlippedHeaderByteReadsAsCorruptNeverGarbage) {
+  const std::string frame = encode_frame("fuzz the header");
+  ASSERT_GE(frame.size(), 20u);
+  for (std::size_t byte = 0; byte < 20; ++byte) {
+    Pipe p;
+    std::string tampered = frame;
+    tampered[byte] = static_cast<char>(tampered[byte] ^ 0xA5);
+    ASSERT_EQ(::write(p.write_fd, tampered.data(), tampered.size()),
+              static_cast<ssize_t>(tampered.size()));
+    p.close_write();
+    const FrameResult got = read_frame(p.read_fd, Deadline::in(5.0));
+    EXPECT_EQ(got.status, FrameStatus::kCorrupt)
+        << "flipped " << header_field(byte) << " byte " << byte
+        << " produced " << to_string(got.status);
+    EXPECT_TRUE(got.payload.empty())
+        << "flipped " << header_field(byte) << " byte " << byte
+        << " leaked payload bytes";
+  }
+}
+
+TEST(IpcFrames, EveryHeaderTruncationReadsAsEofOrCorruptNeverGarbage) {
+  const std::string frame = encode_frame("truncate me");
+  for (std::size_t keep = 0; keep < 20; ++keep) {
+    Pipe p;
+    if (keep > 0) {
+      ASSERT_EQ(::write(p.write_fd, frame.data(), keep),
+                static_cast<ssize_t>(keep));
+    }
+    p.close_write();
+    const FrameResult got = read_frame(p.read_fd, Deadline::in(5.0));
+    if (keep == 0) {
+      // Clean EOF between frames is the one non-error way a stream ends.
+      EXPECT_EQ(got.status, FrameStatus::kEof) << "empty stream";
+    } else {
+      EXPECT_EQ(got.status, FrameStatus::kCorrupt)
+          << "header cut after " << keep << " bytes (mid-"
+          << header_field(keep) << ") produced " << to_string(got.status);
+    }
+    EXPECT_TRUE(got.payload.empty());
+  }
+}
+
+TEST(IpcFrames, OversizeLengthFieldReadsAsCorruptWithoutAllocating) {
+  // A length beyond kMaxFramePayload must be rejected from the header
+  // alone — the reader never tries to allocate or drain 2^60 bytes.
+  std::string frame = encode_frame("x");
+  const std::uint64_t huge = kMaxFramePayload + 1;
+  for (std::size_t i = 0; i < 8; ++i) {
+    frame[4 + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+  }
+  Pipe p;
+  ASSERT_EQ(::write(p.write_fd, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  const FrameResult got = read_frame(p.read_fd, Deadline::in(5.0));
+  EXPECT_EQ(got.status, FrameStatus::kCorrupt);
+  EXPECT_NE(got.detail.find("length"), std::string::npos) << got.detail;
+}
+
+TEST(IpcSleep, CancelledTokenCutsSleepShort) {
+  CancellationToken token;
+  token.request_cancel("stop backing off");
+  const Deadline guard = Deadline::in(5.0);
+  EXPECT_THROW(sleep_seconds(30.0, &token), Cancelled);
+  EXPECT_FALSE(guard.expired()) << "cancelled sleep still slept";
+}
+
+TEST(IpcSleep, DeadlineTokenCutsSleepShort) {
+  // A token carrying an expiring deadline interrupts the wait mid-flight:
+  // the poll slices cap at 10ms, so the throw lands within the guard.
+  CancellationToken token{Deadline::in(0.05)};
+  const Deadline guard = Deadline::in(5.0);
+  EXPECT_THROW(sleep_seconds(30.0, &token), Cancelled);
+  EXPECT_FALSE(guard.expired()) << "deadline cancel still slept";
+}
+
+TEST(IpcSleep, UncancelledSleepCompletes) {
+  CancellationToken token;
+  sleep_seconds(0.01, &token);  // must not throw
+  sleep_seconds(0.0, nullptr);
+}
+
 TEST(IpcStrings, StatusNamesAreStable) {
   EXPECT_STREQ(to_string(FrameStatus::kOk), "ok");
   EXPECT_STREQ(to_string(FrameStatus::kEof), "eof");

@@ -1,0 +1,8 @@
+// Fixture: raw-socket — a bare socket(2) outside the audited net module.
+#include <sys/socket.h>
+
+namespace ldlb {
+
+int open_unaudited() { return socket(AF_INET, SOCK_STREAM, 0); }
+
+}  // namespace ldlb

@@ -128,6 +128,24 @@ TEST(LintRules, IpcIsExemptFromRawProcess) {
                   .empty());
 }
 
+TEST(LintRules, NetIsExemptFromRawSocket) {
+  const std::string source = "int fd = socket(AF_INET, SOCK_STREAM, 0);\n";
+  EXPECT_TRUE(lint_core_snippet("src/ldlb/util/net.cpp", source).empty());
+  EXPECT_EQ(lint_core_snippet("src/ldlb/fault/x.cpp", source).size(), 1u);
+  // Wrapper names containing the tokens are not raw calls, and the project
+  // method FaultPlan::bind() is not the bind(2) syscall — only a
+  // ::-qualified bind counts.
+  EXPECT_TRUE(lint_core_snippet("src/ldlb/fault/x.cpp",
+                                "auto c = net::connect_channel(h, p);\n"
+                                "plan.on_connect(h, p);\n"
+                                "void FaultPlan::bind(const Multigraph& g);\n")
+                  .empty());
+  EXPECT_EQ(lint_core_snippet("src/ldlb/fault/x.cpp",
+                              "  ::bind(fd, addr, len);\n")
+                .size(),
+            1u);
+}
+
 TEST(LintRules, SwitchWithoutDefaultIsExhaustivenessClean) {
   EXPECT_TRUE(lint_core_snippet("src/ldlb/fault/x.cpp",
                                 "switch (s) {\n"
@@ -153,6 +171,7 @@ TEST(LintFixtures, ExactDiagnosticsFromPlantedTree) {
   const std::vector<std::string> expected = {
       "src/ldlb/core/nondet.cpp:6:nondeterminism",
       "src/ldlb/core/raw_write.cpp:9:raw-file-write",
+      "src/ldlb/cover/raw_socket.cpp:6:raw-socket",
       "src/ldlb/fault/raw_process.cpp:6:raw-process",
       "src/ldlb/fault/switch_default.cpp:11:switch-default-on-enum",
       "src/ldlb/matching/catch_all.cpp:7:catch-all",
@@ -183,7 +202,7 @@ TEST(LintBinary, FailsOnEachPlantedFixtureAlone) {
       "src/ldlb/core/raw_write.cpp",    "src/ldlb/core/nondet.cpp",
       "src/ldlb/view/raw_sync.cpp",     "src/ldlb/matching/catch_all.cpp",
       "src/ldlb/fault/switch_default.cpp", "src/ldlb/order/stale.cpp",
-      "src/ldlb/fault/raw_process.cpp",
+      "src/ldlb/fault/raw_process.cpp",    "src/ldlb/cover/raw_socket.cpp",
   };
   for (const std::string& file : planted) {
     const auto [code, output] =
@@ -198,7 +217,7 @@ TEST(LintBinary, FixtureTreeFailsRealTreePasses) {
   const auto fixture =
       run(std::string(LDLB_LINT_BIN) + " --root " + LDLB_FIXTURE_ROOT);
   EXPECT_EQ(fixture.first, 1);
-  EXPECT_EQ(std::count(fixture.second.begin(), fixture.second.end(), '\n'), 7)
+  EXPECT_EQ(std::count(fixture.second.begin(), fixture.second.end(), '\n'), 8)
       << fixture.second;
 
   const auto real = run(std::string(LDLB_LINT_BIN) + " --root " +

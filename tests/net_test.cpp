@@ -1,0 +1,350 @@
+// Tests for util/net and fault/net_fault: framing over real TCP sockets,
+// deadline-driven connects/accepts/reads, transparent heartbeats with
+// staleness detection, the versioned handshake, the seeded network fault
+// injector, and a frame-header fuzz sweep proving wire damage always
+// classifies (kEof/kTimeout/kCorrupt) and never reads as silent garbage.
+//
+// Runs under TSan in CI, so peers are std::thread, never fork(2).
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ldlb/fault/net_fault.hpp"
+#include "ldlb/util/error.hpp"
+#include "ldlb/util/ipc.hpp"
+#include "ldlb/util/net.hpp"
+
+namespace ldlb::net {
+namespace {
+
+// A listener on an ephemeral localhost port plus one accepted/connected
+// channel pair, torn down with the fixture.
+struct Loopback {
+  Listener listener;
+  FrameChannel client;
+  FrameChannel server;
+
+  Loopback() {
+    listener = Listener::on("127.0.0.1", 0);
+    client = connect_channel("127.0.0.1", listener.port(), Deadline::in(5.0));
+    std::optional<FrameChannel> accepted =
+        listener.accept_channel(Deadline::in(5.0));
+    EXPECT_TRUE(accepted.has_value());
+    if (accepted.has_value()) server = std::move(*accepted);
+  }
+};
+
+TEST(NetChannel, RoundTripsFramesBothWays) {
+  Loopback lo;
+  lo.client.send("ping from client");
+  lo.server.send("pong from server");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload,
+            "ping from client");
+  EXPECT_EQ(lo.client.recv(Deadline::in(5.0)).frame.payload,
+            "pong from server");
+}
+
+TEST(NetChannel, BackToBackFramesStayDelimited) {
+  Loopback lo;
+  lo.client.send("first");
+  lo.client.send(std::string(100000, 'x'));
+  lo.client.send("third");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload, "first");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload.size(), 100000u);
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload, "third");
+}
+
+TEST(NetChannel, ClosedPeerReadsAsEof) {
+  Loopback lo;
+  lo.client.close();
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.status,
+            ipc::FrameStatus::kEof);
+}
+
+TEST(NetChannel, SilentPeerReadsAsTimeoutAndStreamSurvives) {
+  Loopback lo;
+  const RecvResult timed_out = lo.server.recv(Deadline::in(0.05));
+  EXPECT_EQ(timed_out.frame.status, ipc::FrameStatus::kTimeout);
+  EXPECT_FALSE(timed_out.stale);
+  // The readability poll consumed nothing: the late frame still arrives.
+  lo.client.send("late but intact");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload,
+            "late but intact");
+}
+
+TEST(NetChannel, ExpiredDeadlineConnectFailsInsteadOfHanging) {
+  Listener listener = Listener::on("127.0.0.1", 0);
+  // Never accepted, and the deadline is already over: connect must give a
+  // typed failure immediately.
+  try {
+    FrameChannel c =
+        connect_channel("127.0.0.1", listener.port(), Deadline::in(0.0));
+    // A loopback connect can complete synchronously before the deadline
+    // check; both outcomes are hang-free and acceptable.
+    EXPECT_TRUE(c.valid());
+  } catch (const IoError&) {
+  }
+}
+
+TEST(NetChannel, HeartbeatsAreConsumedTransparently) {
+  Loopback lo;
+  lo.client.send_heartbeat();
+  lo.client.send_heartbeat();
+  lo.client.send("real payload");
+  const RecvResult got = lo.server.recv(Deadline::in(5.0), /*stale_after=*/30);
+  EXPECT_EQ(got.frame.status, ipc::FrameStatus::kOk);
+  EXPECT_EQ(got.frame.payload, "real payload");
+  EXPECT_FALSE(got.stale);
+}
+
+TEST(NetChannel, PeerGoingQuietClassifiesAsStaleTimeout) {
+  Loopback lo;
+  // No heartbeat and no data inside the 50ms staleness window, while the
+  // overall deadline is much larger: the result must be a *stale* timeout,
+  // well before the 5s deadline.
+  const Deadline guard = Deadline::in(5.0);
+  const RecvResult got =
+      lo.server.recv(Deadline::in(5.0), /*stale_after=*/0.05);
+  EXPECT_EQ(got.frame.status, ipc::FrameStatus::kTimeout);
+  EXPECT_TRUE(got.stale);
+  EXPECT_FALSE(guard.expired()) << "staleness window did not cut the wait";
+}
+
+TEST(NetChannel, HeartbeatsRefreshTheStalenessWindow) {
+  Loopback lo;
+  std::thread breather([&] {
+    for (int i = 0; i < 6; ++i) {
+      ipc::sleep_seconds(0.02);
+      lo.client.send_heartbeat();
+    }
+    lo.client.send("done breathing");
+  });
+  // stale_after (80ms) is far below the total wait (~120ms + compute), so
+  // only the refreshes keep the read alive.
+  const RecvResult got =
+      lo.server.recv(Deadline::in(5.0), /*stale_after=*/0.08);
+  breather.join();
+  EXPECT_EQ(got.frame.status, ipc::FrameStatus::kOk);
+  EXPECT_EQ(got.frame.payload, "done breathing");
+}
+
+TEST(NetChannel, HardCloseSurfacesAsLossNotGarbage) {
+  Loopback lo;
+  lo.client.send("armed");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload, "armed");
+  lo.client.hard_close();
+  // RST surfaces either as a read error (ECONNRESET → typed IoError) or,
+  // if the FIN path won, as a classified non-OK frame — never as kOk.
+  try {
+    const RecvResult got = lo.server.recv(Deadline::in(5.0));
+    EXPECT_NE(got.frame.status, ipc::FrameStatus::kOk);
+  } catch (const IoError&) {
+  }
+}
+
+TEST(NetChannel, MoveTransfersOwnership) {
+  Loopback lo;
+  FrameChannel moved = std::move(lo.client);
+  EXPECT_FALSE(lo.client.valid());
+  EXPECT_TRUE(moved.valid());
+  moved.send("from the moved-to channel");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload,
+            "from the moved-to channel");
+}
+
+TEST(NetListener, AcceptTimesOutCleanly) {
+  Listener listener = Listener::on("127.0.0.1", 0);
+  EXPECT_FALSE(listener.accept_channel(Deadline::in(0.05)).has_value());
+}
+
+TEST(NetListener, RefusedConnectThrowsIoError) {
+  // Bind-then-close guarantees a port that refuses.
+  int dead_port = 0;
+  {
+    Listener listener = Listener::on("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(
+      { (void)connect_channel("127.0.0.1", dead_port, Deadline::in(5.0)); },
+      IoError);
+}
+
+// Which header field a byte offset belongs to, for failure messages.
+const char* header_field(std::size_t byte) {
+  if (byte < 4) return "magic";
+  if (byte < 12) return "length";
+  return "checksum";
+}
+
+TEST(NetFuzz, EveryFlippedHeaderByteClassifiesNeverGarbage) {
+  const std::string frame = ipc::encode_frame("fuzz over tcp");
+  ASSERT_GE(frame.size(), 20u);
+  for (std::size_t byte = 0; byte < 20; ++byte) {
+    Loopback lo;
+    std::string tampered = frame;
+    tampered[byte] = static_cast<char>(tampered[byte] ^ 0xA5);
+    ASSERT_EQ(::write(lo.client.fd(), tampered.data(), tampered.size()),
+              static_cast<ssize_t>(tampered.size()));
+    lo.client.close();
+    const RecvResult got = lo.server.recv(Deadline::in(5.0));
+    EXPECT_EQ(got.frame.status, ipc::FrameStatus::kCorrupt)
+        << "flipped " << header_field(byte) << " byte " << byte
+        << " produced " << ipc::to_string(got.frame.status);
+    EXPECT_TRUE(got.frame.payload.empty());
+  }
+}
+
+TEST(NetFuzz, EveryHeaderTruncationClassifiesNeverGarbage) {
+  const std::string frame = ipc::encode_frame("cut over tcp");
+  for (std::size_t keep = 0; keep < 20; ++keep) {
+    Loopback lo;
+    if (keep > 0) {
+      ASSERT_EQ(::write(lo.client.fd(), frame.data(), keep),
+                static_cast<ssize_t>(keep));
+    }
+    lo.client.close();
+    const RecvResult got = lo.server.recv(Deadline::in(5.0));
+    if (keep == 0) {
+      EXPECT_EQ(got.frame.status, ipc::FrameStatus::kEof);
+    } else {
+      EXPECT_EQ(got.frame.status, ipc::FrameStatus::kCorrupt)
+          << "header cut after " << keep << " bytes (mid-"
+          << header_field(keep) << ")";
+    }
+    EXPECT_TRUE(got.frame.payload.empty());
+  }
+}
+
+TEST(NetHandshake, MatchingVersionAndFingerprintSucceeds) {
+  Loopback lo;
+  std::thread server([&] {
+    server_handshake(lo.server, /*fingerprint=*/42, Deadline::in(5.0));
+  });
+  client_handshake(lo.client, /*fingerprint=*/42, Deadline::in(5.0));
+  server.join();
+  // The channel is clean afterwards: application frames flow normally.
+  lo.client.send("post-handshake traffic");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload,
+            "post-handshake traffic");
+}
+
+TEST(NetHandshake, FingerprintMismatchThrowsTypedOnBothSides) {
+  Loopback lo;
+  std::string server_expected, server_got;
+  std::thread server([&] {
+    try {
+      server_handshake(lo.server, /*fingerprint=*/1, Deadline::in(5.0));
+      ADD_FAILURE() << "server handshake accepted a foreign fingerprint";
+    } catch (const HandshakeMismatch& e) {
+      server_expected = e.expected();
+      server_got = e.got();
+    }
+  });
+  try {
+    client_handshake(lo.client, /*fingerprint=*/2, Deadline::in(5.0));
+    ADD_FAILURE() << "client handshake accepted a reject";
+  } catch (const HandshakeMismatch& e) {
+    EXPECT_FALSE(e.expected().empty());
+    EXPECT_FALSE(e.got().empty());
+    EXPECT_NE(e.expected(), e.got());
+  }
+  server.join();
+  EXPECT_NE(server_expected, server_got);
+}
+
+TEST(NetHandshake, ForeignGreetingIsRejectedNotTrusted) {
+  Loopback lo;
+  lo.client.send("HTTP/1.1 GET / please");
+  EXPECT_THROW(server_handshake(lo.server, /*fingerprint=*/7,
+                                Deadline::in(5.0)),
+               HandshakeMismatch);
+}
+
+TEST(NetFault, ConnectRefusedFiresOnTheNthAttempt) {
+  Listener listener = Listener::on("127.0.0.1", 0);
+  NetFaultPlan plan;
+  ScopedNetFaultInjection install(&plan);
+  plan.arm(NetFaultKind::kConnectRefused, /*nth=*/2);
+  FrameChannel first =
+      connect_channel("127.0.0.1", listener.port(), Deadline::in(5.0));
+  EXPECT_TRUE(first.valid());
+  EXPECT_THROW((void)connect_channel("127.0.0.1", listener.port(),
+                                     Deadline::in(5.0)),
+               IoError);
+  EXPECT_TRUE(plan.fired());
+  // The plan is one-shot: the third connect goes through.
+  FrameChannel third =
+      connect_channel("127.0.0.1", listener.port(), Deadline::in(5.0));
+  EXPECT_TRUE(third.valid());
+}
+
+TEST(NetFault, MidFrameDisconnectCutsTheStreamAndThrows) {
+  Loopback lo;
+  NetFaultPlan plan;
+  ScopedNetFaultInjection install(&plan);
+  plan.arm(NetFaultKind::kMidFrameDisconnect, /*nth=*/1, /*value=*/7);
+  EXPECT_THROW(lo.client.send("this frame dies at byte 7"), IoError);
+  EXPECT_FALSE(lo.client.valid()) << "the cut must hard-close the channel";
+  // The peer sees a classified failure or a typed read error, never a
+  // short silent read.
+  try {
+    const RecvResult got = lo.server.recv(Deadline::in(5.0));
+    EXPECT_NE(got.frame.status, ipc::FrameStatus::kOk);
+    EXPECT_TRUE(got.frame.payload.empty());
+  } catch (const IoError&) {
+  }
+}
+
+TEST(NetFault, CorruptByteClassifiesAsCorruptAtThePeer) {
+  Loopback lo;
+  NetFaultPlan plan;
+  ScopedNetFaultInjection install(&plan);
+  plan.arm(NetFaultKind::kCorruptByte, /*nth=*/1, /*value=*/25);
+  lo.client.send("checksummed payload");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.status,
+            ipc::FrameStatus::kCorrupt);
+  // Disarmed traffic flows clean again.
+  plan.disarm();
+  lo.client.send("clean again");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload, "clean again");
+}
+
+TEST(NetFault, DelayHoldsTheFrameButDeliversIt) {
+  Loopback lo;
+  NetFaultPlan plan;
+  ScopedNetFaultInjection install(&plan);
+  plan.arm(NetFaultKind::kDelay, /*nth=*/1, /*value=*/0.05);
+  lo.client.send("slow frame");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload, "slow frame");
+  EXPECT_TRUE(plan.fired());
+}
+
+TEST(NetFault, PartitionSwallowsABudgetOfFrames) {
+  Loopback lo;
+  NetFaultPlan plan;
+  ScopedNetFaultInjection install(&plan);
+  plan.arm(NetFaultKind::kPartition, /*nth=*/1, /*value=*/2);
+  lo.client.send("eaten one");
+  lo.client.send("eaten two");
+  plan.disarm();
+  lo.client.send("after the partition heals");
+  EXPECT_EQ(lo.server.recv(Deadline::in(5.0)).frame.payload,
+            "after the partition heals");
+  EXPECT_EQ(plan.observed_sends(), 3);
+}
+
+TEST(NetFault, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(NetFaultKind::kConnectRefused), "connect-refused");
+  EXPECT_STREQ(to_string(NetFaultKind::kMidFrameDisconnect),
+               "mid-frame-disconnect");
+  EXPECT_STREQ(to_string(NetFaultKind::kCorruptByte), "corrupt-byte");
+  EXPECT_STREQ(to_string(NetFaultKind::kDelay), "delay");
+  EXPECT_STREQ(to_string(NetFaultKind::kPartition), "partition");
+}
+
+}  // namespace
+}  // namespace ldlb::net

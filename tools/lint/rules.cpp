@@ -160,6 +160,29 @@ std::vector<Rule> build_rules() {
     rules.push_back(std::move(r));
   }
 
+  {
+    Rule r;
+    r.name = "raw-socket";
+    r.prefix = "raw socket syscall ";
+    r.suffix =
+        " outside util/net; open, connect and configure sockets through "
+        "the net module so framing, deadlines and fault injection stay in "
+        "one audited place";
+    r.patterns = {
+        pat(R"(\bsocket\s*\()", "socket("),
+        // FaultPlan::bind() is a project method, so the syscall must be
+        // ::-qualified to count (matching how util/net calls it).
+        pat(R"((^|[^\w])::bind\s*\()", "bind("),
+        pat(R"(\blisten\s*\()", "listen("),
+        pat(R"(\baccept4?\s*\()", "accept("),
+        pat(R"(\bconnect\s*\()", "connect("),
+        pat(R"(\bgetsockname\s*\()", "getsockname("),
+        pat(R"(\bsetsockopt\s*\()", "setsockopt("),
+    };
+    for (auto& p : r.patterns) p.excludes = {"util/net."};
+    rules.push_back(std::move(r));
+  }
+
   // switch-default-on-enum is structural; registered for name validation.
   {
     Rule r;
