@@ -33,6 +33,7 @@
 #include "ldlb/util/net.hpp"
 #include "ldlb/util/rng.hpp"
 #include "ldlb/util/thread_pool.hpp"
+#include "ldlb/view/ball_store.hpp"
 #include "ldlb/view/isomorphism.hpp"
 
 namespace {
@@ -109,12 +110,18 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
                       "upper/lower"}};
   if (config.print_table) table.print_header();
 
+  // In-process configs sweep to the canonical ball engine's working
+  // ceiling (Δ = 20, final graphs ~2^18 nodes); fleet configs stop at 12 —
+  // beyond that the measurement is dominated by shipping multi-megabyte
+  // graphs over the IPC channel, not by the engine under test.
+  const int max_delta = config.workers == 0 ? 20 : 12;
+
   json.begin_object()
       .key("threads").value(global_pool().size())
       .key("workers").value(config.workers)
       .key("transport").value(transport_name(config))
       .key("runs").begin_array();
-  for (int delta = 3; delta <= 12; ++delta) {
+  for (int delta = 3; delta <= max_delta; ++delta) {
     SeqColorPacking seq{delta};
     TwoPhasePacking two{delta};
     const AlgorithmFactory factory = [delta]() {
@@ -137,12 +144,15 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
     // machines jitter by 10-20%, enough to blur a 2x comparison. The ball
     // cache is cleared before every repetition so each one is a cold-cache
     // run, like the single-shot measurement the baseline numbers came from.
-    constexpr int kReps = 3;
+    // Past Δ = 14 a single repetition keeps the sweep bounded; at that size
+    // the run is long enough that scheduler jitter no longer dominates.
+    const int reps = delta <= 14 ? 3 : 1;
     double adversary_ms = 0.0;
     double validate_ms = 0.0;
     bool valid = false;
     LowerBoundCertificate cert;
-    for (int rep = 0; rep < kReps; ++rep) {
+    const BallStoreStats stats_before = ball_store_stats();
+    for (int rep = 0; rep < reps; ++rep) {
       clear_ball_encoding_cache();
       auto t0 = std::chrono::steady_clock::now();
       if (config.workers > 0) {
@@ -185,6 +195,27 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
         .key("final_edges").value(cert.levels.back().g.edge_count())
         .key("seq_color_rounds").value(seq_rounds)
         .key("two_phase_rounds").value(two_rounds);
+    // Canonical ball engine telemetry for this delta point (all reps): how
+    // often key queries were answered from the (graph, node, radius) memo,
+    // and how often sub-ball signatures were already interned (structure
+    // sharing across levels). Collisions must read zero — nonzero would be
+    // a soundness bug, not a perf problem.
+    const BallStoreStats stats_after = ball_store_stats();
+    const auto rate = [](std::uint64_t hits, std::uint64_t total) {
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    };
+    json.key("ball_key_queries")
+        .value(static_cast<long long>(stats_after.key_queries -
+                                      stats_before.key_queries))
+        .key("ball_key_memo_hit_rate")
+        .value(rate(stats_after.memo_hits - stats_before.memo_hits,
+                    stats_after.key_queries - stats_before.key_queries))
+        .key("ball_intern_hit_rate")
+        .value(rate(stats_after.intern_hits - stats_before.intern_hits,
+                    stats_after.intern_lookups - stats_before.intern_lookups))
+        .key("ball_key_collisions")
+        .value(static_cast<long long>(stats_after.collisions));
     if (auto it = baseline.find(delta); it != baseline.end()) {
       json.key("baseline_adversary_ms").value(it->second);
       if (adversary_ms > 0) {
@@ -239,6 +270,7 @@ void BM_AdversaryFullChain(benchmark::State& state) {
   state.counters["final_nodes"] = static_cast<double>(1ll << (delta - 2));
 }
 BENCHMARK(BM_AdversaryFullChain)->DenseRange(3, 12, 1)
+    ->DenseRange(14, 20, 2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_UpperBoundRun(benchmark::State& state) {

@@ -10,8 +10,10 @@
 # the coordinator/worker engine's certificates across worker counts, kill-9
 # histories and a crash/resume cycle, and a socket-fleet stage that repeats
 # the byte-comparison over the TCP transport against a live worker daemon
-# (plus disconnect chaos and the exit-4 / degradation ladder smokes). All
-# stages must be green.
+# (plus disconnect chaos and the exit-4 / degradation ladder smokes), and a
+# perf-regression gate that holds the Δ=12 adversary+validate chain within
+# 2x of the checked-in canonical-ball-engine baseline. All stages must be
+# green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +43,7 @@ run_chaos() {
   # rotation and LDLB_CHAOS_NET=1 the socket-fleet network-fault scenario;
   # set either to 0 to soak without forking (e.g. under a debugger).
   if ! LDLB_CHAOS_SEED="$chaos_seed" LDLB_CHAOS_CYCLES="$cycles" \
+      LDLB_SLOW_CHECKS=1 \
       LDLB_CHAOS_KILL="${LDLB_CHAOS_KILL:-1}" \
       LDLB_CHAOS_NET="${LDLB_CHAOS_NET:-1}" \
       "$dir/tests/chaos_soak"; then
@@ -166,6 +169,15 @@ echo "== plain build =="
 # Warnings are errors on the primary tree; sanitizer trees keep warnings
 # advisory so a sanitizer-specific diagnostic cannot mask a real failure.
 run_suite build -DLDLB_WERROR=ON
+
+# Performance gate: the canonical ball engine must keep the Δ=12
+# adversary+validate chain within 2x of the checked-in quiet-machine
+# baseline (min-of-3, cold ball cache per rep). Catches an accidental
+# return to the propagation-era costs (~10x the baseline) while leaving
+# headroom for noisy CI neighbours; regenerate the baseline with
+# `ldlb_perf_gate --measure` on a quiet machine after intentional changes.
+echo "== perf gate (delta 12 canonical ball engine) =="
+build/tools/perfgate/ldlb_perf_gate scripts/perf_baseline_delta12_ms.txt
 run_chaos build 25
 run_fleet_determinism build
 run_socket_fleet_determinism build
@@ -187,8 +199,9 @@ run_chaos build-asan 10
 echo "== thread sanitizer build =="
 cmake -B build-tsan -S . "-DLDLB_SANITIZE=thread"
 cmake --build build-tsan -j "$jobs"
-LDLB_THREADS=8 LDLB_CANCEL_LATENCY_MS="${LDLB_CANCEL_LATENCY_MS:-2000}" \
+LDLB_THREADS=8 LDLB_SLOW_CHECKS=1 \
+  LDLB_CANCEL_LATENCY_MS="${LDLB_CANCEL_LATENCY_MS:-2000}" \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test|net_test'
+  -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test|net_test|canonical_ball_test'
 
-echo "CI green: lint, plain (werror), fleet-determinism (pipe + socket), asan/ubsan, tsan, and chaos-soak stages all pass."
+echo "CI green: lint, plain (werror), perf-gate, fleet-determinism (pipe + socket), asan/ubsan, tsan, and chaos-soak stages all pass."

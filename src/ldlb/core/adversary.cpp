@@ -66,9 +66,12 @@ FractionalMatching run_on(const Multigraph& g, EcAlgorithm& algorithm,
 void check_lift_invariance(const FractionalMatching& y_lift,
                            EdgeId surviving_edges, const Rational& loop_weight,
                            const std::string& algo) {
+  LDLB_REQUIRE(y_lift.edge_count() == 2 * surviving_edges + 1);
+  const std::vector<Rational>& w = y_lift.weights();
   for (EdgeId j = 0; j < surviving_edges; ++j) {
     LDLB_REQUIRE_MSG(
-        y_lift.weight(2 * j) == y_lift.weight(2 * j + 1),
+        w[static_cast<std::size_t>(2 * j)] ==
+            w[static_cast<std::size_t>(2 * j + 1)],
         "algorithm '" << algo
                       << "' is not lift-invariant: the two copies of edge "
                       << j << " got different weights — not an EC algorithm");
@@ -160,11 +163,16 @@ CertificateLevel combine_adversary_step(int delta,
                           algorithm_name);
 
     Multigraph common = prev.g.without_edge(prev.g_loop);
-    FractionalMatching y1(plan.g_surviving), y2(plan.g_surviving);
+    const std::vector<Rational>& wgg = y_gg.weights();
+    std::vector<Rational> w1(static_cast<std::size_t>(plan.g_surviving));
     for (EdgeId j = 0; j < plan.g_surviving; ++j) {
-      y1.set_weight(j, y_gg.weight(2 * j));   // copy 0 of GG
-      y2.set_weight(j, y_gh.weight(j));       // G-part of GH
+      w1[static_cast<std::size_t>(j)] =
+          wgg[static_cast<std::size_t>(2 * j)];  // copy 0 of GG
     }
+    // G-part of GH is the id prefix: adopt y_gh's vector and truncate.
+    std::vector<Rational> w2 = std::move(y_gh).take_weights();
+    w2.resize(static_cast<std::size_t>(plan.g_surviving));
+    FractionalMatching y1(std::move(w1)), y2(std::move(w2));
     // Seed: the colour-c end at g carries w_e in GG and w_mix in GH.
     PropagationResult hit =
         propagate_disagreement(common, y1, y2, prev.g_node, kNoEdge);
@@ -187,11 +195,19 @@ CertificateLevel combine_adversary_step(int delta,
                           algorithm_name);
 
     Multigraph common = prev.h.without_edge(prev.h_loop);
-    FractionalMatching y1(plan.h_surviving), y2(plan.h_surviving);
+    const std::vector<Rational>& whh = y_hh.weights();
+    std::vector<Rational> w1(static_cast<std::size_t>(plan.h_surviving));
     for (EdgeId j = 0; j < plan.h_surviving; ++j) {
-      y1.set_weight(j, y_hh.weight(2 * j));                  // copy 0 of HH
-      y2.set_weight(j, y_gh.weight(plan.g_surviving + j));   // H-part of GH
+      w1[static_cast<std::size_t>(j)] =
+          whh[static_cast<std::size_t>(2 * j)];  // copy 0 of HH
     }
+    // H-part of GH occupies ids [g_surviving, g_surviving + h_surviving):
+    // adopt y_gh's vector and slide the segment down to the front.
+    std::vector<Rational> w2 = std::move(y_gh).take_weights();
+    std::move(w2.begin() + plan.g_surviving,
+              w2.begin() + plan.g_surviving + plan.h_surviving, w2.begin());
+    w2.resize(static_cast<std::size_t>(plan.h_surviving));
+    FractionalMatching y1(std::move(w1)), y2(std::move(w2));
     PropagationResult hit =
         propagate_disagreement(common, y1, y2, prev.h_node, kNoEdge);
 

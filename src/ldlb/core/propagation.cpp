@@ -1,5 +1,7 @@
 #include "ldlb/core/propagation.hpp"
 
+#include "ldlb/util/slow_checks.hpp"
+
 namespace ldlb {
 
 PropagationResult propagate_disagreement(const Multigraph& g,
@@ -8,7 +10,11 @@ PropagationResult propagate_disagreement(const Multigraph& g,
                                          NodeId start, EdgeId exclude) {
   LDLB_REQUIRE(y1.edge_count() == g.edge_count());
   LDLB_REQUIRE(y2.edge_count() == g.edge_count());
-  LDLB_REQUIRE_MSG(g.is_forest_ignoring_loops(),
+  // The union-find forest probe is O(E) per combine step while the walk
+  // itself is O(path); the hot caller hands over a validated level graph
+  // minus one loop, so the probe is latched (util/slow_checks.hpp). Misuse
+  // still terminates: the path-length ENSURE below trips on any cycle.
+  LDLB_REQUIRE_MSG(!slow_checks_enabled() || g.is_forest_ignoring_loops(),
                    "propagation requires a tree-with-loops (property P3)");
 
   auto disagree = [&](EdgeId e) { return y1.weight(e) != y2.weight(e); };

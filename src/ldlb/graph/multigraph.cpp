@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -12,17 +13,59 @@ namespace ldlb {
 EdgeId Multigraph::add_edge(NodeId u, NodeId v, Color color) {
   LDLB_REQUIRE(u >= 0 && u < node_count());
   LDLB_REQUIRE(v >= 0 && v < node_count());
+  invalidate_index();
   EdgeId e = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{u, v, color});
-  incidence_[static_cast<std::size_t>(u)].push_back(e);
-  if (u != v) incidence_[static_cast<std::size_t>(v)].push_back(e);
   return e;
 }
 
+const Multigraph::IncidenceIndex& Multigraph::build_index() const {
+  // Counting sort of edge ends into one flat id array. Per-node order is
+  // ascending edge id — identical to the append order of the former
+  // per-node vectors, which canonical encodings and OI/ID end orderings
+  // rely on.
+  auto idx = std::make_unique<IncidenceIndex>();
+  idx->offsets.assign(static_cast<std::size_t>(node_count_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++idx->offsets[static_cast<std::size_t>(e.u) + 1];
+    if (!e.is_loop()) ++idx->offsets[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t v = 1; v < idx->offsets.size(); ++v) {
+    idx->offsets[v] += idx->offsets[v - 1];
+  }
+  idx->ids.resize(static_cast<std::size_t>(idx->offsets.back()));
+  std::vector<std::int32_t> cursor(idx->offsets.begin(),
+                                   idx->offsets.end() - 1);
+  for (EdgeId e = 0; e < edge_count(); ++e) {
+    const Edge& ed = edges_[static_cast<std::size_t>(e)];
+    idx->ids[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(ed.u)]++)] = e;
+    if (!ed.is_loop()) {
+      idx->ids[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(ed.v)]++)] = e;
+    }
+  }
+  // First publisher wins; a concurrent builder of the identical index drops
+  // its copy and reads the winner's.
+  const IncidenceIndex* expected = nullptr;
+  const IncidenceIndex* built = idx.release();
+  if (index_.compare_exchange_strong(expected, built,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    return *built;
+  }
+  delete built;
+  return *expected;
+}
+
 int Multigraph::max_degree() const {
-  int d = 0;
-  for (const auto& inc : incidence_) d = std::max(d, static_cast<int>(inc.size()));
-  return d;
+  if (node_count_ == 0) return 0;
+  const IncidenceIndex& idx = index();
+  std::int32_t d = 0;
+  for (std::size_t v = 0; v < idx.offsets.size() - 1; ++v) {
+    d = std::max(d, idx.offsets[v + 1] - idx.offsets[v]);
+  }
+  return static_cast<int>(d);
 }
 
 NodeId Multigraph::other_endpoint(EdgeId e, NodeId v) const {
@@ -58,9 +101,12 @@ bool Multigraph::has_proper_edge_coloring() const {
     if (e.color == kUncoloured) return false;
     max_color = std::max(max_color, e.color);
   }
+  // One stamp array over the colour range instead of a hash set per node:
+  // this predicate guards every simulator run, so it must not allocate per
+  // node. seen[c] holds the last node at which colour c appeared.
   std::vector<NodeId> seen(static_cast<std::size_t>(max_color) + 1, kNoNode);
   for (NodeId v = 0; v < node_count(); ++v) {
-    for (EdgeId e : incidence_[static_cast<std::size_t>(v)]) {
+    for (EdgeId e : incident_edges(v)) {
       auto& slot = seen[static_cast<std::size_t>(
           edges_[static_cast<std::size_t>(e)].color)];
       if (slot == v) return false;
@@ -167,15 +213,21 @@ NodeId Multigraph::append_disjoint(const Multigraph& other) {
 }
 
 std::uint64_t Multigraph::fingerprint() const {
-  // FNV-1a over the node count and the edge list in construction order.
-  // Computed on demand (no cached member) so Multigraph stays a plain
-  // copyable value type.
+  // FNV-1a-style mix over the node count and the edge list in construction
+  // order, absorbing a whole 64-bit word per multiply: the value is a pure
+  // in-process cache key (view/ball_store, view/isomorphism), never
+  // serialised, and per-byte feeding made this the second-hottest function
+  // in the Δ=12 adversary profile. Memoised in fp_ because the canonical
+  // ball engine asks for the same graph's fingerprint once per (node,
+  // radius) query.
+  const std::uint64_t cached = fp_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   std::uint64_t h = 14695981039346656037ULL;
   auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xffu;
-      h *= 1099511628211ULL;
-    }
+    h ^= v;
+    h *= 1099511628211ULL;
+    h ^= h >> 32;  // feed high bits back down: the FNV prime only carries up
+    h *= 1099511628211ULL;
   };
   mix(static_cast<std::uint64_t>(node_count()));
   for (const Edge& e : edges_) {
@@ -183,6 +235,8 @@ std::uint64_t Multigraph::fingerprint() const {
         static_cast<std::uint32_t>(e.v));
     mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.color)));
   }
+  if (h == 0) h = 1;  // 0 is the "not computed" sentinel
+  fp_.store(h, std::memory_order_relaxed);
   return h;
 }
 

@@ -12,8 +12,17 @@
 //
 // Nodes and edges are dense indices; removal is by rebuilding (graphs in this
 // library are built once and then analysed).
+//
+// Storage is arena/SoA: the edge list is the single source of truth and the
+// incidence structure is a flat CSR index (offset array + one contiguous id
+// array) built lazily on first read. Construction paths therefore never pay
+// per-node heap vectors, and analysis paths stream over contiguous memory.
+// Mutation is single-threaded by convention (build once, then analyse);
+// concurrent *reads* — the parallel simulator and validator — are safe, the
+// index is published once via an atomic pointer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -32,6 +41,29 @@ inline constexpr Color kUncoloured = -1;
 inline constexpr NodeId kNoNode = -1;
 inline constexpr EdgeId kNoEdge = -1;
 
+/// Read-only view of one node's slice of the CSR incidence index. Iterable
+/// and indexable like the per-node vector it replaced; cheap to copy.
+class IncidenceView {
+ public:
+  using value_type = EdgeId;
+  using const_iterator = const EdgeId*;
+
+  constexpr IncidenceView(const EdgeId* begin, const EdgeId* end)
+      : begin_(begin), end_(end) {}
+
+  [[nodiscard]] constexpr const EdgeId* begin() const { return begin_; }
+  [[nodiscard]] constexpr const EdgeId* end() const { return end_; }
+  [[nodiscard]] constexpr std::size_t size() const {
+    return static_cast<std::size_t>(end_ - begin_);
+  }
+  [[nodiscard]] constexpr bool empty() const { return begin_ == end_; }
+  constexpr EdgeId operator[](std::size_t i) const { return begin_[i]; }
+
+ private:
+  const EdgeId* begin_;
+  const EdgeId* end_;
+};
+
 /// Undirected multigraph with loops and optional proper edge colouring.
 class Multigraph {
  public:
@@ -48,17 +80,53 @@ class Multigraph {
   /// Graph with `n` isolated nodes.
   explicit Multigraph(NodeId n) { add_nodes(n); }
 
+  Multigraph(const Multigraph& other)
+      : edges_(other.edges_),
+        node_count_(other.node_count_),
+        fp_(other.fp_.load(std::memory_order_relaxed)) {}
+  Multigraph(Multigraph&& other) noexcept
+      : edges_(std::move(other.edges_)),
+        node_count_(other.node_count_),
+        fp_(other.fp_.load(std::memory_order_relaxed)) {
+    adopt_index(other);
+    other.fp_.store(0, std::memory_order_relaxed);
+  }
+  Multigraph& operator=(const Multigraph& other) {
+    if (this != &other) {
+      edges_ = other.edges_;
+      node_count_ = other.node_count_;
+      invalidate_index();
+      fp_.store(other.fp_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Multigraph& operator=(Multigraph&& other) noexcept {
+    if (this != &other) {
+      edges_ = std::move(other.edges_);
+      node_count_ = other.node_count_;
+      invalidate_index();
+      adopt_index(other);
+      fp_.store(other.fp_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+      other.fp_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  ~Multigraph() { invalidate_index(); }
+
   /// Adds one node, returning its id.
   NodeId add_node() {
-    incidence_.emplace_back();
-    return static_cast<NodeId>(incidence_.size() - 1);
+    invalidate_index();
+    return node_count_++;
   }
 
   /// Adds `count` nodes, returning the id of the first.
   NodeId add_nodes(NodeId count) {
     LDLB_REQUIRE(count >= 0);
-    NodeId first = node_count();
-    incidence_.resize(incidence_.size() + static_cast<std::size_t>(count));
+    invalidate_index();
+    NodeId first = node_count_;
+    node_count_ += count;
     return first;
   }
 
@@ -74,15 +142,11 @@ class Multigraph {
     edges_.reserve(static_cast<std::size_t>(count));
   }
 
-  /// Pre-allocates node storage (incidence list headers).
-  void reserve_nodes(NodeId count) {
-    LDLB_REQUIRE(count >= 0);
-    incidence_.reserve(static_cast<std::size_t>(count));
-  }
+  /// Node storage is a bare counter under the CSR layout; kept so the
+  /// reserve-before-build idiom in construction paths stays uniform.
+  void reserve_nodes(NodeId count) { LDLB_REQUIRE(count >= 0); }
 
-  [[nodiscard]] NodeId node_count() const {
-    return static_cast<NodeId>(incidence_.size());
-  }
+  [[nodiscard]] NodeId node_count() const { return node_count_; }
   [[nodiscard]] EdgeId edge_count() const {
     return static_cast<EdgeId>(edges_.size());
   }
@@ -93,9 +157,13 @@ class Multigraph {
   }
 
   /// Incidence list of `v`: ids of incident edges; a loop appears once.
-  [[nodiscard]] const std::vector<EdgeId>& incident_edges(NodeId v) const {
+  /// The view points into the shared CSR index and stays valid until the
+  /// graph is mutated, moved, or destroyed.
+  [[nodiscard]] IncidenceView incident_edges(NodeId v) const {
     LDLB_REQUIRE(v >= 0 && v < node_count());
-    return incidence_[static_cast<std::size_t>(v)];
+    const IncidenceIndex& idx = index();
+    const auto i = static_cast<std::size_t>(v);
+    return {idx.ids.data() + idx.offsets[i], idx.ids.data() + idx.offsets[i + 1]};
   }
 
   /// Degree under the EC convention (a loop counts once).
@@ -116,7 +184,7 @@ class Multigraph {
   /// Number of loops attached to `v`.
   [[nodiscard]] int loop_count(NodeId v) const;
 
-  /// Re-colours an edge.
+  /// Re-colours an edge (incidence structure is unaffected).
   void set_color(EdgeId e, Color color) {
     LDLB_REQUIRE(e >= 0 && e < edge_count());
     edges_[static_cast<std::size_t>(e)].color = color;
@@ -159,8 +227,56 @@ class Multigraph {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  /// Flat CSR incidence: `ids[offsets[v] .. offsets[v+1])` are the edges at
+  /// node v, in edge-id order (matching the append order of the old
+  /// per-node vectors, which downstream canonical encodings rely on).
+  struct IncidenceIndex {
+    std::vector<std::int32_t> offsets;
+    std::vector<EdgeId> ids;
+  };
+
+  [[nodiscard]] const IncidenceIndex& index() const {
+    if (const IncidenceIndex* idx = index_.load(std::memory_order_acquire)) {
+      return *idx;
+    }
+    return build_index();
+  }
+  const IncidenceIndex& build_index() const;
+  void invalidate_index() {
+    // Mutators run under exclusive access (concurrent readers during
+    // mutation are already undefined), so a relaxed probe is enough to skip
+    // the locked exchange — which otherwise dominates bulk construction,
+    // where nothing is cached and add_edge calls this once per edge.
+    if (index_.load(std::memory_order_relaxed) != nullptr) {
+      delete index_.exchange(nullptr, std::memory_order_acq_rel);
+    }
+    if (fp_.load(std::memory_order_relaxed) != 0) {
+      fp_.store(0, std::memory_order_relaxed);
+    }
+  }
+  // Steals `other`'s built index (move construction/assignment): the views
+  // handed out by `other` stay valid, now owned by us.
+  void adopt_index(Multigraph& other) {
+    index_.store(other.index_.exchange(nullptr, std::memory_order_acq_rel),
+                 std::memory_order_release);
+  }
+
   std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> incidence_;
+  NodeId node_count_ = 0;
+  // Lazily built, atomically published so concurrent cold reads from the
+  // parallel simulator/validator are race-free; mutators invalidate.
+  //
+  // ldlb-lint: allow(raw-sync): single-writer publication of an immutable
+  // index — every thread that wins or loses the publish race reads the same
+  // deterministic CSR content, so no result depends on scheduling.
+  mutable std::atomic<const IncidenceIndex*> index_{nullptr};
+  // Memoised fingerprint; 0 means "not computed" (fingerprint() remaps an
+  // actual hash of 0 to 1, which is harmless for an opaque cache key).
+  // Mutators reset it via invalidate_index().
+  //
+  // ldlb-lint: allow(raw-sync): benign once-cache of a pure function of the
+  // edge list — racing threads compute and publish the identical value.
+  mutable std::atomic<std::uint64_t> fp_{0};
 };
 
 std::ostream& operator<<(std::ostream& os, const Multigraph& g);

@@ -22,8 +22,10 @@
 // into global state).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,16 @@ class EcNodeState {
   [[nodiscard]] virtual std::map<Color, Rational> output() const = 0;
 };
 
+/// Outcome of a closed-form whole-graph evaluation (see
+/// EcAlgorithm::evaluate_direct): the exact weights and counters the
+/// message-passing interpreter would have produced.
+struct EcDirectRun {
+  std::vector<Rational> edge_weights;  ///< indexed by EdgeId
+  int rounds = 0;                      ///< rounds until the last node halted
+  long long messages = 0;              ///< total messages delivered
+  long long message_bytes = 0;         ///< total payload bytes delivered
+};
+
 /// Factory for EC node state machines.
 class EcAlgorithm {
  public:
@@ -84,6 +96,22 @@ class EcAlgorithm {
   /// deliberately break anonymity (test impostors) stay race-free and
   /// byte-identical.
   [[nodiscard]] virtual bool parallel_safe() const { return false; }
+
+  /// Optional closed-form evaluator. An algorithm whose outcome on `g` has a
+  /// direct formulation may return the *exact* result the round-by-round
+  /// interpreter would produce — same weights, same round/message/byte
+  /// counters, byte for byte — skipping per-node state machines and message
+  /// materialisation entirely. Return nullopt to decline (the simulator then
+  /// interprets as usual); decline in particular whenever interpretation
+  /// would fail, so errors keep surfacing from the real execution path. The
+  /// simulator only consults this on unobserved runs (no hooks, no
+  /// diagnostics, no message/wall budgets) and enforces the round budget on
+  /// the returned count itself.
+  [[nodiscard]] virtual std::optional<EcDirectRun> evaluate_direct(
+      const Multigraph& g) const {
+    (void)g;
+    return std::nullopt;
+  }
 };
 
 // ---------------------------------------------------------------------------

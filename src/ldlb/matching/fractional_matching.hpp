@@ -49,6 +49,16 @@ class FractionalMatching {
     weights_[static_cast<std::size_t>(e)] += w;
   }
 
+  /// Read-only view of the whole weight vector (indexed by EdgeId) — the
+  /// bulk counterpart of weight() for loops that already know the bounds.
+  [[nodiscard]] const std::vector<Rational>& weights() const {
+    return weights_;
+  }
+  /// Moves the weight vector out, leaving this matching empty.
+  [[nodiscard]] std::vector<Rational> take_weights() && {
+    return std::move(weights_);
+  }
+
   /// y[v] for a multigraph host (a loop counts once).
   [[nodiscard]] Rational node_sum(const Multigraph& g, NodeId v) const;
   /// y[v] for a digraph host (a loop counts twice).

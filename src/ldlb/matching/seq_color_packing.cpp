@@ -71,4 +71,84 @@ std::unique_ptr<EcNodeState> SeqColorPacking::make_node(
   return std::make_unique<Node>(ctx.incident_colors, num_colors_);
 }
 
+std::optional<EcDirectRun> SeqColorPacking::evaluate_direct(
+    const Multigraph& g) const {
+  // Single pass fuses the decline check (interpretation would fail: the
+  // Node constructor rejects colours outside [0, num_colors)) with the
+  // counting-sort histogram; the histogram spans the full colour budget so
+  // its size needs no prior max_color scan.
+  Color max_color = -1;
+  std::vector<std::int32_t> offsets(static_cast<std::size_t>(num_colors_) + 1,
+                                    0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Color c = g.edge(e).color;
+    if (c < 0 || c >= num_colors_) return std::nullopt;
+    ++offsets[static_cast<std::size_t>(c) + 1];
+    max_color = std::max(max_color, c);
+  }
+
+  EcDirectRun run;
+  // Every node halts right after the round of its largest incident colour,
+  // so the interpreter stops after round max_color + 1 (never entering the
+  // loop at all on an edgeless graph).
+  run.rounds = max_color + 1;
+  run.edge_weights.resize(static_cast<std::size_t>(g.edge_count()));
+  if (g.edge_count() == 0) return run;
+
+  // Edge ids bucketed by colour (counting sort). Any order within a class
+  // gives the same result — properness makes colour classes conflict-free.
+  for (std::size_t c = 1; c < offsets.size(); ++c) {
+    offsets[c] += offsets[c - 1];
+  }
+  std::vector<EdgeId> by_color(static_cast<std::size_t>(g.edge_count()));
+  {
+    std::vector<std::int32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      by_color[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(g.edge(e).color)]++)] = e;
+    }
+  }
+
+  // Every value this algorithm ever holds is 0 or 1, by induction: the
+  // residuals start at 1; a weight is the minimum of two residuals, so it
+  // stays in {0, 1}; and subtracting it leaves the residuals in {0, 1}
+  // (1−1 = 0, x−0 = x). The evaluation therefore runs on bytes — no
+  // big-rational arithmetic at all — and every message is the single
+  // character "0" or "1" (exactly what Node::send's to_string serialises),
+  // so each delivery contributes one byte.
+  static const Rational kOne(1);
+  std::vector<unsigned char> residual(static_cast<std::size_t>(g.node_count()),
+                                      1);
+  // In round c+1 each endpoint of a colour-c edge sends its residual (one
+  // delivery on a loop, two otherwise) and both ends settle on the minimum.
+  for (Color c = 0; c <= max_color; ++c) {
+    for (std::int32_t i = offsets[static_cast<std::size_t>(c)];
+         i < offsets[static_cast<std::size_t>(c) + 1]; ++i) {
+      const EdgeId e = by_color[static_cast<std::size_t>(i)];
+      const auto& ed = g.edge(e);
+      unsigned char& ru = residual[static_cast<std::size_t>(ed.u)];
+      // Zero weights are already in place — resize default-constructed the
+      // vector and Rational{} is 0/1 — so only saturating edges write.
+      if (ed.is_loop()) {
+        run.messages += 1;
+        run.message_bytes += 1;
+        if (ru) {
+          run.edge_weights[static_cast<std::size_t>(e)] = kOne;
+          ru = 0;
+        }
+      } else {
+        unsigned char& rv = residual[static_cast<std::size_t>(ed.v)];
+        run.messages += 2;
+        run.message_bytes += 2;
+        if (ru & rv) {  // min over {0, 1}
+          run.edge_weights[static_cast<std::size_t>(e)] = kOne;
+          ru = 0;
+          rv = 0;
+        }
+      }
+    }
+  }
+  return run;
+}
+
 }  // namespace ldlb

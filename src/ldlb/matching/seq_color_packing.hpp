@@ -41,6 +41,14 @@ class SeqColorPacking : public EcAlgorithm {
   // machine owns all of its state, so concurrent simulation is safe.
   [[nodiscard]] bool parallel_safe() const override { return true; }
 
+  // The protocol is one residual-halving pass per colour class, so the whole
+  // run has a closed form: sweep colours ascending and settle each edge from
+  // its endpoints' residuals. Reproduces the interpreter's weights and
+  // round/message/byte counters exactly (colour classes are conflict-free,
+  // so the per-edge order within a class cannot matter).
+  [[nodiscard]] std::optional<EcDirectRun> evaluate_direct(
+      const Multigraph& g) const override;
+
  private:
   int num_colors_;
 };

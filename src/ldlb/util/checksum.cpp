@@ -33,4 +33,17 @@ bool checksum_from_hex(std::string_view text, std::uint64_t& hash) {
   return true;
 }
 
+std::string checksum_to_hex(const Checksum128& hash) {
+  return checksum_to_hex(hash.hi) + checksum_to_hex(hash.lo);
+}
+
+bool checksum_from_hex(std::string_view text, Checksum128& hash) {
+  if (text.size() != 32) return false;
+  Checksum128 value;
+  if (!checksum_from_hex(text.substr(0, 16), value.hi)) return false;
+  if (!checksum_from_hex(text.substr(16), value.lo)) return false;
+  hash = value;
+  return true;
+}
+
 }  // namespace ldlb

@@ -1,0 +1,30 @@
+// Opt-in latch for redundant self-checks on hot construction paths.
+//
+// A few internal invariants (covering-property of straight-line lifts,
+// forest-ness of a certificate graph minus one loop) are implied by how the
+// adversary builds its inputs, yet re-deriving them costs as much as the
+// surrounding work — together they dominated the Δ=12 profile. They stay
+// available as debug oracles behind this latch instead of being deleted:
+// set LDLB_SLOW_CHECKS=1 (or the older, narrower LDLB_LIFT_CHECK=1), or run
+// under LDLB_BALL_ORACLE=1 — the cross-validation suite wants every
+// redundant invariant live. Certificate validation performs its own,
+// always-on forest/covering checks regardless of this latch.
+#pragma once
+
+#include <cstdlib>
+
+namespace ldlb {
+
+inline bool slow_checks_enabled() {
+  static const bool enabled = [] {
+    for (const char* var :
+         {"LDLB_SLOW_CHECKS", "LDLB_LIFT_CHECK", "LDLB_BALL_ORACLE"}) {
+      const char* s = std::getenv(var);
+      if (s != nullptr && *s != '\0' && *s != '0') return true;
+    }
+    return false;
+  }();
+  return enabled;
+}
+
+}  // namespace ldlb

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "ldlb/util/alloc_guard.hpp"
+#include "ldlb/view/ball_store.hpp"
 
 namespace ldlb {
 
@@ -287,6 +288,8 @@ std::optional<std::string> cached_ball_encoding(const Multigraph& g, NodeId v,
       return it->second.enc;
     }
   }
+  // ldlb-lint: allow(ball-extraction): the AHU encoding is defined over the
+  // materialised ball; this legacy route is off the hot path.
   Ball ball = extract_ball(g, v, radius);
   std::optional<std::string> enc;
   // The encoding route must agree exactly with rooted_isomorphism, which
@@ -313,36 +316,91 @@ std::optional<std::string> cached_ball_encoding(const Multigraph& g, NodeId v,
   return enc;
 }
 
+namespace {
+
+// When set, every canonical-key compare is re-derived through ball
+// extraction + propagation and a disagreement aborts: the slow path is the
+// ground truth the fast path must reproduce bit-for-bit.
+bool ball_oracle_enabled() {
+  static const bool enabled = [] {
+    const char* s = std::getenv("LDLB_BALL_ORACLE");
+    return s != nullptr && *s != '\0' && *s != '0';
+  }();
+  return enabled;
+}
+
+}  // namespace
+
 bool balls_isomorphic_cached(const Multigraph& g, NodeId gv,
                              const Multigraph& h, NodeId hv, int radius) {
-  std::optional<std::string> eg = cached_ball_encoding(g, gv, radius);
-  if (eg.has_value()) {
-    std::optional<std::string> eh = cached_ball_encoding(h, hv, radius);
-    if (eh.has_value()) return *eg == *eh;
+  // Hot path: O(1) compare of canonical colour-refinement keys
+  // (view/ball_store). Keys exist exactly when the host graphs are properly
+  // coloured trees-with-loops — always the case for the Section 4
+  // construction (P3).
+  const std::optional<Checksum128> kg = canonical_ball_key(g, gv, radius);
+  if (kg.has_value()) {
+    const std::optional<Checksum128> kh = canonical_ball_key(h, hv, radius);
+    if (kh.has_value()) {
+      const bool iso = *kg == *kh;
+      if (ball_oracle_enabled()) {
+        // ldlb-lint: allow(ball-extraction): the oracle re-derives the
+        // answer through the materialised slow path on purpose.
+        Ball bg = extract_ball(g, gv, radius);
+        // ldlb-lint: allow(ball-extraction): second half of the oracle pair.
+        Ball bh = extract_ball(h, hv, radius);
+        const bool truth = balls_isomorphic(bg, bh);
+        note_ball_oracle_check(truth == iso);
+        LDLB_ENSURE_MSG(truth == iso,
+                        "canonical ball key compare ("
+                            << (iso ? "iso" : "non-iso")
+                            << ") disagrees with the propagation oracle at "
+                            << "radius " << radius << ", nodes " << gv << "/"
+                            << hv);
+      }
+      return iso;
+    }
   }
-  // At least one ball is not a properly coloured tree-with-loops; fall back
-  // to the generic propagation-based check.
+  // At least one host graph is not a properly coloured tree-with-loops; fall
+  // back to ball extraction + the generic propagation-based check.
+  // ldlb-lint: allow(ball-extraction): canonical keys only decide tree
+  // shapes; other shapes need the materialised propagation check.
   Ball bg = extract_ball(g, gv, radius);
+  // ldlb-lint: allow(ball-extraction): second half of the fallback pair.
   Ball bh = extract_ball(h, hv, radius);
   return balls_isomorphic(bg, bh);
 }
 
 void clear_ball_encoding_cache() {
-  std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
-  g_ball_cache.clear();
-  g_ball_lru.clear();
-  g_ball_cache_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
+    g_ball_cache.clear();
+    g_ball_lru.clear();
+    g_ball_cache_bytes = 0;
+  }
+  // Cold-cache means cold everywhere: the canonical engine answers the hot
+  // path now, so benchmarks and determinism tests that reset this cache
+  // expect the key store to reset with it.
+  clear_ball_store();
 }
 
 void set_ball_encoding_cache_budget(std::size_t bytes) {
-  std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
-  g_ball_cache_budget = bytes;
-  evict_to_budget();
+  {
+    std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
+    g_ball_cache_budget = bytes;
+    evict_to_budget();
+  }
+  // One budget, both stores: LDLB_BALL_CACHE_BYTES governs all ball-derived
+  // memoization.
+  set_ball_store_budget(bytes);
 }
 
 std::size_t ball_encoding_cache_bytes() {
-  std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
-  return g_ball_cache_bytes;
+  std::size_t legacy = 0;
+  {
+    std::lock_guard<std::mutex> lk(g_ball_cache_mutex);
+    legacy = g_ball_cache_bytes;
+  }
+  return legacy + ball_store_bytes();
 }
 
 }  // namespace ldlb

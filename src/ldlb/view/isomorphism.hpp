@@ -61,24 +61,29 @@ std::optional<std::string> cached_ball_encoding(const Multigraph& g, NodeId v,
                                                 int radius);
 
 /// Equivalent to `balls_isomorphic(extract_ball(g, gv, r),
-/// extract_ball(h, hv, r))` but answered from the canonical-encoding cache
-/// when both balls are properly coloured trees-with-loops (always the case
-/// for the Section 4 construction, property (P3)); transparently falls back
-/// to ball extraction + rooted isomorphism for other shapes.
+/// extract_ball(h, hv, r))` but answered by an O(1) compare of canonical
+/// colour-refinement keys (view/ball_store) when both host graphs are
+/// properly coloured trees-with-loops (always the case for the Section 4
+/// construction, property (P3)); transparently falls back to ball
+/// extraction + rooted isomorphism for other shapes. Setting
+/// LDLB_BALL_ORACLE=1 re-derives every key compare through the propagation
+/// path and aborts on disagreement.
 bool balls_isomorphic_cached(const Multigraph& g, NodeId gv,
                              const Multigraph& h, NodeId hv, int radius);
 
-/// Drops every memoized ball encoding (mainly for tests and benchmarks that
-/// want cold-cache timings).
+/// Drops every memoized ball encoding and the canonical ball-key store
+/// (mainly for tests and benchmarks that want cold-cache timings).
 void clear_ball_encoding_cache();
 
-/// Sets the cache's byte budget. The cache evicts least-recently-used
-/// entries until it fits; a budget of 0 disables memoization entirely (every
-/// insert is evicted immediately). The default is 8 MiB, overridable at
-/// first use via the LDLB_BALL_CACHE_BYTES environment variable.
+/// Sets the byte budget of the encoding cache *and* the canonical ball-key
+/// store (one budget governs all ball-derived memoization). Caches evict
+/// until they fit; a budget of 0 disables memoization entirely. The default
+/// is 8 MiB, overridable at first use via the LDLB_BALL_CACHE_BYTES
+/// environment variable.
 void set_ball_encoding_cache_budget(std::size_t bytes);
 
-/// Approximate bytes currently held by the ball-encoding cache.
+/// Approximate bytes currently held by the ball-encoding cache and the
+/// canonical ball-key store together.
 [[nodiscard]] std::size_t ball_encoding_cache_bytes();
 
 }  // namespace ldlb

@@ -1,0 +1,8 @@
+// Fixture: ball-extraction — a materialised ball outside view/ball and
+// view/ball_store, where the canonical-key path should be used instead.
+
+namespace ldlb {
+
+void peek(const Multigraph& g) { Ball b = extract_ball(g, 0, 2); }
+
+}  // namespace ldlb
