@@ -11,6 +11,7 @@
 // of Theorem 1.
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -28,6 +29,7 @@
 #include "ldlb/local/simulator.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
 #include "ldlb/matching/two_phase_packing.hpp"
+#include "ldlb/recover/cert_log.hpp"
 #include "ldlb/recover/snapshot_store.hpp"
 #include "ldlb/util/ipc.hpp"
 #include "ldlb/util/net.hpp"
@@ -39,6 +41,12 @@
 namespace {
 
 using namespace ldlb;
+
+long peak_rss_kb() {
+  struct rusage usage {};
+  ::getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
 
 double elapsed_ms(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
@@ -151,6 +159,7 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
     double validate_ms = 0.0;
     bool valid = false;
     LowerBoundCertificate cert;
+    FleetReport fleet_report;
     const BallStoreStats stats_before = ball_store_stats();
     for (int rep = 0; rep < reps; ++rep) {
       clear_ball_encoding_cache();
@@ -161,7 +170,8 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
         FleetOptions options;
         options.workers = config.workers;
         options.remotes = remotes;
-        cert = run_adversary_fleet(factory, delta, store, options);
+        cert = run_adversary_fleet(factory, delta, store, options,
+                                   &fleet_report);
         store.remove();
       } else {
         cert = run_adversary(seq, delta);
@@ -195,6 +205,23 @@ void sweep(bench::JsonWriter& json, const SweepConfig& config,
         .key("final_edges").value(cert.levels.back().g.edge_count())
         .key("seq_color_rounds").value(seq_rounds)
         .key("two_phase_rounds").value(two_rounds);
+    // Durability telemetry: the append-only streaming-log footprint of this
+    // chain (recover/cert_log.hpp), and the process peak RSS after the
+    // fully-resident validation pass — the quantity the streaming validator
+    // exists to undercut (see docs/ROBUSTNESS.md). For fleet configs, how
+    // long the coordinator spent shipping its interned ball table to warm
+    // (re)spawned workers — a cache-priming cost that buys the per-level
+    // re-simulations and must never alter a certificate byte.
+    json.key("cert_log_bytes")
+        .value(static_cast<long long>(CertificateLog::serialize(cert).size()))
+        .key("validate_peak_rss_kb")
+        .value(static_cast<long long>(peak_rss_kb()));
+    if (config.workers > 0) {
+      json.key("ball_table_ship_ms").value(fleet_report.ball_table_ship_ms)
+          .key("ball_table_bytes")
+          .value(static_cast<long long>(fleet_report.ball_table_bytes))
+          .key("ball_tables_shipped").value(fleet_report.ball_tables_shipped);
+    }
     // Canonical ball engine telemetry for this delta point (all reps): how
     // often key queries were answered from the (graph, node, radius) memo,
     // and how often sub-ball signatures were already interned (structure

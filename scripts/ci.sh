@@ -10,7 +10,13 @@
 # the coordinator/worker engine's certificates across worker counts, kill-9
 # histories and a crash/resume cycle, and a socket-fleet stage that repeats
 # the byte-comparison over the TCP transport against a live worker daemon
-# (plus disconnect chaos and the exit-4 / degradation ladder smokes), and a
+# (plus disconnect chaos and the exit-4 / degradation ladder smokes), a
+# certificate-log streaming stage (a Δ=20 chain built once into the
+# append-only log, stream-validated in bounded memory with the peak RSS
+# pinned below the fully-resident validator, format round-trips, torn-tail
+# resume and env-fault injection smokes), a ball-table shipping stage that
+# byte-compares warm-started fleets against --no-ball-ship cold starts
+# across transports, worker counts and kill histories, and a
 # perf-regression gate that holds the Δ=12 adversary+validate chain within
 # 2x of the checked-in canonical-ball-engine baseline. All stages must be
 # green.
@@ -38,14 +44,17 @@ run_suite() {
 
 run_chaos() {
   local dir="$1" cycles="$2"
-  echo "== chaos soak ($dir, ${cycles} cycles, seed ${chaos_seed}, fleet-kill + net-fault on) =="
+  echo "== chaos soak ($dir, ${cycles} cycles, seed ${chaos_seed}, fleet-kill + net-fault + certlog on) =="
   # LDLB_CHAOS_KILL=1 keeps the worker-SIGKILL fleet scenario in the
-  # rotation and LDLB_CHAOS_NET=1 the socket-fleet network-fault scenario;
-  # set either to 0 to soak without forking (e.g. under a debugger).
+  # rotation, LDLB_CHAOS_NET=1 the socket-fleet network-fault scenario, and
+  # LDLB_CHAOS_CERTLOG=1 the certificate-log writer-kill scenario (plus the
+  # per-cycle snapshot/log store alternation); set any to 0 to soak without
+  # that interference (e.g. under a debugger).
   if ! LDLB_CHAOS_SEED="$chaos_seed" LDLB_CHAOS_CYCLES="$cycles" \
       LDLB_SLOW_CHECKS=1 \
       LDLB_CHAOS_KILL="${LDLB_CHAOS_KILL:-1}" \
       LDLB_CHAOS_NET="${LDLB_CHAOS_NET:-1}" \
+      LDLB_CHAOS_CERTLOG="${LDLB_CHAOS_CERTLOG:-1}" \
       "$dir/tests/chaos_soak"; then
     echo "chaos soak failed; reproduce with LDLB_CHAOS_SEED=${chaos_seed}" >&2
     exit 1
@@ -78,14 +87,16 @@ run_fleet_determinism() {
       exit 1
     fi
   done
+  # The crash/resume smoke runs over the append-only certificate log so
+  # the fleet + cert-log checkpoint path is part of the gate.
   local rc=0
   "$bin" --delta 8 --workers 2 --abort-after-level 3 \
-    --snapshot "$tmp/resume.snap" > /dev/null || rc=$?
+    --log "$tmp/resume.log" > /dev/null || rc=$?
   if [ "$rc" -ne 3 ]; then
     echo "fleet crash-stop smoke: expected exit 3, got $rc" >&2
     exit 1
   fi
-  "$bin" --delta 8 --workers 2 --resume --snapshot "$tmp/resume.snap" \
+  "$bin" --delta 8 --workers 2 --resume --log "$tmp/resume.log" \
     --print > "$tmp/resumed.txt"
   "$bin" --delta 8 --workers 0 --snapshot "$tmp/ref.snap" \
     --print > "$tmp/ref.txt"
@@ -162,6 +173,136 @@ run_socket_fleet_determinism() {
   rm -rf "$tmp"
 }
 
+# Certificate-log streaming gate: one Δ=20 chain into the append-only log,
+# validated with the bounded-memory streaming validator (peak RSS pinned
+# below the fully-resident validator's with a 5% margin), format round-trips
+# byte-compared, a torn tail resumed to the byte-identical log, and the
+# env-fault injection paths pinned to the documented exit code 5.
+run_certlog_stream() {
+  local dir="$1" tool="$1/examples/certificate_tool"
+  local fleet="$1/tools/fleet/ldlb_fleet"
+  local tmp; tmp="$(mktemp -d)"
+  echo "== certificate log streaming ($dir, delta 20 bounded-memory validation + torn resume + env faults) =="
+  "$tool" generate --log 20 seq "$tmp/d20.log" > /dev/null
+  "$tool" verify --stream 20 seq "$tmp/d20.log" > "$tmp/stream.out"
+  grep -q "certificate VALID" "$tmp/stream.out"
+  "$tool" convert "$tmp/d20.log" "$tmp/d20.txt" > /dev/null
+  "$tool" validate 20 seq "$tmp/d20.txt" > "$tmp/resident.out"
+  grep -q "certificate VALID" "$tmp/resident.out"
+  local stream_kb resident_kb
+  stream_kb="$(sed -n 's/^peak_rss_kb=//p' "$tmp/stream.out")"
+  resident_kb="$(sed -n 's/^peak_rss_kb=//p' "$tmp/resident.out")"
+  echo "   streaming peak ${stream_kb} kB vs resident ${resident_kb} kB"
+  if [ -z "$stream_kb" ] || [ -z "$resident_kb" ] ||
+     [ "$((stream_kb * 100))" -ge "$((resident_kb * 95))" ]; then
+    echo "streaming validation peak RSS is not below the resident validator" >&2
+    exit 1
+  fi
+  # Round-trip: log -> classic -> log reproduces the log byte for byte.
+  "$tool" convert "$tmp/d20.txt" "$tmp/d20.rt.log" > /dev/null
+  cmp "$tmp/d20.log" "$tmp/d20.rt.log"
+  # Torn tail: cut into the last record, resume over the log, and demand
+  # the repaired file byte-identical to the never-torn one.
+  head -c "$(($(stat -c %s "$tmp/d20.log") - 57))" "$tmp/d20.log" \
+    > "$tmp/torn.log"
+  "$fleet" --delta 20 --workers 0 --resume --log "$tmp/torn.log" > /dev/null
+  cmp "$tmp/d20.log" "$tmp/torn.log"
+  # Injected environment faults surface as exit 5 — never as log damage
+  # (the injected-truncate repair path is pinned by the chaos soak's
+  # certificate-log store rotation).
+  local rc op
+  for op in read:eio:2:verify write:enospc:1:generate fsync:eio:1:generate; do
+    rc=0
+    case "$op" in
+      *:verify)
+        "$tool" --inject "${op%:*}" verify --stream 20 seq "$tmp/d20.log" \
+          > /dev/null 2>&1 || rc=$? ;;
+      *)
+        "$tool" --inject "${op%:*}" generate --log 6 seq "$tmp/f.log" \
+          > /dev/null 2>&1 || rc=$? ;;
+    esac
+    if [ "$rc" -ne 5 ]; then
+      echo "env-fault injection '$op': expected exit 5, got $rc" >&2
+      exit 1
+    fi
+  done
+  # A generate interrupted by the injected fault must leave a store a clean
+  # rerun repairs: the rerun starts fresh and the log then verifies.
+  "$tool" generate --log 6 seq "$tmp/f.log" > /dev/null
+  "$tool" verify --stream 6 seq "$tmp/f.log" > /dev/null
+  rm -rf "$tmp"
+}
+
+# Ball-table shipping gate: warm-started fleets (the default) must be
+# byte-identical to --no-ball-ship cold starts across worker counts, both
+# transports and kill-respawn histories — shipping is a warm-start cache
+# and must never influence a certificate byte.
+run_ball_ship_matrix() {
+  local dir="$1" bin="$1/tools/fleet/ldlb_fleet"
+  local tmp; tmp="$(mktemp -d)"
+  echo "== ball-table shipping ($dir, delta 6/8 x workers x transports x kill vs --no-ball-ship) =="
+  local delta workers
+  for delta in 6 8; do
+    "$bin" --delta "$delta" --workers 0 --log "$tmp/ref.log" \
+      --print > "$tmp/ref.txt"
+    for workers in 1 2 4; do
+      "$bin" --delta "$delta" --workers "$workers" --log "$tmp/w.log" \
+        --print > "$tmp/w.txt"
+      cmp -s "$tmp/ref.txt" "$tmp/w.txt" || {
+        echo "warm fleet diverged: delta $delta, $workers workers" >&2
+        exit 1
+      }
+      "$bin" --delta "$delta" --workers "$workers" --no-ball-ship \
+        --log "$tmp/c.log" --print > "$tmp/c.txt"
+      cmp -s "$tmp/ref.txt" "$tmp/c.txt" || {
+        echo "cold fleet diverged: delta $delta, $workers workers" >&2
+        exit 1
+      }
+    done
+    # Kill chaos: every respawn re-ships the table; bytes must not move.
+    "$bin" --delta "$delta" --workers 2 \
+      --kill-every-level "$((delta * 3011))" --log "$tmp/k.log" \
+      --print > "$tmp/k.txt"
+    cmp -s "$tmp/ref.txt" "$tmp/k.txt" || {
+      echo "warm fleet diverged under kill chaos at delta $delta" >&2
+      exit 1
+    }
+  done
+  # Socket transport: the table ships over TCP to a live daemon, with and
+  # without kill chaos, and a cold-start control.
+  local port daemon_pid
+  "$bin" --delta 6 --workers 0 --log "$tmp/ref.log" --print > "$tmp/ref.txt"
+  "$bin" --delta 6 --listen 0 > "$tmp/daemon.log" &
+  daemon_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$tmp/daemon.log")"
+    [ -n "$port" ] && break
+    sleep 0.05
+  done
+  if [ -z "$port" ]; then
+    echo "ball-ship daemon did not announce a port" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+  fi
+  local mode flags
+  for mode in warm cold kill; do
+    flags=""
+    [ "$mode" = cold ] && flags="--no-ball-ship"
+    [ "$mode" = kill ] && flags="--kill-every-level 6007"
+    # shellcheck disable=SC2086
+    "$bin" --delta 6 --workers 2 --connect "127.0.0.1:$port" $flags \
+      --log "$tmp/s.log" --print > "$tmp/s.txt"
+    cmp -s "$tmp/ref.txt" "$tmp/s.txt" || {
+      echo "socket fleet diverged in ball-ship mode '$mode'" >&2
+      exit 1
+    }
+  done
+  kill "$daemon_pid" 2>/dev/null || true
+  wait "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+
 echo "== lint =="
 scripts/lint.sh
 
@@ -181,6 +322,8 @@ build/tools/perfgate/ldlb_perf_gate scripts/perf_baseline_delta12_ms.txt
 run_chaos build 25
 run_fleet_determinism build
 run_socket_fleet_determinism build
+run_certlog_stream build
+run_ball_ship_matrix build
 
 echo "== address+undefined sanitizer build =="
 # Sanitized builds are slower: relax the cancel-latency assertion and run a
@@ -204,4 +347,4 @@ LDLB_THREADS=8 LDLB_SLOW_CHECKS=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
   -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test|net_test|canonical_ball_test'
 
-echo "CI green: lint, plain (werror), perf-gate, fleet-determinism (pipe + socket), asan/ubsan, tsan, and chaos-soak stages all pass."
+echo "CI green: lint, plain (werror), perf-gate, fleet-determinism (pipe + socket), certlog-stream, ball-ship matrix, asan/ubsan, tsan, and chaos-soak stages all pass."

@@ -22,8 +22,16 @@ echo "== ldlb_lint =="
 "$dir/tools/lint/ldlb_lint" --root .
 
 echo "== header self-containment =="
-cmake --build "$dir" --target ldlb_header_check -j "$jobs" \
-  | grep -v '^\[' || true
+# The grep only quiets cmake's [n/m] progress lines; a failed compile must
+# still fail the stage (grep exits 1 when every line is filtered, so the
+# build's own status has to be checked explicitly).
+if ! cmake --build "$dir" --target ldlb_header_check -j "$jobs" \
+    > "$dir/header_check.log" 2>&1; then
+  grep -v '^\[' "$dir/header_check.log" >&2 || true
+  echo "header self-containment failed" >&2
+  exit 1
+fi
+grep -v '^\[' "$dir/header_check.log" || true
 
 echo "== clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then

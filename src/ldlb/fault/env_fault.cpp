@@ -18,8 +18,34 @@ const char* to_string(FsOp op) {
       return "rename";
     case FsOp::kDirFsync:
       return "dir-fsync";
+    case FsOp::kTruncate:
+      return "truncate";
+    case FsOp::kRead:
+      return "read";
   }
   return "unknown";
+}
+
+bool fs_op_from_string(const std::string& token, FsOp& op) {
+  for (int i = 0; i < kFsOpCount; ++i) {
+    const FsOp candidate = static_cast<FsOp>(i);
+    if (token == to_string(candidate)) {
+      op = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool env_fault_mode_from_string(const std::string& token, EnvFaultMode& mode) {
+  for (EnvFaultMode candidate :
+       {EnvFaultMode::kEio, EnvFaultMode::kEnospc, EnvFaultMode::kShortWrite}) {
+    if (token == to_string(candidate)) {
+      mode = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 const char* to_string(EnvFaultMode mode) {
@@ -109,6 +135,21 @@ void EnvFaultPlan::before_rename(const std::string& from,
 void EnvFaultPlan::before_dir_fsync(const std::string& dir) {
   if (!should_fire(FsOp::kDirFsync)) return;
   fail(FsOp::kDirFsync, dir,
+       mode_ == EnvFaultMode::kEnospc ? ENOSPC : EIO);
+}
+
+void EnvFaultPlan::before_truncate(const std::string& path,
+                                   std::uint64_t /*size*/) {
+  if (!should_fire(FsOp::kTruncate)) return;
+  fail(FsOp::kTruncate, path,
+       mode_ == EnvFaultMode::kEnospc ? ENOSPC : EIO);
+}
+
+void EnvFaultPlan::before_read(const std::string& path) {
+  if (!should_fire(FsOp::kRead)) return;
+  // kShortWrite makes no sense on a read; it degrades to EIO like the
+  // other non-write operations.
+  fail(FsOp::kRead, path,
        mode_ == EnvFaultMode::kEnospc ? ENOSPC : EIO);
 }
 

@@ -21,19 +21,27 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "ldlb/util/atomic_file.hpp"
 
 namespace ldlb {
 
-/// Which filesystem operation of write_file_atomic to fail.
+/// Which filesystem operation of util/atomic_file to fail. The first four
+/// are the steps of write_file_atomic; kTruncate and kRead cover the
+/// certificate log's repair and streaming-read paths (recover/cert_log).
 enum class FsOp {
-  kWrite,     ///< a write() of temp-file content
-  kFsync,     ///< fsync() of the temp file
+  kWrite,     ///< a write() of temp-file or appended content
+  kFsync,     ///< fsync() of the temp or log file
   kRename,    ///< rename() over the destination
   kDirFsync,  ///< fsync() of the destination's parent directory
+  kTruncate,  ///< truncate_file (the log's torn-tail repair)
+  kRead,      ///< a read batch: read_file, or one scanned log record
 };
+
+/// How many FsOp members there are (sizes the observation counters).
+inline constexpr int kFsOpCount = 6;
 
 /// How the targeted operation fails.
 enum class EnvFaultMode {
@@ -45,6 +53,12 @@ enum class EnvFaultMode {
 
 [[nodiscard]] const char* to_string(FsOp op);
 [[nodiscard]] const char* to_string(EnvFaultMode mode);
+
+/// Inverse of to_string, for drivers that accept fault plans on the
+/// command line; returns false on an unknown token.
+[[nodiscard]] bool fs_op_from_string(const std::string& token, FsOp& op);
+[[nodiscard]] bool env_fault_mode_from_string(const std::string& token,
+                                              EnvFaultMode& mode);
 
 /// A one-shot environment fault: fail the `nth` occurrence (1-based) of one
 /// filesystem operation in one configured mode. Counting is cumulative from
@@ -72,6 +86,8 @@ class EnvFaultPlan : public FsFaultInjector {
   void before_fsync(const std::string& path) override;
   void before_rename(const std::string& from, const std::string& to) override;
   void before_dir_fsync(const std::string& dir) override;
+  void before_truncate(const std::string& path, std::uint64_t size) override;
+  void before_read(const std::string& path) override;
 
  private:
   /// Returns true when this occurrence of `op` is the one that must fail.
@@ -97,7 +113,8 @@ class EnvFaultPlan : public FsFaultInjector {
   EnvFaultMode mode_ = EnvFaultMode::kEio;
   long long nth_ = 1;
   // ldlb-lint: allow(raw-sync): monotonic observation counters, see above.
-  std::atomic<long long> counts_[4] = {0, 0, 0, 0};  // indexed by FsOp
+  std::atomic<long long> counts_[kFsOpCount] = {0, 0, 0,
+                                                0, 0, 0};  // indexed by FsOp
 };
 
 /// Installs `plan` as the process-wide injector for its scope and removes

@@ -1,7 +1,7 @@
 // Crash-tolerant multi-process adversary fleet.
 //
 // run_adversary_fleet is the adversary chain (core/adversary.hpp) executed
-// coordinator/worker style: the coordinator owns the chain, the snapshot
+// coordinator/worker style: the coordinator owns the chain, the checkpoint
 // store and every decision; N forked worker processes (util/ipc.hpp) do the
 // expensive work — the three speculative simulations of each step (GH, GG,
 // HH) and the re-validation of resumed levels — and are *expendable*. The
@@ -16,6 +16,7 @@
 //   disconnect          socket EOF / EPIPE / RST       transient
 //   stale heartbeat     no frame in staleness window   transient
 //   handshake mismatch  wrong version / fingerprint    transient
+//   ball-table reject   worker re-derivation mismatch  benign (cold start)
 //   respawns exhausted  too many incidents one level   permanent
 //   fork(2) refused     IoError from spawn_worker      degrade in-process
 //   remotes exhausted   WorkerLost on the socket path  degrade to pipe
@@ -33,7 +34,7 @@
 // incident log in the FleetReport.
 //
 // Degradation runs outward-in: a socket fleet whose respawn budget is
-// spent falls back to the pipe fleet (resuming from the snapshot store,
+// spent falls back to the pipe fleet (resuming from the checkpoint store,
 // so no certified level is recomputed), and a host that cannot fork
 // degrades to the in-process resumable engine, mirroring
 // ThreadPool::construction_error(). Every step of the ladder produces the
@@ -62,8 +63,8 @@
 #include "ldlb/core/adversary.hpp"
 #include "ldlb/fault/guarded_run.hpp"
 #include "ldlb/fault/transport.hpp"
+#include "ldlb/recover/checkpoint.hpp"
 #include "ldlb/recover/resumable_adversary.hpp"
-#include "ldlb/recover/snapshot_store.hpp"
 #include "ldlb/recover/supervisor.hpp"
 #include "ldlb/util/net.hpp"
 
@@ -96,7 +97,7 @@ struct FleetOptions {
   /// How long the coordinator waits for one reply frame before declaring
   /// the worker hung (killed, reaped, respawned).
   double reply_deadline_seconds = 120.0;
-  /// Re-validate a loaded snapshot prefix (sharded across the fleet) before
+  /// Re-validate a loaded store prefix (sharded across the fleet) before
   /// trusting it; levels from the first invalid one onward are recomputed.
   bool revalidate = true;
   /// Check (Δ-1-i)-loopiness during revalidation (slow for large Δ).
@@ -133,6 +134,15 @@ struct FleetOptions {
   /// (same contract as ResumeOptions::on_checkpoint, including
   /// crash_at_level).
   std::function<void(const CertificateLevel&)> on_checkpoint;
+  /// Ship the coordinator's interned ball table (view/ball_store.hpp) to
+  /// every freshly opened worker link, so a (re)spawned worker starts with
+  /// a warm canonical-key cache instead of re-deriving it from scratch.
+  /// The worker re-derives every 128-bit key before adopting the table; a
+  /// mismatch (version skew, corruption) is rejected wholesale — the worker
+  /// continues cold and the coordinator records a "ball-table" incident
+  /// without spending respawn budget. Purely a warm-start: the table is a
+  /// content-derived cache, so shipping cannot change any certificate byte.
+  bool ship_ball_table = true;
 };
 
 /// One worker failure, as the coordinator classified and survived it.
@@ -141,7 +151,9 @@ struct WorkerIncident {
                         ///< -2: initial connection setup)
   int worker_slot = 0;  ///< 0-based slot of the lost worker
   /// "exit", "signal", "hang", "corrupt-frame", "spawn" (pipe);
-  /// "disconnect", "stale-heartbeat", "handshake", "connect" (socket).
+  /// "disconnect", "stale-heartbeat", "handshake", "connect" (socket);
+  /// "ball-table" (either transport: worker rejected the shipped table and
+  /// continues cold — benign, no respawn budget spent).
   std::string kind;
   std::string detail;   ///< exit status / frame defect / errno text
   bool respawned = false;  ///< false only for the final, fatal incident
@@ -165,7 +177,11 @@ struct FleetReport {
   bool degraded_in_process = false;  ///< fork refused; in-process engine ran
   std::string degrade_reason;        ///< why ("" unless degraded)
   std::vector<WorkerIncident> incidents;
-  ResumeInfo resume;  ///< snapshot recovery + per-level supervision log
+  int ball_tables_shipped = 0;  ///< warm-start tables adopted by workers
+  int ball_table_rejects = 0;   ///< tables a worker's re-derivation refused
+  long long ball_table_bytes = 0;  ///< serialized table bytes sent in total
+  double ball_table_ship_ms = 0.0;  ///< wall-clock spent shipping tables
+  ResumeInfo resume;  ///< store recovery + per-level supervision log
   /// Final classification: kOk, or the status of the terminating error
   /// (kWorkerLost when the respawn budget ran out).
   RunStatus status = RunStatus::kOk;
@@ -180,7 +196,7 @@ struct FleetReport {
 /// as run_adversary would; throws the classified error on permanent failure
 /// (after filling `report`). Requires delta >= 2 and workers >= 0.
 LowerBoundCertificate run_adversary_fleet(const AlgorithmFactory& factory,
-                                          int delta, SnapshotStore& store,
+                                          int delta, CheckpointStore& store,
                                           const FleetOptions& options = {},
                                           FleetReport* report = nullptr);
 

@@ -85,7 +85,7 @@ CertificateLevel supervised_level(const RetryPolicy& policy, int base_rounds,
 }  // namespace
 
 LowerBoundCertificate run_adversary_resumable(EcAlgorithm& algorithm,
-                                              int delta, SnapshotStore& store,
+                                              int delta, CheckpointStore& store,
                                               const ResumeOptions& options,
                                               ResumeInfo* info) {
   LDLB_REQUIRE(delta >= 2);
@@ -96,19 +96,19 @@ LowerBoundCertificate run_adversary_resumable(EcAlgorithm& algorithm,
   LowerBoundCertificate chain = store.load(&inf.recovery);
   inf.loaded_levels = static_cast<int>(chain.levels.size());
 
-  // A snapshot for a different job is worthless, however intact it is.
+  // A stored chain for a different job is worthless, however intact it is.
   if (!chain.levels.empty() &&
       (chain.delta != delta || chain.algorithm_name != algorithm.name())) {
     std::ostringstream os;
-    os << "snapshot is for delta=" << chain.delta << ", algorithm '"
+    os << "stored chain is for delta=" << chain.delta << ", algorithm '"
        << chain.algorithm_name << "'; this run wants delta=" << delta
        << ", algorithm '" << algorithm.name() << "'";
     inf.discard_reason = os.str();
     chain.levels.clear();
   }
 
-  // Re-run the algorithm on every loaded level: a snapshot cannot be
-  // "trusted into" the chain just because its checksums pass.
+  // Re-run the algorithm on every loaded level: a stored chain cannot be
+  // "trusted into" the run just because its checksums pass.
   if (options.revalidate && !chain.levels.empty()) {
     auto validations =
         validate_certificate(chain, algorithm, options.check_loopiness);
@@ -129,7 +129,7 @@ LowerBoundCertificate run_adversary_resumable(EcAlgorithm& algorithm,
 
   const int base_rounds = base_round_budget(delta, options.adversary);
   const auto checkpoint = [&](const CertificateLevel& lv) {
-    store.save(chain);
+    store.checkpoint(chain);
     ++inf.computed_levels;
     if (options.on_checkpoint) options.on_checkpoint(lv);
   };

@@ -4,9 +4,10 @@
 // run_adversary_resumable is run_adversary (core/adversary.hpp) wrapped in
 // durability and supervision:
 //
-//   * after each CertificateLevel is certified it is written to the
-//     SnapshotStore (atomically — a crash mid-checkpoint leaves the
-//     previous snapshot intact);
+//   * after each CertificateLevel is certified it is checkpointed into the
+//     CheckpointStore — durably, so a crash mid-checkpoint never damages
+//     the previously stored prefix (atomic rewrite for the snapshot store,
+//     append + fsync with torn-tail recovery for the certificate log);
 //   * on start, the store's longest valid prefix is loaded and — unless
 //     explicitly disabled — *re-validated against the algorithm* with the
 //     independent certificate validator, so a stale or tampered snapshot
@@ -28,7 +29,7 @@
 #include <string>
 
 #include "ldlb/core/adversary.hpp"
-#include "ldlb/recover/snapshot_store.hpp"
+#include "ldlb/recover/checkpoint.hpp"
 #include "ldlb/recover/supervisor.hpp"
 
 namespace ldlb {
@@ -63,7 +64,7 @@ struct ResumeInfo {
 /// checkpointing into (and resuming from) `store`. Returns the complete
 /// chain of levels 0..delta-2, exactly as run_adversary would.
 LowerBoundCertificate run_adversary_resumable(EcAlgorithm& algorithm,
-                                              int delta, SnapshotStore& store,
+                                              int delta, CheckpointStore& store,
                                               const ResumeOptions& options = {},
                                               ResumeInfo* info = nullptr);
 

@@ -51,7 +51,7 @@ bool parse_fields(const std::string& line, const std::string& tag,
 
 std::string RecoveryReport::to_string() const {
   std::ostringstream os;
-  os << "snapshot '" << path << "': ";
+  os << "store '" << path << "': ";
   if (!file_found) {
     os << "not found";
     return os.str();
@@ -102,7 +102,7 @@ void SnapshotStore::save(const LowerBoundCertificate& chain) {
   write_file_atomic(path_, serialize(chain));
 }
 
-LowerBoundCertificate SnapshotStore::load(RecoveryReport* report) const {
+LowerBoundCertificate SnapshotStore::load(RecoveryReport* report) {
   RecoveryReport rep;
   rep.path = path_;
   LowerBoundCertificate chain;

@@ -35,44 +35,40 @@
 #include <string>
 
 #include "ldlb/core/certificate.hpp"
+#include "ldlb/recover/checkpoint.hpp"
 
 namespace ldlb {
 
-/// What load() salvaged and why it stopped where it did.
-struct RecoveryReport {
-  std::string path;
-  bool file_found = false;  ///< snapshot file existed
-  bool complete = false;    ///< header, every record and the trailer valid
-  int levels_loaded = 0;    ///< records salvaged (the longest valid prefix)
-  std::string drop_reason;  ///< why the tail was dropped ("" when complete)
-  int drop_line = 0;        ///< 1-based line of the first defect (0 if none)
-
-  /// One-line human-readable summary.
-  [[nodiscard]] std::string to_string() const;
-};
-
-/// Versioned, checksummed snapshot file for one adversary run.
-class SnapshotStore {
+/// Versioned, checksummed snapshot file for one adversary run. One of the
+/// two CheckpointStore shapes — the other is the append-only certificate
+/// log (recover/cert_log.hpp), which rewrites O(one level) per checkpoint
+/// instead of the whole file.
+class SnapshotStore : public CheckpointStore {
  public:
   /// A store at `path`; the file need not exist yet.
   explicit SnapshotStore(std::string path);
 
-  [[nodiscard]] const std::string& path() const { return path_; }
-  [[nodiscard]] bool exists() const;
+  [[nodiscard]] const std::string& path() const override { return path_; }
+  [[nodiscard]] bool exists() const override;
 
   /// Atomically replaces the snapshot with `chain` (all levels). Requires a
   /// non-empty algorithm name when the chain has levels.
   void save(const LowerBoundCertificate& chain);
+
+  /// CheckpointStore: a snapshot checkpoint is a full atomic rewrite.
+  void checkpoint(const LowerBoundCertificate& chain) override {
+    save(chain);
+  }
 
   /// Loads the longest valid prefix of the snapshot; never throws on
   /// damaged or missing content (see RecoveryReport), only on environmental
   /// IO failure. The returned chain's delta / algorithm_name are zero/empty
   /// when the header itself could not be salvaged.
   [[nodiscard]] LowerBoundCertificate load(
-      RecoveryReport* report = nullptr) const;
+      RecoveryReport* report = nullptr) override;
 
   /// Deletes the snapshot file if present.
-  void remove();
+  void remove() override;
 
   /// The exact byte content save() would write (exposed for tests and
   /// tooling that need to construct or inspect snapshots).

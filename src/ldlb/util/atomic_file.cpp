@@ -1,6 +1,7 @@
 #include "ldlb/util/atomic_file.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -67,6 +68,38 @@ struct TempFileGuard {
   }
 };
 
+// Closes an fd on scope exit unless disarmed (fd set to -1).
+struct FdGuard {
+  int fd;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// The injector-aware write loop shared by write_file_atomic and
+// append_file_durable: the injector may throw (EIO/ENOSPC) or cap the
+// bytes accepted per call (a short write — the remainder retries,
+// consulting the injector again).
+void write_all(int fd, const std::string& path, const std::string& content,
+               FsFaultInjector* inj) {
+  const char* data = content.data();
+  std::size_t remaining = content.size();
+  while (remaining > 0) {
+    std::size_t allow = remaining;
+    if (inj) {
+      allow = inj->before_write(path, remaining);
+      if (allow == 0 || allow > remaining) allow = remaining;
+    }
+    const ssize_t written = ::write(fd, data, allow);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write", path);
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+}
+
 }  // namespace
 
 void set_fs_fault_injector(FsFaultInjector* injector) {
@@ -89,24 +122,7 @@ void write_file_atomic(const std::string& path, const std::string& content) {
   TempFileGuard tmp{fd, std::string{tmpl.data()}};
   FsFaultInjector* inj = fs_fault_injector();
 
-  const char* data = content.data();
-  std::size_t remaining = content.size();
-  while (remaining > 0) {
-    std::size_t allow = remaining;
-    if (inj) {
-      // May throw IoError (EIO / ENOSPC) or cap the bytes accepted in this
-      // call to model a short write; the remainder retries below.
-      allow = inj->before_write(tmp.path, remaining);
-      if (allow == 0 || allow > remaining) allow = remaining;
-    }
-    const ssize_t written = ::write(fd, data, allow);
-    if (written < 0) {
-      if (errno == EINTR) continue;
-      io_fail("write", tmp.path);
-    }
-    data += written;
-    remaining -= static_cast<std::size_t>(written);
-  }
+  write_all(fd, tmp.path, content, inj);
   if (inj) inj->before_fsync(tmp.path);
   if (::fsync(fd) != 0) io_fail("fsync", tmp.path);
   if (::close(fd) != 0) {
@@ -121,7 +137,53 @@ void write_file_atomic(const std::string& path, const std::string& content) {
   fsync_directory(directory_of(path));
 }
 
+void append_file_durable(const std::string& path, const std::string& content,
+                         bool sync_directory) {
+  FsFaultInjector* inj = fs_fault_injector();
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) io_fail("open(append)", path);
+  FdGuard guard{fd};
+  write_all(fd, path, content, inj);
+  if (inj) inj->before_fsync(path);
+  if (::fsync(fd) != 0) io_fail("fsync", path);
+  if (::close(fd) != 0) {
+    guard.fd = -1;
+    io_fail("close", path);
+  }
+  guard.fd = -1;
+  // Make a freshly created log file's dirent durable, mirroring the
+  // post-rename directory fsync of write_file_atomic.
+  if (sync_directory) fsync_directory(directory_of(path));
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  FsFaultInjector* inj = fs_fault_injector();
+  if (inj) inj->before_truncate(path, size);
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) io_fail("open(truncate)", path);
+  FdGuard guard{fd};
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    io_fail("ftruncate", path);
+  }
+  if (::fsync(fd) != 0) io_fail("fsync", path);
+  if (::close(fd) != 0) {
+    guard.fd = -1;
+    io_fail("close", path);
+  }
+  guard.fd = -1;
+}
+
+std::optional<std::uint64_t> file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return std::nullopt;
+    io_fail("stat", path);
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
 std::string read_file(const std::string& path) {
+  if (FsFaultInjector* inj = fs_fault_injector()) inj->before_read(path);
   std::ifstream in{path, std::ios::binary};
   if (!in) io_fail("open", path);
   std::ostringstream os;

@@ -13,9 +13,15 @@
 //
 // All certificate-to-file paths in the repo (the snapshot store,
 // `write_certificate_file`, the certificate tool) go through this helper.
+// The append-only certificate log (recover/cert_log.hpp) has a different
+// durability shape — records accrete, they are not replaced — so this file
+// also provides its two primitives: `append_file_durable` (append + fsync,
+// where a crash mid-call leaves a *torn tail* the log's open path detects
+// and truncates away) and `truncate_file` (the torn-tail repair itself).
 //
 // Fault-injection seam: every individual filesystem operation
-// (write / fsync of the temp file / rename / fsync of the parent directory)
+// (write / fsync of the temp file / rename / fsync of the parent directory,
+// plus the append / truncate / read paths of the certificate log)
 // first consults the process-wide FsFaultInjector, if one is installed.
 // fault/env_fault.hpp's EnvFaultPlan implements the interface to fail the
 // nth such operation with EIO / ENOSPC or to force a short write, which is
@@ -25,6 +31,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 
 namespace ldlb {
@@ -55,6 +63,16 @@ class FsFaultInjector {
   /// Called before the durability fsync of the destination's parent
   /// directory (the rename is already visible when this fires).
   virtual void before_dir_fsync(const std::string& /*dir*/) {}
+
+  /// Called before truncate_file shrinks `path` to `size` bytes (the
+  /// certificate log's torn-tail repair).
+  virtual void before_truncate(const std::string& /*path*/,
+                               std::uint64_t /*size*/) {}
+
+  /// Called before a read batch: once per read_file call and once per
+  /// record the certificate-log scanner consumes, so a plan can fail the
+  /// nth *record* of a streaming validation, not just the nth file.
+  virtual void before_read(const std::string& /*path*/) {}
 };
 
 /// Installs `injector` as the process-wide filesystem fault injector for
@@ -72,6 +90,25 @@ void set_fs_fault_injector(FsFaultInjector* injector);
 /// but its durability is unconfirmed — callers that must be crash-safe
 /// should treat it as a failed checkpoint and re-save.
 void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Appends `content` to `path` (creating an empty file first when absent)
+/// and fsyncs it — the durable-append primitive of the certificate log.
+/// Unlike write_file_atomic there is deliberately no temp-and-rename: an
+/// append that crashes (or is failed by the injector) part-way leaves the
+/// previous bytes intact plus a *torn tail*, exactly the damage class the
+/// log's open path classifies as kTornTail and truncates away. When
+/// `sync_directory` is set the parent directory is fsynced too (pass it for
+/// the append that creates the file, so the dirent survives a crash).
+/// Throws IoError.
+void append_file_durable(const std::string& path, const std::string& content,
+                         bool sync_directory = false);
+
+/// Truncates `path` to exactly `size` bytes and fsyncs (the certificate
+/// log's torn-tail repair). Throws IoError.
+void truncate_file(const std::string& path, std::uint64_t size);
+
+/// Size of `path` in bytes; nullopt when it does not exist.
+[[nodiscard]] std::optional<std::uint64_t> file_size(const std::string& path);
 
 /// Reads a whole file into a string. Throws IoError when the file cannot
 /// be opened or read.

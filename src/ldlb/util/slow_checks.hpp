@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <initializer_list>
 
 namespace ldlb {
 

@@ -1,0 +1,412 @@
+// The append-only streaming certificate log (recover/cert_log.hpp): exact
+// round-trips, O(one level) incremental appends, the typed damage taxonomy,
+// torn-tail recovery that resumes to byte-identical logs, and the
+// CheckpointStore seam that lets the resumable engine run over either
+// store shape unchanged.
+#include "ldlb/recover/cert_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ldlb/core/adversary.hpp"
+#include "ldlb/core/certificate_io.hpp"
+#include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/matching/two_phase_packing.hpp"
+#include "ldlb/recover/resumable_adversary.hpp"
+#include "ldlb/recover/snapshot_store.hpp"
+#include "ldlb/util/atomic_file.hpp"
+
+namespace ldlb {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+LowerBoundCertificate reference_chain(int delta) {
+  SeqColorPacking alg{delta};
+  return run_adversary(alg, delta);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out << bytes;
+  ASSERT_TRUE(out.good());
+}
+
+TEST(CertLog, RoundTripsAChainExactly) {
+  const LowerBoundCertificate chain = reference_chain(5);
+  CertificateLog log{temp_path("roundtrip.ldcl")};
+  log.remove();
+  log.checkpoint(chain);
+
+  const CertLogReport report = log.scan();
+  EXPECT_TRUE(report.file_found);
+  EXPECT_EQ(report.damage, LogDamage::kNone);
+  EXPECT_EQ(report.levels_intact, static_cast<int>(chain.levels.size()));
+  EXPECT_TRUE(report.recoverable());
+
+  RecoveryReport recovery;
+  const LowerBoundCertificate loaded = log.load(&recovery);
+  EXPECT_TRUE(recovery.complete);
+  EXPECT_EQ(recovery.levels_loaded, static_cast<int>(chain.levels.size()));
+  EXPECT_EQ(certificate_to_string(loaded), certificate_to_string(chain));
+
+  // The file is exactly serialize() of the chain, and scan() agrees on its
+  // length — no trailing bytes, no hidden state.
+  EXPECT_EQ(slurp(log.path()), CertificateLog::serialize(chain));
+  EXPECT_EQ(report.valid_bytes, CertificateLog::serialize(chain).size());
+  log.remove();
+}
+
+TEST(CertLog, CheckpointAppendsIncrementally) {
+  const LowerBoundCertificate full = reference_chain(6);
+  CertificateLog log{temp_path("incremental.ldcl")};
+  log.remove();
+
+  // Growing the chain one level at a time must only ever *extend* the
+  // file: every prefix of the final byte content is what the file held
+  // after the corresponding checkpoint.
+  LowerBoundCertificate growing;
+  growing.delta = full.delta;
+  growing.algorithm_name = full.algorithm_name;
+  std::string previous_bytes;
+  for (const CertificateLevel& lv : full.levels) {
+    growing.levels.push_back(lv);
+    log.checkpoint(growing);
+    const std::string bytes = slurp(log.path());
+    EXPECT_EQ(bytes.rfind(previous_bytes, 0), 0u)
+        << "append rewrote earlier bytes at level " << lv.level;
+    EXPECT_GT(bytes.size(), previous_bytes.size());
+    previous_bytes = bytes;
+  }
+  EXPECT_EQ(previous_bytes, CertificateLog::serialize(full));
+  log.remove();
+}
+
+TEST(CertLog, MissingFileLoadsEmpty) {
+  CertificateLog log{temp_path("missing.ldcl")};
+  log.remove();
+  EXPECT_FALSE(log.exists());
+  const CertLogReport report = log.scan();
+  EXPECT_FALSE(report.file_found);
+  EXPECT_EQ(report.damage, LogDamage::kNone);
+  RecoveryReport recovery;
+  EXPECT_TRUE(log.load(&recovery).levels.empty());
+  EXPECT_FALSE(recovery.file_found);
+  EXPECT_EQ(recovery.drop_reason, "no certificate log file");
+}
+
+TEST(CertLog, TornTailTruncatesToValidPrefixAndResumes) {
+  const LowerBoundCertificate chain = reference_chain(5);
+  const std::string clean = CertificateLog::serialize(chain);
+  CertificateLog reference{temp_path("torn_ref.ldcl")};
+  reference.remove();
+  reference.checkpoint(chain);
+
+  // Tear the file at every byte inside its final record: each cut must
+  // classify kTornTail (or be the clean boundary), load the remaining
+  // records, and checkpoint() must repair to the byte-identical clean log.
+  std::uint64_t last_record_start = 0;
+  (void)inspect_certificate_log(reference.path(),
+                                [&](const CertLogRecordInfo& info) {
+                                  last_record_start = info.offset;
+                                });
+  ASSERT_GT(last_record_start, 0u);
+  const std::string torn_path = temp_path("torn.ldcl");
+  for (std::uint64_t cut = last_record_start; cut < clean.size(); ++cut) {
+    spill(torn_path, clean.substr(0, cut));
+    CertificateLog log{torn_path};
+    const CertLogReport report = log.scan();
+    if (cut == last_record_start) {
+      EXPECT_EQ(report.damage, LogDamage::kNone);  // clean record boundary
+    } else {
+      EXPECT_EQ(report.damage, LogDamage::kTornTail) << "cut=" << cut;
+    }
+    EXPECT_TRUE(report.recoverable());
+    EXPECT_EQ(report.levels_intact, static_cast<int>(chain.levels.size()) - 1);
+
+    RecoveryReport recovery;
+    const LowerBoundCertificate salvaged = log.load(&recovery);
+    EXPECT_EQ(salvaged.levels.size(), chain.levels.size() - 1);
+
+    log.checkpoint(chain);
+    EXPECT_EQ(slurp(torn_path), clean) << "cut=" << cut;
+  }
+  reference.remove();
+  std::remove(torn_path.c_str());
+}
+
+TEST(CertLog, BitFlipInPayloadRejectsWholeArtifact) {
+  const LowerBoundCertificate chain = reference_chain(4);
+  const std::string clean = CertificateLog::serialize(chain);
+  const std::string path = temp_path("bitflip.ldcl");
+
+  // Flip one byte inside the *first* record's payload digits: the self
+  // checksum fails, the taxonomy says kBitFlip, and load() salvages
+  // nothing — mid-file damage is never "repaired".
+  std::uint64_t first_record_off = 0;
+  {
+    CertificateLog setup{path};
+    setup.remove();
+    setup.checkpoint(chain);
+    bool first = true;
+    (void)inspect_certificate_log(path, [&](const CertLogRecordInfo& info) {
+      if (first) first_record_off = info.offset;
+      first = false;
+    });
+  }
+  std::string bytes = clean;
+  const std::uint64_t target = first_record_off + 30;  // inside payload
+  ASSERT_LT(target, bytes.size());
+  bytes[target] ^= 0x01;
+  spill(path, bytes);
+
+  CertificateLog log{path};
+  const CertLogReport report = log.scan();
+  EXPECT_TRUE(report.damage == LogDamage::kBitFlip ||
+              report.damage == LogDamage::kChainBreak ||
+              report.damage == LogDamage::kBadRecord)
+      << to_string(report.damage);
+  EXPECT_FALSE(report.recoverable());
+  RecoveryReport recovery;
+  EXPECT_TRUE(log.load(&recovery).levels.empty());
+  EXPECT_FALSE(recovery.complete);
+  EXPECT_NE(recovery.drop_reason, "");
+
+  // checkpoint() over a rejected artifact rebuilds from scratch.
+  log.checkpoint(chain);
+  EXPECT_EQ(slurp(path), clean);
+  log.remove();
+}
+
+TEST(CertLog, ReorderedRecordsAreAChainBreak) {
+  const LowerBoundCertificate chain = reference_chain(5);
+  const std::string clean = CertificateLog::serialize(chain);
+  const std::string path = temp_path("reorder.ldcl");
+
+  // Swap records 1 and 2 wholesale. Each still carries a valid self
+  // checksum, so only the predecessor chain can convict: index-out-of-
+  // sequence (kChainBreak) at the first displaced record.
+  std::vector<std::uint64_t> offsets;
+  {
+    CertificateLog setup{path};
+    setup.remove();
+    setup.checkpoint(chain);
+    (void)inspect_certificate_log(path, [&](const CertLogRecordInfo& info) {
+      offsets.push_back(info.offset);
+    });
+  }
+  ASSERT_GE(offsets.size(), 4u);
+  const std::string rec1 =
+      clean.substr(offsets[1], offsets[2] - offsets[1]);
+  const std::string rec2 =
+      clean.substr(offsets[2], offsets[3] - offsets[2]);
+  const std::string spliced = clean.substr(0, offsets[1]) + rec2 + rec1 +
+                              clean.substr(offsets[3]);
+  spill(path, spliced);
+
+  CertificateLog log{path};
+  const CertLogReport report = log.scan();
+  EXPECT_EQ(report.damage, LogDamage::kChainBreak);
+  EXPECT_EQ(report.defect_level, 1);
+  EXPECT_FALSE(report.recoverable());
+  RecoveryReport recovery;
+  EXPECT_TRUE(log.load(&recovery).levels.empty());
+  log.remove();
+}
+
+TEST(CertLog, DuplicatedRecordIsAChainBreak) {
+  const LowerBoundCertificate chain = reference_chain(4);
+  const std::string clean = CertificateLog::serialize(chain);
+  const std::string path = temp_path("duplicate.ldcl");
+  std::vector<std::uint64_t> offsets;
+  {
+    CertificateLog setup{path};
+    setup.remove();
+    setup.checkpoint(chain);
+    (void)inspect_certificate_log(path, [&](const CertLogRecordInfo& info) {
+      offsets.push_back(info.offset);
+    });
+  }
+  ASSERT_GE(offsets.size(), 2u);
+  const std::string rec1 = clean.substr(offsets[1]);
+  spill(path, clean + rec1);  // replay the tail record
+
+  CertificateLog log{path};
+  const CertLogReport report = log.scan();
+  EXPECT_EQ(report.damage, LogDamage::kChainBreak);
+  EXPECT_FALSE(report.recoverable());
+  log.remove();
+}
+
+TEST(CertLog, HeaderTamperSurfacesEvenWhenItStillParses) {
+  const LowerBoundCertificate chain = reference_chain(4);
+  std::string bytes = CertificateLog::serialize(chain);
+  const std::string path = temp_path("header_tamper.ldcl");
+
+  // "delta 4" -> "delta 5": still a perfectly parsable header, but the
+  // genesis checksum seeds the chain, so record 0 no longer verifies.
+  const std::size_t pos = bytes.find("delta 4");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + 6] = '5';
+  spill(path, bytes);
+
+  CertificateLog log{path};
+  const CertLogReport report = log.scan();
+  EXPECT_EQ(report.damage, LogDamage::kChainBreak);
+  EXPECT_EQ(report.defect_level, 0);
+  EXPECT_FALSE(report.recoverable());
+  log.remove();
+}
+
+TEST(CertLog, StreamingValidationMatchesResidentValidation) {
+  const int delta = 6;
+  const LowerBoundCertificate chain = reference_chain(delta);
+  CertificateLog log{temp_path("validate.ldcl")};
+  log.remove();
+  log.checkpoint(chain);
+
+  SeqColorPacking alg{delta};
+  int seen = 0;
+  const CertLogValidation v = validate_certificate_log(
+      log.path(), alg, /*check_loopiness=*/true,
+      [&](const LevelValidation& lv) {
+        EXPECT_TRUE(lv.ok()) << "level " << lv.level;
+        ++seen;
+      });
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.delta, delta);
+  EXPECT_EQ(v.algorithm_name, chain.algorithm_name);
+  EXPECT_EQ(v.levels_checked, delta - 1);
+  EXPECT_EQ(seen, delta - 1);
+  EXPECT_TRUE(v.chain_complete);
+
+  // A log the *wrong algorithm* reads must fail semantic validation even
+  // though every checksum passes.
+  TwoPhasePacking other{delta};
+  const CertLogValidation wrong =
+      validate_certificate_log(log.path(), other);
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_GE(wrong.first_invalid_level, 0);
+  log.remove();
+}
+
+TEST(CertLog, IncompleteChainIsValidButNotComplete) {
+  const LowerBoundCertificate chain = reference_chain(6);
+  LowerBoundCertificate partial = chain;
+  partial.levels.resize(2);
+  CertificateLog log{temp_path("partial.ldcl")};
+  log.remove();
+  log.checkpoint(partial);
+
+  SeqColorPacking alg{6};
+  const CertLogValidation v = validate_certificate_log(log.path(), alg);
+  EXPECT_EQ(v.log.damage, LogDamage::kNone);
+  EXPECT_EQ(v.levels_checked, 2);
+  EXPECT_EQ(v.first_invalid_level, -1);
+  EXPECT_FALSE(v.chain_complete);
+  EXPECT_FALSE(v.ok());
+  log.remove();
+}
+
+TEST(CertLog, ResumableEngineRunsOverTheLogByteIdentically) {
+  // The CheckpointStore seam end to end: crash-stop a resumable run that
+  // checkpoints into the log, resume it, and compare against both the
+  // uninterrupted run and the snapshot-store-backed run.
+  const int delta = 5;
+  const std::string reference =
+      certificate_to_string(reference_chain(delta));
+
+  CertificateLog log{temp_path("engine.ldcl")};
+  log.remove();
+  {
+    SeqColorPacking alg{delta};
+    ResumeOptions options;
+    options.on_checkpoint = crash_at_level(1);
+    EXPECT_THROW(run_adversary_resumable(alg, delta, log, options),
+                 FaultInjected);
+  }
+  // The crash left a clean log holding exactly levels 0..1.
+  const CertLogReport mid = log.scan();
+  EXPECT_EQ(mid.damage, LogDamage::kNone);
+  EXPECT_EQ(mid.levels_intact, 2);
+
+  SeqColorPacking alg{delta};
+  ResumeInfo info;
+  const LowerBoundCertificate resumed =
+      run_adversary_resumable(alg, delta, log, {}, &info);
+  EXPECT_EQ(certificate_to_string(resumed), reference);
+  EXPECT_EQ(info.loaded_levels, 2);
+  EXPECT_EQ(info.trusted_levels, 2);
+  EXPECT_EQ(info.computed_levels, delta - 2 - 1);
+
+  SnapshotStore snap{temp_path("engine.snap")};
+  snap.remove();
+  SeqColorPacking alg2{delta};
+  const LowerBoundCertificate via_snapshot =
+      run_adversary_resumable(alg2, delta, snap, {});
+  EXPECT_EQ(certificate_to_string(via_snapshot), reference);
+  snap.remove();
+  log.remove();
+}
+
+TEST(CertLog, RevalidationRejectTruncatesTheLogTail) {
+  // A log whose tail was built by a *different* algorithm fails the
+  // engine's semantic revalidation; the engine then hands checkpoint() a
+  // shorter trusted prefix, which must truncate the stale tail in place —
+  // never leave rejected records behind the new ones.
+  const int delta = 5;
+  const std::string path = temp_path("revalidate.ldcl");
+  {
+    TwoPhasePacking other{delta};
+    CertificateLog log{path};
+    log.remove();
+    LowerBoundCertificate foreign = run_adversary(other, delta);
+    // Re-label so delta/name match the upcoming job and only semantics
+    // can convict the tail.
+    foreign.algorithm_name = SeqColorPacking{delta}.name();
+    log.checkpoint(foreign);
+  }
+  SeqColorPacking alg{delta};
+  CertificateLog log{path};
+  ResumeInfo info;
+  const LowerBoundCertificate resumed =
+      run_adversary_resumable(alg, delta, log, {}, &info);
+  EXPECT_EQ(certificate_to_string(resumed),
+            certificate_to_string(reference_chain(delta)));
+  EXPECT_LT(info.trusted_levels, info.loaded_levels);
+  EXPECT_NE(info.discard_reason, "");
+  // The repaired log round-trips cleanly and holds the resumed chain.
+  const CertLogReport report = log.scan();
+  EXPECT_EQ(report.damage, LogDamage::kNone);
+  EXPECT_EQ(report.levels_intact, delta - 1);
+  EXPECT_EQ(slurp(path), CertificateLog::serialize(resumed));
+  log.remove();
+}
+
+TEST(CertLog, CheckpointResetsAStoreNamedForAnotherJob) {
+  const LowerBoundCertificate five = reference_chain(5);
+  const LowerBoundCertificate four = reference_chain(4);
+  CertificateLog log{temp_path("rejob.ldcl")};
+  log.remove();
+  log.checkpoint(five);
+  // Same path, different job: the log must not try to splice — it resets.
+  log.checkpoint(four);
+  EXPECT_EQ(slurp(log.path()), CertificateLog::serialize(four));
+  log.remove();
+}
+
+}  // namespace
+}  // namespace ldlb

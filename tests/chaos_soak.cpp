@@ -24,13 +24,25 @@
 //              armed on the coordinator's side of the wire — refused
 //              connect, mid-frame disconnect, corrupt byte, delay or a
 //              short partition — survived by reconnect+replay with the
-//              clean run's exact bytes.
+//              clean run's exact bytes;
+//   certlog-kill (only with LDLB_CHAOS_CERTLOG=1) a child process
+//              checkpointing into the append-only certificate log is
+//              SIGKILLed from its own checkpoint hook, the survivor log is
+//              additionally torn mid-record, and the reopen must classify
+//              the damage as a recoverable torn tail and resume to the
+//              clean run's exact bytes — with the repaired log file
+//              byte-identical to a never-crashed one.
+//
+// With LDLB_CHAOS_CERTLOG=1 the checkpoint store also alternates per cycle
+// between the rewrite-whole-file SnapshotStore and the append-only
+// CertificateLog, so every scenario's interference runs against both
+// durability strategies.
 //
 // The seed is printed up front and on every failure; override it with
 // LDLB_CHAOS_SEED and the cycle count with LDLB_CHAOS_CYCLES. Not a gtest
 // binary — scripts/ci.sh runs it as its own bounded stage (with
-// LDLB_CHAOS_KILL=1 and LDLB_CHAOS_NET=1 so the fleet and network
-// scenarios are in the rotation).
+// LDLB_CHAOS_KILL=1, LDLB_CHAOS_NET=1 and LDLB_CHAOS_CERTLOG=1 so the
+// fleet, network and certificate-log scenarios are in the rotation).
 #include <unistd.h>
 
 #include <cstdio>
@@ -51,6 +63,7 @@
 #include "ldlb/fault/guarded_run.hpp"
 #include "ldlb/fault/net_fault.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/recover/cert_log.hpp"
 #include "ldlb/recover/resumable_adversary.hpp"
 #include "ldlb/recover/snapshot_store.hpp"
 #include "ldlb/util/alloc_guard.hpp"
@@ -104,14 +117,18 @@ int main() {
       static_cast<int>(env_u64("LDLB_CHAOS_CYCLES", 25));
   const bool fleet_kill = env_u64("LDLB_CHAOS_KILL", 0) != 0;
   const bool net_chaos = env_u64("LDLB_CHAOS_NET", 0) != 0;
-  std::printf("chaos_soak: seed=%llu cycles=%d fleet-kill=%s net-fault=%s\n",
-              g_seed, cycles, fleet_kill ? "on" : "off",
-              net_chaos ? "on" : "off");
+  const bool certlog_chaos = env_u64("LDLB_CHAOS_CERTLOG", 0) != 0;
+  std::printf(
+      "chaos_soak: seed=%llu cycles=%d fleet-kill=%s net-fault=%s "
+      "certlog=%s\n",
+      g_seed, cycles, fleet_kill ? "on" : "off", net_chaos ? "on" : "off",
+      certlog_chaos ? "on" : "off");
 
   const std::string path =
       (fs::temp_directory_path() /
        ("ldlb_chaos_" + std::to_string(::getpid()) + ".snap"))
           .string();
+  const std::string log_path = path + ".log";
 
   Rng rng{static_cast<std::uint64_t>(g_seed)};
   std::map<int, std::string> clean_by_delta;
@@ -125,14 +142,30 @@ int main() {
     }
     return it->second;
   };
+  // With LDLB_CHAOS_CERTLOG=1, odd cycles checkpoint into the append-only
+  // certificate log instead of the snapshot store — same interference, the
+  // other durability strategy.
+  bool use_log = false;
+  const auto store_path = [&]() -> const std::string& {
+    return use_log ? log_path : path;
+  };
+  const auto make_store = [&]() -> std::unique_ptr<CheckpointStore> {
+    if (use_log) return std::make_unique<CertificateLog>(log_path);
+    return std::make_unique<SnapshotStore>(path);
+  };
   const auto resume_and_compare = [&](int delta) {
     SeqColorPacking alg{delta};
-    SnapshotStore store(path);
+    const auto store = make_store();
     ResumeInfo info;
-    const std::string resumed = certificate_to_string(
-        run_adversary_resumable(alg, delta, store, {}, &info));
-    check(resumed == clean_bytes(delta),
+    LowerBoundCertificate chain =
+        run_adversary_resumable(alg, delta, *store, {}, &info);
+    check(certificate_to_string(chain) == clean_bytes(delta),
           "resumed certificate differs from the clean run");
+    if (use_log) {
+      // The repaired log must be byte-identical to a never-crashed one.
+      check(read_file(log_path) == CertificateLog::serialize(chain),
+            "repaired certificate log differs from a clean serialization");
+    }
   };
 
   try {
@@ -142,15 +175,25 @@ int main() {
       ThreadPool::set_global_threads(threads);
       const std::string& clean = clean_bytes(delta);
       fs::remove(path);
+      fs::remove(log_path);
+      use_log = certlog_chaos && g_cycle % 2 == 1;
 
       // Scenario slots: 0..3 always, 4 = fleet-kill (LDLB_CHAOS_KILL=1),
-      // 5 = net-fault (LDLB_CHAOS_NET=1). The remap keeps each slot's
-      // meaning stable regardless of which flags are set, so a seed
-      // replays the same scenario sequence under the same flags.
-      const std::uint64_t scenario_count =
-          4 + (fleet_kill ? 1 : 0) + (net_chaos ? 1 : 0);
+      // 5 = net-fault (LDLB_CHAOS_NET=1), 6 = certlog-kill
+      // (LDLB_CHAOS_CERTLOG=1). The remap keeps each slot's meaning stable
+      // regardless of which flags are set, so a seed replays the same
+      // scenario sequence under the same flags.
+      const std::uint64_t scenario_count = 4 + (fleet_kill ? 1 : 0) +
+                                           (net_chaos ? 1 : 0) +
+                                           (certlog_chaos ? 1 : 0);
       std::uint64_t pick = rng.next_below(scenario_count);
-      if (!fleet_kill && pick == 4) pick = 5;
+      if (pick >= 4) {
+        std::vector<std::uint64_t> enabled;
+        if (fleet_kill) enabled.push_back(4);
+        if (net_chaos) enabled.push_back(5);
+        if (certlog_chaos) enabled.push_back(6);
+        pick = enabled[pick - 4];
+      }
       switch (pick) {
         case 0: {  // cooperative cancel at a random checkpoint, then resume
           g_scenario = "cancel";
@@ -158,7 +201,7 @@ int main() {
               static_cast<int>(rng.next_below(delta - 1));
           {
             SeqColorPacking alg{delta};
-            SnapshotStore store(path);
+            const auto store = make_store();
             CancellationToken token;
             ResumeOptions options;
             options.adversary.cancel = &token;
@@ -168,7 +211,7 @@ int main() {
               }
             };
             try {
-              run_adversary_resumable(alg, delta, store, options);
+              run_adversary_resumable(alg, delta, *store, options);
               // A cancel at the final checkpoint lands after the chain is
               // already complete; nothing was interrupted.
             } catch (const Cancelled&) {
@@ -190,9 +233,9 @@ int main() {
             ScopedFsFaultInjection install(&plan);
             plan.arm(op, mode, nth);
             SeqColorPacking alg{delta};
-            SnapshotStore store(path);
+            const auto store = make_store();
             try {
-              run_adversary_resumable(alg, delta, store, {});
+              run_adversary_resumable(alg, delta, *store, {});
               // nth beyond the number of saves: the plan never fired.
             } catch (const IoError&) {
             }
@@ -204,11 +247,12 @@ int main() {
           g_scenario = "torn-tail";
           {
             SeqColorPacking alg{delta};
-            SnapshotStore store(path);
-            run_adversary_resumable(alg, delta, store, {});
+            const auto store = make_store();
+            run_adversary_resumable(alg, delta, *store, {});
           }
-          const std::string full = read_file(path);
-          write_file_atomic(path, full.substr(0, rng.next_below(full.size())));
+          const std::string full = read_file(store_path());
+          write_file_atomic(store_path(),
+                            full.substr(0, rng.next_below(full.size())));
           resume_and_compare(delta);
           break;
         }
@@ -270,10 +314,10 @@ int main() {
           const AlgorithmFactory factory = [delta]() {
             return std::make_unique<SeqColorPacking>(delta);
           };
-          SnapshotStore store(path);
+          const auto store = make_store();
           FleetReport report;
           const std::string bytes = certificate_to_string(
-              run_adversary_fleet(factory, delta, store, options, &report));
+              run_adversary_fleet(factory, delta, *store, options, &report));
           check(report.status == RunStatus::kOk,
                 "fleet run did not survive the kills: " + report.to_string());
           check(bytes == clean,
@@ -281,7 +325,7 @@ int main() {
                     std::to_string(report.respawns) + " respawns");
           break;
         }
-        default: {  // socket fleet with one random wire fault armed
+        case 5: {  // socket fleet with one random wire fault armed
           g_scenario = "net-fault";
           const AlgorithmFactory factory = [delta]() {
             return std::make_unique<SeqColorPacking>(delta);
@@ -336,9 +380,9 @@ int main() {
             NetFaultPlan plan;
             ScopedNetFaultInjection install(&plan);
             plan.arm(kind, nth, value);
-            SnapshotStore store(path);
+            const auto store = make_store();
             bytes = certificate_to_string(
-                run_adversary_fleet(factory, delta, store, options, &report));
+                run_adversary_fleet(factory, delta, *store, options, &report));
           }
           for (const pid_t pid : daemon_pids) {
             ipc::kill_process(pid);
@@ -354,6 +398,48 @@ int main() {
                     to_string(kind));
           break;
         }
+        default: {  // SIGKILL a log-writing child, tear the tail, resume
+          g_scenario = "certlog-kill";
+          fs::remove(log_path);
+          const int kill_level = static_cast<int>(rng.next_below(delta - 1));
+          const pid_t writer = ipc::spawn_child([&]() {
+            SeqColorPacking alg{delta};
+            CertificateLog store(log_path);
+            ResumeOptions options;
+            options.on_checkpoint = [&](const CertificateLevel& lv) {
+              // A real SIGKILL, not an exception: the child dies with the
+              // append for this level already durable, nothing cleaned up.
+              if (lv.level == kill_level) ipc::kill_process(::getpid());
+            };
+            run_adversary_resumable(alg, delta, store, options);
+            return 0;
+          });
+          (void)ipc::wait_exit(writer, Deadline::in(60.0));
+
+          // The kill landed between appends; additionally tear the tail
+          // the way a kill *during* the append would have.
+          const std::string bytes = read_file(log_path);
+          check(!bytes.empty(), "killed writer left no certificate log");
+          const std::size_t tear = rng.next_below(
+              std::min<std::size_t>(bytes.size(), 200));
+          write_file_atomic(log_path, bytes.substr(0, bytes.size() - tear));
+
+          CertificateLog store(log_path);
+          const CertLogReport report = store.scan();
+          check(report.recoverable(),
+                "torn certificate log classified unrecoverable: " +
+                    report.to_string());
+          SeqColorPacking alg{delta};
+          LowerBoundCertificate chain =
+              run_adversary_resumable(alg, delta, store, {});
+          check(certificate_to_string(chain) == clean,
+                "certificate resumed over the torn log differs from the "
+                "clean run");
+          check(read_file(log_path) == CertificateLog::serialize(chain),
+                "repaired certificate log differs from a clean "
+                "serialization");
+          break;
+        }
       }
       std::printf("chaos_soak: cycle %d ok (delta=%d threads=%d %s)\n",
                   g_cycle, delta, threads, g_scenario);
@@ -364,6 +450,7 @@ int main() {
   }
 
   fs::remove(path);
+  fs::remove(log_path);
   ThreadPool::set_global_threads(0);
   std::printf("chaos_soak: all %d cycles ok (seed=%llu)\n", cycles, g_seed);
   return 0;

@@ -12,6 +12,7 @@
 #include "ldlb/core/certificate_io.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
 #include "ldlb/matching/two_phase_packing.hpp"
+#include "ldlb/recover/snapshot_store.hpp"
 #include "ldlb/util/atomic_file.hpp"
 #include "ldlb/util/error.hpp"
 
@@ -159,7 +160,7 @@ TEST(CrashResume, SnapshotForDifferentJobIsDiscardedWholesale) {
   EXPECT_EQ(certificate_to_string(cert), reference_text(delta));
   EXPECT_GT(info.loaded_levels, 0);
   EXPECT_EQ(info.trusted_levels, 0);
-  EXPECT_NE(info.discard_reason.find("snapshot is for"), std::string::npos);
+  EXPECT_NE(info.discard_reason.find("stored chain is for"), std::string::npos);
   store.remove();
 }
 

@@ -19,6 +19,7 @@
 #include "ldlb/core/certificate_io.hpp"
 #include "ldlb/fault/fleet.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/recover/snapshot_store.hpp"
 #include "ldlb/util/error.hpp"
 #include "ldlb/util/ipc.hpp"
 #include "ldlb/util/net.hpp"

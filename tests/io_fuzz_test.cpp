@@ -18,6 +18,7 @@
 #include "ldlb/graph/generators.hpp"
 #include "ldlb/graph/graph_io.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/recover/cert_log.hpp"
 #include "ldlb/recover/snapshot_store.hpp"
 #include "ldlb/util/atomic_file.hpp"
 #include "ldlb/util/error.hpp"
@@ -387,6 +388,149 @@ TEST(IoFuzz, SnapshotSwappedRecordsDropAtTheFirstOutOfOrder) {
     expect_clean_prefix(loaded, chain);
   }
   store.remove();
+}
+
+// --- certificate-log damage sweeps ----------------------------------------
+
+// The append-only certificate log (recover/cert_log) makes a stronger
+// promise than the snapshot store: every corruption lands in the *typed*
+// damage taxonomy — kTornTail is repaired, everything else rejects the
+// artefact — and load() never throws, never invents levels, never returns
+// anything but a byte-exact prefix of the clean chain.
+
+struct CertLogFixture {
+  LowerBoundCertificate chain;
+  std::string full;   // clean serialized log
+  std::string path;
+  std::vector<std::uint64_t> offsets;  // record start offsets + end-of-file
+};
+
+CertLogFixture make_cert_log_fixture(const char* name) {
+  CertLogFixture f;
+  SeqColorPacking alg{4};
+  f.chain = run_adversary(alg, 4);
+  f.full = CertificateLog::serialize(f.chain);
+  f.path =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  write_file_atomic(f.path, f.full);
+  const CertLogReport clean = inspect_certificate_log(
+      f.path,
+      [&](const CertLogRecordInfo& rec) { f.offsets.push_back(rec.offset); });
+  EXPECT_EQ(clean.damage, LogDamage::kNone);
+  f.offsets.push_back(f.full.size());
+  return f;
+}
+
+// Every single-byte flip must be classified (never kNone, never a crash)
+// and load() must still salvage a clean prefix.
+TEST(IoFuzz, CertLogEveryByteFlipLandsInTheTaxonomy) {
+  CertLogFixture f = make_cert_log_fixture("io_log_flip.log");
+  CertificateLog log{f.path};
+  for (std::size_t at = 0; at < f.full.size(); ++at) {
+    std::string text = f.full;
+    text[at] = static_cast<char>(text[at] ^ 0x01);  // guaranteed change
+    write_file_atomic(f.path, text);
+    const CertLogReport report = log.scan();
+    EXPECT_NE(report.damage, LogDamage::kNone) << "flip at byte " << at;
+    RecoveryReport recovery;
+    LowerBoundCertificate loaded = log.load(&recovery);  // must not throw
+    if (!report.recoverable()) {
+      EXPECT_TRUE(loaded.levels.empty()) << "flip at byte " << at;
+    }
+    expect_clean_prefix(loaded, f.chain);
+  }
+  log.remove();
+}
+
+// Every truncation point is either clean (a record boundary) or a torn
+// tail — always recoverable — and checkpoint() repairs the file back to
+// the byte-identical clean log.
+TEST(IoFuzz, CertLogEveryTruncationPointIsTornOrClean) {
+  CertLogFixture f = make_cert_log_fixture("io_log_trunc.log");
+  CertificateLog log{f.path};
+  for (std::size_t cut = 0; cut <= f.full.size(); ++cut) {
+    write_file_atomic(f.path, f.full.substr(0, cut));
+    const CertLogReport report = log.scan();
+    EXPECT_TRUE(report.recoverable()) << "cut at byte " << cut;
+    const bool boundary =
+        std::find(f.offsets.begin(), f.offsets.end(), cut) != f.offsets.end();
+    EXPECT_EQ(report.damage == LogDamage::kNone, boundary)
+        << "cut at byte " << cut;
+    EXPECT_LE(report.valid_bytes, cut);
+    if (cut % 7 == 0 || cut + 1 == f.full.size()) {
+      // Torn-tail repair: truncate to the valid prefix, append the rest.
+      log.checkpoint(f.chain);
+      EXPECT_EQ(read_file(f.path), f.full) << "cut at byte " << cut;
+      write_file_atomic(f.path, f.full.substr(0, cut));  // re-tear
+    }
+  }
+  log.remove();
+}
+
+// Records spliced out of order — duplicated or swapped — break the
+// predecessor chain exactly at the splice.
+TEST(IoFuzz, CertLogSplicedRecordsAreChainBreaks) {
+  CertLogFixture f = make_cert_log_fixture("io_log_splice.log");
+  CertificateLog log{f.path};
+  const std::size_t n = f.offsets.size() - 1;  // record count
+  ASSERT_GE(n, 3u);
+  const auto record = [&](std::size_t i) {
+    return f.full.substr(f.offsets[i], f.offsets[i + 1] - f.offsets[i]);
+  };
+  const std::string header = f.full.substr(0, f.offsets[0]);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    SCOPED_TRACE("duplicated record " + std::to_string(k));
+    std::string text = header;
+    for (std::size_t i = 0; i <= k; ++i) text += record(i);
+    text += record(k);  // the duplicate
+    for (std::size_t i = k + 1; i < n; ++i) text += record(i);
+    write_file_atomic(f.path, text);
+    const CertLogReport report = log.scan();
+    EXPECT_EQ(report.damage, LogDamage::kChainBreak);
+    EXPECT_EQ(report.defect_level, static_cast<int>(k + 1));
+    EXPECT_TRUE(log.load().levels.empty());  // rejected wholesale
+  }
+
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    SCOPED_TRACE("swapped records " + std::to_string(k) + "," +
+                 std::to_string(k + 1));
+    std::string text = header;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i == k) ? k + 1 : (i == k + 1) ? k : i;
+      text += record(j);
+    }
+    write_file_atomic(f.path, text);
+    const CertLogReport report = log.scan();
+    EXPECT_EQ(report.damage, LogDamage::kChainBreak);
+    EXPECT_EQ(report.defect_level, static_cast<int>(k));
+    EXPECT_TRUE(log.load().levels.empty());
+  }
+  log.remove();
+}
+
+// A record spliced in from a *different* log (same delta, different
+// algorithm name in the header) fails the chain even when its self
+// checksum verifies — the chain is seeded from the header.
+TEST(IoFuzz, CertLogForeignRecordIsAChainBreak) {
+  CertLogFixture f = make_cert_log_fixture("io_log_foreign.log");
+  // Same chain re-serialized under a different header.
+  LowerBoundCertificate relabeled = f.chain;
+  relabeled.algorithm_name = "Imposter";
+  const std::string foreign = CertificateLog::serialize(relabeled);
+  const std::size_t foreign_body = foreign.find("record ");
+  ASSERT_NE(foreign_body, std::string::npos);
+  // Foreign header + original records: genesis differs, so record 0's
+  // chain checksum no longer verifies.
+  const std::string text =
+      foreign.substr(0, foreign_body) + f.full.substr(f.offsets[0]);
+  write_file_atomic(f.path, text);
+  CertificateLog log{f.path};
+  const CertLogReport report = log.scan();
+  EXPECT_EQ(report.damage, LogDamage::kChainBreak);
+  EXPECT_EQ(report.defect_level, 0);
+  EXPECT_TRUE(log.load().levels.empty());
+  log.remove();
 }
 
 // --- randomised mutation sweep --------------------------------------------

@@ -1,0 +1,9 @@
+// Fixture: raw-log-write — appending to the certificate log without the
+// chained-checksum geometry that CertificateLog maintains.
+#include <unistd.h>
+
+namespace ldlb {
+
+int bypass_log_geometry(int fd) { return ftruncate(fd, 0); }
+
+}  // namespace ldlb

@@ -26,8 +26,9 @@ constexpr RunStatus kAllRunStatuses[] = {
     RunStatus::kContractViolation, RunStatus::kWorkerLost,
 };
 
-constexpr FsOp kAllFsOps[] = {FsOp::kWrite, FsOp::kFsync, FsOp::kRename,
-                              FsOp::kDirFsync};
+constexpr FsOp kAllFsOps[] = {FsOp::kWrite,    FsOp::kFsync,
+                              FsOp::kRename,   FsOp::kDirFsync,
+                              FsOp::kTruncate, FsOp::kRead};
 
 constexpr EnvFaultMode kAllEnvFaultModes[] = {
     EnvFaultMode::kEio, EnvFaultMode::kEnospc, EnvFaultMode::kShortWrite};
@@ -64,6 +65,10 @@ const char* expected_name(FsOp op) {
       return "rename";
     case FsOp::kDirFsync:
       return "dir-fsync";
+    case FsOp::kTruncate:
+      return "truncate";
+    case FsOp::kRead:
+      return "read";
   }
   return nullptr;
 }
@@ -103,6 +108,29 @@ TEST(StatusStrings, EveryFsOpAndModeHasAUniqueName) {
   }
   EXPECT_EQ(seen.size(),
             std::size(kAllFsOps) + std::size(kAllEnvFaultModes));
+}
+
+// certificate_tool's --inject flag parses fault plans from the to_string
+// vocabulary; the parsers must be exact inverses and reject anything else.
+TEST(StatusStrings, FsOpAndModeParsersRoundTrip) {
+  for (FsOp op : kAllFsOps) {
+    FsOp parsed = FsOp::kWrite;
+    EXPECT_TRUE(fs_op_from_string(to_string(op), parsed)) << to_string(op);
+    EXPECT_EQ(parsed, op);
+  }
+  for (EnvFaultMode mode : kAllEnvFaultModes) {
+    EnvFaultMode parsed = EnvFaultMode::kEio;
+    EXPECT_TRUE(env_fault_mode_from_string(to_string(mode), parsed))
+        << to_string(mode);
+    EXPECT_EQ(parsed, mode);
+  }
+  FsOp op_untouched = FsOp::kRename;
+  EXPECT_FALSE(fs_op_from_string("no-such-op", op_untouched));
+  EXPECT_FALSE(fs_op_from_string("", op_untouched));
+  EXPECT_EQ(op_untouched, FsOp::kRename);
+  EnvFaultMode mode_untouched = EnvFaultMode::kEnospc;
+  EXPECT_FALSE(env_fault_mode_from_string("no-such-mode", mode_untouched));
+  EXPECT_EQ(mode_untouched, EnvFaultMode::kEnospc);
 }
 
 // The wire protocol (fault/fleet) carries a worker's classification back to

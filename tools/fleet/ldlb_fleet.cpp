@@ -13,6 +13,8 @@
 #include "ldlb/core/certificate_io.hpp"
 #include "ldlb/fault/fleet.hpp"
 #include "ldlb/matching/seq_color_packing.hpp"
+#include "ldlb/recover/cert_log.hpp"
+#include "ldlb/recover/snapshot_store.hpp"
 #include "ldlb/util/ipc.hpp"
 #include "ldlb/util/net.hpp"
 #include "ldlb/util/rng.hpp"
@@ -23,6 +25,9 @@ void help(std::ostream& os, const char* argv0) {
   os << "usage: " << argv0
      << " --delta <d> --snapshot <path> [options]   coordinator (pipe fleet)\n"
      << "       " << argv0
+     << " --delta <d> --log <path> [options]        coordinator (streaming\n"
+     << "                                  certificate log instead of snapshot)\n"
+     << "       " << argv0
      << " --delta <d> --snapshot <path> --connect <host:port[,host:port...]>\n"
      << "                                  [options]   coordinator (socket fleet)\n"
      << "       " << argv0
@@ -32,7 +37,12 @@ void help(std::ostream& os, const char* argv0) {
      << "  --workers <n>            worker slots (0 = in-process engine; default 2)\n"
      << "  --print                  write the final certificate text to stdout\n"
      << "  --report                 write the FleetReport to stderr\n"
-     << "  --resume                 keep an existing snapshot (default: start fresh)\n"
+     << "  --log <path>             checkpoint into an append-only streaming\n"
+     << "                           certificate log (recover/cert_log) instead of\n"
+     << "                           the rewrite-whole-file snapshot store\n"
+     << "  --resume                 keep an existing store (default: start fresh)\n"
+     << "  --no-ball-ship           do not ship the coordinator's interned ball\n"
+     << "                           table to (re)spawned workers (cold starts)\n"
      << "  --kill-every-level <s>   chaos: violently sever one seed-chosen worker\n"
      << "                           link as each level's requests go out (SIGKILL\n"
      << "                           for pipe workers, abortive RST for sockets)\n"
@@ -57,7 +67,7 @@ void help(std::ostream& os, const char* argv0) {
      << "  0  certificate produced (or daemon finished cleanly)\n"
      << "  1  real failure (classified in the --report output)\n"
      << "  2  usage error\n"
-     << "  3  injected crash-stop fired; the snapshot is resumable (--resume)\n"
+     << "  3  injected crash-stop fired; the store is resumable (--resume)\n"
      << "  4  remote transport exhausted under --no-degrade: every socket\n"
      << "     worker's respawn budget was spent and degradation was refused\n";
 }
@@ -100,12 +110,14 @@ int main(int argc, char** argv) {
   int delta = 0;
   int workers = 2;
   std::string snapshot;
+  std::string log_path;
   std::string connect_spec;
   bool print = false;
   bool report_wanted = false;
   bool resume = false;
   bool chaos = false;
   bool degrade = true;
+  bool ball_ship = true;
   std::uint64_t chaos_seed = 0;
   int abort_after_level = -1;
   int max_respawns = 3;
@@ -133,6 +145,10 @@ int main(int argc, char** argv) {
       workers = std::atoi(value());
     } else if (arg == "--snapshot") {
       snapshot = value();
+    } else if (arg == "--log") {
+      log_path = value();
+    } else if (arg == "--no-ball-ship") {
+      ball_ship = false;
     } else if (arg == "--connect") {
       connect_spec = value();
     } else if (arg == "--listen") {
@@ -187,12 +203,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (workers < 0 || snapshot.empty()) return usage(argv[0]);
+  if (workers < 0 || (snapshot.empty() == log_path.empty())) {
+    // Exactly one of --snapshot / --log picks the checkpoint store.
+    return usage(argv[0]);
+  }
 
   FleetOptions options;
   options.workers = workers;
   options.max_respawns_per_level = max_respawns;
   options.degrade = degrade;
+  options.ship_ball_table = ball_ship;
   options.connect_timeout_seconds = connect_timeout;
   options.stale_after_seconds = stale_after;
   if (!connect_spec.empty()) {
@@ -203,7 +223,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  SnapshotStore store{snapshot};
+  std::unique_ptr<CheckpointStore> store_owner;
+  if (!log_path.empty()) {
+    store_owner = std::make_unique<CertificateLog>(log_path);
+  } else {
+    store_owner = std::make_unique<SnapshotStore>(snapshot);
+  }
+  CheckpointStore& store = *store_owner;
   if (!resume) store.remove();
 
   Rng rng{chaos_seed};

@@ -197,6 +197,30 @@ std::vector<Rule> build_rules() {
     rules.push_back(std::move(r));
   }
 
+  {
+    Rule r;
+    r.name = "raw-log-write";
+    r.prefix = "raw log write ";
+    r.suffix =
+        " outside recover/cert_log and util/atomic_file; the append-only "
+        "certificate log owns its chained-checksum geometry — route appends "
+        "and truncations through CertificateLog so tamper evidence cannot "
+        "be bypassed";
+    r.patterns = {
+        pat(R"(\bftruncate\s*\()", "ftruncate("),
+        // ::-qualified like raw-socket's bind: truncate_file is the audited
+        // wrapper, ::truncate the syscall.
+        pat(R"((^|[^\w])::truncate\s*\()", "truncate("),
+        pat(R"(\bappend_file_durable\s*\()", "append_file_durable("),
+        pat(R"(\btruncate_file\s*\()", "truncate_file("),
+        pat(R"(std::ios(_base)?::app\b)", "std::ios::app"),
+    };
+    for (auto& p : r.patterns) {
+      p.excludes = {"util/atomic_file.", "recover/cert_log."};
+    }
+    rules.push_back(std::move(r));
+  }
+
   // switch-default-on-enum is structural; registered for name validation.
   {
     Rule r;
