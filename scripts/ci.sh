@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: a fast static lint stage (scripts/lint.sh: ldlb_lint invariant
-# rules, header self-containment, clang-tidy), then build and run the full
+# CI gate: a fast static stage (scripts/lint.sh: the ldlb_analyze cross-TU
+# analyzer — layering, determinism taint, lock discipline, cancellation
+# reachability — then ldlb_lint invariant rules, header self-containment,
+# clang-tidy; CI always runs it full-tree, never --changed), then build and
+# run the full
 # test suite twice — a plain RelWithDebInfo build with -DLDLB_WERROR=ON,
 # then an AddressSanitizer+UBSan build (see LDLB_SANITIZE in the top
 # CMakeLists) — plus a ThreadSanitizer pass over the concurrency-bearing
@@ -347,4 +350,4 @@ LDLB_THREADS=8 LDLB_SLOW_CHECKS=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
   -R 'simulator_test|full_info_test|adversary_test|certificate_test|parallel_determinism_test|cancellation_test|net_test|canonical_ball_test'
 
-echo "CI green: lint, plain (werror), perf-gate, fleet-determinism (pipe + socket), certlog-stream, ball-ship matrix, asan/ubsan, tsan, and chaos-soak stages all pass."
+echo "CI green: lint+analyze, plain (werror), perf-gate, fleet-determinism (pipe + socket), certlog-stream, ball-ship matrix, asan/ubsan, tsan, and chaos-soak stages all pass."

@@ -1,25 +1,83 @@
 #!/usr/bin/env bash
 # Static gate — the fast first stage of scripts/ci.sh (also useful alone):
-#   1. ldlb_lint: the in-tree invariant linter over src/ldlb
+#   1. ldlb_analyze: the cross-TU architecture & concurrency analyzer
+#      (include-layer DAG vs tools/analyze/layers.txt, determinism taint
+#      from certificate entry points, guarded_by lock discipline,
+#      cancellation reachability — docs/STATIC_ANALYSIS.md, "Cross-TU
+#      analysis");
+#   2. ldlb_lint: the in-tree line-local invariant linter over src/ldlb
 #      (docs/STATIC_ANALYSIS.md has the rule catalogue);
-#   2. header self-containment: every public header compiled standalone;
-#   3. clang-tidy with the pinned .clang-tidy profile over
+#   3. header self-containment: every public header compiled standalone;
+#   4. clang-tidy with the pinned .clang-tidy profile over
 #      compile_commands.json — skipped loudly when clang-tidy is not
 #      installed, so the stage still gates what the toolchain can check.
+#
+# --changed restricts reporting to files that differ from origin/main
+# (committed, staged, unstaged, or untracked). Both tools still *analyze*
+# the whole tree — ldlb_analyze's reachability and layering need it for
+# exactness and --only merely filters which files may anchor a diagnostic
+# — so the mode trades no precision, only output and clang-tidy time.
+# When origin/main is unreachable (no remote, shallow clone) the gate
+# falls back to the full tree; scripts/ci.sh always runs the full tree.
 #
 # Uses its own build tree (build-lint) so it never perturbs a developer's
 # cache; nothing here needs libldlb, so the stage stays cheap.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+changed_mode=0
+for arg in "$@"; do
+  case "$arg" in
+    --changed) changed_mode=1 ;;
+    *)
+      echo "usage: scripts/lint.sh [--changed]" >&2
+      exit 2
+      ;;
+  esac
+done
+
 jobs="$(nproc 2>/dev/null || echo 4)"
 dir=build-lint
 
+# changed_files stays empty in full-tree mode; both tools treat an empty
+# operand list as "report everything".
+changed_files=()
+if [ "$changed_mode" = 1 ]; then
+  if base="$(git merge-base origin/main HEAD 2>/dev/null)"; then
+    mapfile -t changed_files < <(
+      {
+        git diff --name-only "$base" -- src/ldlb
+        git ls-files --others --exclude-standard -- src/ldlb
+      } | grep -E '\.(cpp|hpp)$' | sort -u
+    )
+    # Deleted files still appear in the diff; they cannot anchor anything.
+    existing=()
+    for f in "${changed_files[@]}"; do
+      [ -f "$f" ] && existing+=("$f")
+    done
+    changed_files=("${existing[@]+"${existing[@]}"}")
+    if [ "${#changed_files[@]}" -eq 0 ]; then
+      echo "lint --changed: no src/ldlb sources differ from origin/main;" \
+           "static gate trivially green."
+      exit 0
+    fi
+    echo "lint --changed: ${#changed_files[@]} file(s) vs origin/main"
+  else
+    echo "lint --changed: origin/main unavailable; running the full tree"
+    changed_mode=0
+  fi
+fi
+
 cmake -B "$dir" -S . -DLDLB_WERROR=ON > /dev/null
-cmake --build "$dir" --target ldlb_lint -j "$jobs"
+cmake --build "$dir" --target ldlb_lint ldlb_analyze -j "$jobs"
+
+echo "== ldlb_analyze =="
+"$dir/tools/analyze/ldlb_analyze" --root . \
+  "${changed_files[@]+"${changed_files[@]}"}"
 
 echo "== ldlb_lint =="
-"$dir/tools/lint/ldlb_lint" --root .
+"$dir/tools/lint/ldlb_lint" --root . \
+  "${changed_files[@]+"${changed_files[@]}"}"
 
 echo "== header self-containment =="
 # The grep only quiets cmake's [n/m] progress lines; a failed compile must
@@ -35,8 +93,16 @@ grep -v '^\[' "$dir/header_check.log" || true
 
 echo "== clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
-  mapfile -t sources < <(find src/ldlb -name '*.cpp' | sort)
-  if command -v run-clang-tidy > /dev/null 2>&1; then
+  if [ "$changed_mode" = 1 ]; then
+    mapfile -t sources < <(
+      printf '%s\n' "${changed_files[@]}" | grep '\.cpp$' | sort || true
+    )
+  else
+    mapfile -t sources < <(find src/ldlb -name '*.cpp' | sort)
+  fi
+  if [ "${#sources[@]}" -eq 0 ]; then
+    echo "no changed .cpp files; skipping clang-tidy"
+  elif command -v run-clang-tidy > /dev/null 2>&1; then
     run-clang-tidy -quiet -p "$dir" "${sources[@]}"
   else
     clang-tidy -quiet -p "$dir" "${sources[@]}"
@@ -45,4 +111,5 @@ else
   echo "clang-tidy not installed; skipping (pinned profile: .clang-tidy)"
 fi
 
-echo "lint green: ldlb_lint, header self-containment, clang-tidy stages pass."
+echo "lint green: ldlb_analyze, ldlb_lint, header self-containment," \
+     "clang-tidy stages pass."

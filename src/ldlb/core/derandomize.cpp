@@ -3,6 +3,7 @@
 #include <set>
 
 #include "ldlb/matching/checker.hpp"
+#include "ldlb/matching/rank_seeded.hpp"
 
 namespace ldlb {
 

@@ -22,6 +22,9 @@ PropagationResult propagate_disagreement(const Multigraph& g,
   PropagationResult result;
   NodeId current = start;
   EdgeId entered_via = exclude;
+  // ldlb-analyze: allow(cancellation): terminates without polling — the
+  // walk moves strictly away from `start` on a tree; the path-length
+  // ENSURE below trips on any cycle.
   for (;;) {
     // Fact 3: the node is saturated by both matchings and they disagree on
     // the entering end, so some *other* incident edge must disagree too.

@@ -7,90 +7,6 @@
 
 namespace ldlb {
 
-FractionalMatching rank_seeded_packing(const Multigraph& g,
-                                       const std::vector<int>& ranks,
-                                       int phases) {
-  LDLB_REQUIRE(static_cast<NodeId>(ranks.size()) == g.node_count());
-  LDLB_REQUIRE(phases >= 0);
-  FractionalMatching y(g.edge_count());
-  std::vector<Rational> residual(static_cast<std::size_t>(g.node_count()),
-                                 Rational(1));
-  auto saturated = [&](NodeId v) {
-    return residual[static_cast<std::size_t>(v)].is_zero();
-  };
-
-  // Phase 0: mutual-minimum matching. Each unsaturated node points to its
-  // ≺-minimal unsaturated neighbour; mutually pointed edges gain
-  // min(r_u, r_v). (On the simple trees the simulation feeds us there are
-  // no loops; reject them to keep the semantics unambiguous.)
-  std::vector<EdgeId> pointer(static_cast<std::size_t>(g.node_count()),
-                              kNoEdge);
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    if (saturated(v)) continue;
-    EdgeId best = kNoEdge;
-    int best_rank = 0;
-    for (EdgeId e : g.incident_edges(v)) {
-      LDLB_REQUIRE_MSG(!g.edge(e).is_loop(),
-                       "rank_seeded_packing expects loop-free graphs");
-      NodeId w = g.other_endpoint(e, v);
-      if (saturated(w)) continue;
-      int rw = ranks[static_cast<std::size_t>(w)];
-      if (best == kNoEdge || rw < best_rank) {
-        best = e;
-        best_rank = rw;
-      }
-    }
-    pointer[static_cast<std::size_t>(v)] = best;
-  }
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    const auto& ed = g.edge(e);
-    if (pointer[static_cast<std::size_t>(ed.u)] == e &&
-        pointer[static_cast<std::size_t>(ed.v)] == e) {
-      Rational gain = Rational::min(residual[static_cast<std::size_t>(ed.u)],
-                                    residual[static_cast<std::size_t>(ed.v)]);
-      y.add_weight(e, gain);
-      residual[static_cast<std::size_t>(ed.u)] -= gain;
-      residual[static_cast<std::size_t>(ed.v)] -= gain;
-    }
-  }
-
-  // Phases 1..p: synchronous proposal rounds (cf. ProposalPacking).
-  for (int phase = 0; phase < phases; ++phase) {
-    // Open degree per node, from the previous state.
-    std::vector<int> open_deg(static_cast<std::size_t>(g.node_count()), 0);
-    for (EdgeId e = 0; e < g.edge_count(); ++e) {
-      const auto& ed = g.edge(e);
-      if (!saturated(ed.u) && !saturated(ed.v)) {
-        ++open_deg[static_cast<std::size_t>(ed.u)];
-        ++open_deg[static_cast<std::size_t>(ed.v)];
-      }
-    }
-    std::vector<std::optional<Rational>> offer(
-        static_cast<std::size_t>(g.node_count()));
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (!saturated(v) && open_deg[static_cast<std::size_t>(v)] > 0) {
-        offer[static_cast<std::size_t>(v)] =
-            residual[static_cast<std::size_t>(v)] /
-            Rational(open_deg[static_cast<std::size_t>(v)]);
-      }
-    }
-    bool any = false;
-    for (EdgeId e = 0; e < g.edge_count(); ++e) {
-      const auto& ed = g.edge(e);
-      const auto& ou = offer[static_cast<std::size_t>(ed.u)];
-      const auto& ov = offer[static_cast<std::size_t>(ed.v)];
-      if (!ou || !ov) continue;
-      Rational gain = Rational::min(*ou, *ov);
-      y.add_weight(e, gain);
-      residual[static_cast<std::size_t>(ed.u)] -= gain;
-      residual[static_cast<std::size_t>(ed.v)] -= gain;
-      any = true;
-    }
-    if (!any) break;  // fixpoint; later phases are no-ops
-  }
-  return y;
-}
-
 RankSeededPacking::RankSeededPacking(int phases) : phases_(phases) {
   LDLB_REQUIRE(phases >= 0);
 }

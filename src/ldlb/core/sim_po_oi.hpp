@@ -26,50 +26,24 @@
 // communication radius 2, so p phases make a (2p+2)-time OI algorithm.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "ldlb/graph/digraph.hpp"
 #include "ldlb/graph/multigraph.hpp"
+#include "ldlb/local/algorithm.hpp"
 #include "ldlb/matching/fractional_matching.hpp"
+#include "ldlb/matching/rank_seeded.hpp"
 
 namespace ldlb {
-
-/// A t-time order-invariant view algorithm: a pure function of the rooted
-/// radius-t ball and the relative order of its nodes.
-class OiViewAlgorithm {
- public:
-  virtual ~OiViewAlgorithm() = default;
-
-  /// Radius t(Δ) of the views the algorithm needs.
-  [[nodiscard]] virtual int radius(int max_degree) const = 0;
-
-  /// Computes the weights of the edges incident to `root`, indexed in
-  /// `ball.incident_edges(root)` order. `ranks[i]` is the position of ball
-  /// node i in the linear order (all distinct).
-  virtual std::vector<Rational> run(const Multigraph& ball, NodeId root,
-                                    const std::vector<int>& ranks) = 0;
-
-  [[nodiscard]] virtual std::string name() const = 0;
-};
 
 /// Equation (4): runs AOI on every node's canonically ordered universal-
 /// cover view and assembles the PO output. Throws if the per-node outputs
 /// are inconsistent on some arc (impossible for a valid OI algorithm).
+/// OiViewAlgorithm itself is a model interface and lives with the others
+/// in local/algorithm.hpp; the inner synchronous process is
+/// matching/rank_seeded.hpp.
 FractionalMatching simulate_oi_on_po(const Digraph& g, OiViewAlgorithm& aoi);
-
-/// Reference implementation of the inner synchronous process used by
-/// RankSeededPacking, exposed so tests can run it globally on an ordered
-/// graph and compare with the per-view simulation:
-///   phase 0: every unsaturated node points to its ≺-minimal unsaturated
-///            neighbour; mutually pointed edges gain min of the residuals;
-///   phases 1..p: every unsaturated node offers r/d through each of its
-///            open ends (edges with both endpoints unsaturated); an edge
-///            whose ends both offered gains min of the offers.
-FractionalMatching rank_seeded_packing(const Multigraph& g,
-                                       const std::vector<int>& ranks,
-                                       int phases);
 
 /// The shipped OI algorithm: rank-seeded greedy + proposal phases.
 class RankSeededPacking : public OiViewAlgorithm {

@@ -494,6 +494,8 @@ class Fleet {
     std::map<int, Reply> replies =
         exchange(kRevalidationLevel, std::move(requests));
     std::size_t keep = 0;
+    // ldlb-analyze: allow(cancellation): bounded — scans at most
+    // chain.levels.size() replies and stops at the first failure.
     while (keep < chain.levels.size()) {
       const auto it = replies.find(static_cast<int>(keep));
       if (it == replies.end() || !it->second.ok || !it->second.valid) break;

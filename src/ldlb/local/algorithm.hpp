@@ -158,4 +158,28 @@ class PoAlgorithm {
   [[nodiscard]] virtual bool parallel_safe() const { return false; }
 };
 
+// ---------------------------------------------------------------------------
+// OI model: view functions over ordered balls (Section 2.1). The interface
+// lives here with the other model interfaces; the simulations that *consume*
+// it (PO ⇐ OI of Section 5.3, OI ⇐ ID of Section 5.4) live in core/.
+// ---------------------------------------------------------------------------
+
+/// A t-time order-invariant view algorithm: a pure function of the rooted
+/// radius-t ball and the relative order of its nodes.
+class OiViewAlgorithm {
+ public:
+  virtual ~OiViewAlgorithm() = default;
+
+  /// Radius t(Δ) of the views the algorithm needs.
+  [[nodiscard]] virtual int radius(int max_degree) const = 0;
+
+  /// Computes the weights of the edges incident to `root`, indexed in
+  /// `ball.incident_edges(root)` order. `ranks[i]` is the position of ball
+  /// node i in the linear order (all distinct).
+  virtual std::vector<Rational> run(const Multigraph& ball, NodeId root,
+                                    const std::vector<int>& ranks) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
 }  // namespace ldlb

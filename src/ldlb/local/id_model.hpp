@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "ldlb/core/sim_po_oi.hpp"
+#include "ldlb/local/algorithm.hpp"
 #include "ldlb/matching/fractional_matching.hpp"
 #include "ldlb/view/ball.hpp"
 

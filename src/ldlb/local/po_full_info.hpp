@@ -25,7 +25,6 @@
 #include <map>
 #include <string>
 
-#include "ldlb/core/sim_po_oi.hpp"
 #include "ldlb/local/algorithm.hpp"
 
 namespace ldlb {

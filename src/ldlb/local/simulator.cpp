@@ -40,6 +40,8 @@ constexpr long long kDeliveryPollStride = 4096;
 using Clock = std::chrono::steady_clock;
 
 long long elapsed_us(Clock::time_point t0) {
+  // ldlb-analyze: allow(determinism): wall-budget accounting; overruns
+  // abort via BudgetExceeded, certificate bytes are clock-independent.
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                                t0)
       .count();
@@ -130,6 +132,8 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
     }
   }
   const int delta = g.max_degree();
+  // ldlb-analyze: allow(determinism): start-of-run timestamp for the wall
+  // budget; only decides when BudgetExceeded fires.
   const auto t0 = Clock::now();
   RunHooks* hooks = options.hooks;
   RunDiagnostics* diag = options.diagnostics;
@@ -275,6 +279,8 @@ RunResult run_ec(const Multigraph& g, EcAlgorithm& alg,
         const auto& ends = ends_by_color[static_cast<std::size_t>(v)];
         auto it = out.begin();
         for (const IncidentEnd& end : ends) {
+          // ldlb-analyze: allow(cancellation): bounded — advances an
+          // iterator strictly forward over one node's outbox.
           while (it != out.end() && it->first < end.color) ++it;
           if (it == out.end()) break;
           if (it->first != end.color) continue;

@@ -1,5 +1,7 @@
 #include "ldlb/matching/id_packing.hpp"
 
+#include "ldlb/matching/rank_seeded.hpp"
+
 namespace ldlb {
 
 namespace {

@@ -19,6 +19,9 @@
 //     disappears and the algorithm becomes order-invariant.
 #pragma once
 
+// ldlb-analyze: allow(layering): RankPackingId implements the ID-model
+// view interface; IdViewAlgorithm cannot move below matching because it
+// consumes view/ball (see ROADMAP, model-interface inversion).
 #include "ldlb/local/id_model.hpp"
 
 namespace ldlb {

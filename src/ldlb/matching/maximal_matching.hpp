@@ -19,6 +19,9 @@
 #include <cstdint>
 #include <vector>
 
+// ldlb-analyze: allow(layering): GreedyMaximalMatching implements the
+// ID-model view interface; IdViewAlgorithm cannot move below matching
+// because it consumes view/ball (see ROADMAP, model-interface inversion).
 #include "ldlb/local/id_model.hpp"
 #include "ldlb/matching/fractional_matching.hpp"
 #include "ldlb/util/rng.hpp"

@@ -33,6 +33,9 @@
 // of same-coloured arcs to twins.
 #pragma once
 
+// ldlb-analyze: allow(layering): ProposalPacking is an EC-model algorithm;
+// it implements the interface declared one layer up (see ROADMAP,
+// model-interface inversion).
 #include "ldlb/local/algorithm.hpp"
 
 namespace ldlb {

@@ -1,0 +1,30 @@
+// Rank-seeded greedy packing: the synchronous process at the heart of the
+// shipped OI algorithm (core/sim_po_oi.hpp, RankSeededPacking), exposed as
+// a plain whole-graph computation so tests can run it globally on an
+// ordered graph and compare with the per-view simulation:
+//
+//   phase 0: every unsaturated node points to its ≺-minimal unsaturated
+//            neighbour; mutually pointed edges gain min of the residuals;
+//   phases 1..p: every unsaturated node offers r/d through each of its
+//            open ends (edges with both endpoints unsaturated); an edge
+//            whose ends both offered gains min of the offers.
+//
+// It lives in matching/ (not core/) because it is a pure function of a
+// multigraph and a node order — the OI wrapper that feeds it views is
+// core's business.
+#pragma once
+
+#include <vector>
+
+#include "ldlb/matching/fractional_matching.hpp"
+
+namespace ldlb {
+
+/// Runs the rank-seeded process for `phases` proposal phases on top of the
+/// mutual-minimum phase 0. `ranks[v]` is node v's position in the linear
+/// order (all distinct). Rejects graphs with loops.
+FractionalMatching rank_seeded_packing(const Multigraph& g,
+                                       const std::vector<int>& ranks,
+                                       int phases);
+
+}  // namespace ldlb

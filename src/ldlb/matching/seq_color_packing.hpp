@@ -22,6 +22,9 @@
 // residual, saturating the node — the behaviour Lemma 2 forces.
 #pragma once
 
+// ldlb-analyze: allow(layering): SeqColorPacking is an EC-model algorithm;
+// it implements the interface declared one layer up (see ROADMAP,
+// model-interface inversion).
 #include "ldlb/local/algorithm.hpp"
 
 namespace ldlb {

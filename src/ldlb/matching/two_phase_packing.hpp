@@ -15,6 +15,9 @@
 // disagreement traces, and as an ablation partner for SeqColorPacking.
 #pragma once
 
+// ldlb-analyze: allow(layering): TwoPhasePacking is a PO-model algorithm;
+// it implements the interface declared one layer up (see ROADMAP,
+// model-interface inversion).
 #include "ldlb/local/algorithm.hpp"
 
 namespace ldlb {

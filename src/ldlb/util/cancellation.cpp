@@ -8,6 +8,9 @@ namespace ldlb {
 Deadline Deadline::in(double seconds) {
   LDLB_REQUIRE_MSG(seconds >= 0, "a deadline cannot be in the past");
   Deadline d;
+  // ldlb-analyze: allow(determinism): the monotonic clock decides when a
+  // run is cut off, never what it computes; certificate bytes are
+  // clock-independent by the byte-identical replay tests.
   d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double>(seconds));
   return d;
@@ -21,6 +24,8 @@ Deadline Deadline::at(Clock::time_point when) {
 
 double Deadline::remaining_seconds() const {
   if (!when_.has_value()) return std::numeric_limits<double>::infinity();
+  // ldlb-analyze: allow(determinism): remaining time only gates cutoff and
+  // progress reporting; outputs never embed it.
   return std::chrono::duration<double>(*when_ - Clock::now()).count();
 }
 

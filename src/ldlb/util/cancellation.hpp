@@ -42,6 +42,8 @@ class Deadline {
 
   [[nodiscard]] bool is_set() const { return when_.has_value(); }
   [[nodiscard]] bool expired() const {
+    // ldlb-analyze: allow(determinism): expiry aborts a run via
+    // CancelledError; it never feeds a certificate byte.
     return when_.has_value() && Clock::now() >= *when_;
   }
 
@@ -83,8 +85,9 @@ class CancellationToken {
  private:
   Deadline deadline_;
   mutable std::atomic<bool> cancelled_{false};
-  mutable std::mutex mutex_;       // guards reason_
-  mutable std::string reason_;     // set once, before cancelled_ goes true
+  mutable std::mutex mutex_;
+  // Set once, before cancelled_ goes true.
+  mutable std::string reason_;  // ldlb: guarded_by(mutex_)
 };
 
 }  // namespace ldlb

@@ -20,6 +20,8 @@ inline bool slow_checks_enabled() {
   static const bool enabled = [] {
     for (const char* var :
          {"LDLB_SLOW_CHECKS", "LDLB_LIFT_CHECK", "LDLB_BALL_ORACLE"}) {
+      // ldlb-analyze: allow(determinism): latched once; only toggles extra
+      // validation that aborts on disagreement, never changes results.
       const char* s = std::getenv(var);
       if (s != nullptr && *s != '\0' && *s != '0') return true;
     }

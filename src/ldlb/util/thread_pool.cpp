@@ -18,6 +18,9 @@ thread_local const ThreadPool* tls_worker_pool = nullptr;
 constexpr int kMaxThreads = 64;
 
 int default_threads() {
+  // ldlb-analyze: allow(determinism): selects the worker count only; the
+  // merge order of parallel results is fixed, so certificate bytes do not
+  // depend on parallelism (fleet determinism suite pins this).
   if (const char* s = std::getenv("LDLB_THREADS"); s != nullptr && *s != '\0') {
     int v = std::atoi(s);
     if (v >= 1) return std::min(v, kMaxThreads);
@@ -27,7 +30,7 @@ int default_threads() {
 }
 
 std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mutex
+std::unique_ptr<ThreadPool> g_pool;  // ldlb: guarded_by(g_pool_mutex)
 
 // Set (single-threaded, before any further library call) in the child of a
 // fork(2): the parent's worker threads do not exist there and any mutex a
@@ -58,6 +61,8 @@ ThreadPool::ThreadPool(int threads) : threads_(std::max(threads, 1)) {
     wake_.notify_all();
     for (auto& w : workers_) w.join();
     workers_.clear();
+    // ldlb-analyze: allow(locks): every worker is joined; no other thread
+    // can observe this pool while its constructor is still running.
     stop_ = false;
     threads_ = 1;
     std::fprintf(stderr, "ldlb: %s\n", construction_error_.c_str());
@@ -118,7 +123,7 @@ void ThreadPool::run_batch(std::vector<std::function<void()>>& tasks,
     struct Join {
       std::mutex m;
       std::condition_variable cv;
-      std::size_t done = 0;
+      std::size_t done = 0;  // ldlb: guarded_by(join.m)
     } join;
     {
       std::lock_guard<std::mutex> lk(mutex_);

@@ -116,10 +116,11 @@ class ThreadPool {
   int threads_;
   std::string construction_error_;
   std::vector<std::thread> workers_;
-  std::vector<Task> queue_;  // LIFO; tasks of one batch only
+  // LIFO; tasks of one batch only.
+  std::vector<Task> queue_;  // ldlb: guarded_by(mutex_)
   std::mutex mutex_;
   std::condition_variable wake_;
-  bool stop_ = false;
+  bool stop_ = false;  // ldlb: guarded_by(mutex_)
 };
 
 /// Shorthand for ThreadPool::global().

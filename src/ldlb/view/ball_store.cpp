@@ -142,13 +142,14 @@ std::list<MemoKey> g_memo_lru;  // front = most recently used
 
 // Shape gate per graph fingerprint: keys decide isomorphism only for
 // properly coloured trees-with-loops, and the two predicates cost O(E) each.
-std::unordered_map<std::uint64_t, bool> g_tree_ok;
+std::unordered_map<std::uint64_t, bool> g_tree_ok;  // ldlb: guarded_by(g_mutex)
 
 BallStoreStats g_stats;
 std::size_t g_intern_bytes = 0;
 std::size_t g_memo_bytes = 0;
 std::size_t g_shape_bytes = 0;
 
+// ldlb: guarded_by(g_mutex)
 std::size_t g_budget = [] {
   if (const char* s = std::getenv("LDLB_BALL_CACHE_BYTES");
       s != nullptr && *s != '\0') {
@@ -260,19 +261,19 @@ void clear_memo() {
 // content-derived and never reference intern ids. Caller holds g_mutex;
 // must not run while intern ids are live in a caller's layer arrays.
 void enforce_budget() {
-  while (g_intern_bytes + g_memo_bytes + g_shape_bytes > g_budget &&
+  while (g_intern_bytes + g_memo_bytes + g_shape_bytes > g_budget &&  // ldlb-analyze: allow(locks): caller holds g_mutex
          !g_memo_lru.empty()) {
     auto it = g_memo.find(g_memo_lru.back());
     g_memo_bytes -= kMemoEntryCost;
     g_memo.erase(it);
     g_memo_lru.pop_back();
   }
-  if (g_intern_bytes + g_shape_bytes > g_budget && !g_sig_keys.empty()) {
+  if (g_intern_bytes + g_shape_bytes > g_budget && !g_sig_keys.empty()) {  // ldlb-analyze: allow(locks): caller holds g_mutex
     clear_intern_table();
     ++g_stats.intern_resets;
   }
-  if (g_shape_bytes > g_budget) {
-    g_tree_ok.clear();
+  if (g_shape_bytes > g_budget) {  // ldlb-analyze: allow(locks): caller holds g_mutex
+    g_tree_ok.clear();  // ldlb-analyze: allow(locks): caller holds g_mutex
     g_shape_bytes = 0;
   }
 }

@@ -241,7 +241,8 @@ struct BallKeyHash {
 // fingerprint, node, radius), so hit-or-miss order cannot change any
 // returned encoding — results are schedule-independent by construction.
 std::mutex g_ball_cache_mutex;
-std::list<BallKey> g_ball_lru;  // front = most recently used
+// Front = most recently used.
+std::list<BallKey> g_ball_lru;  // ldlb: guarded_by(g_ball_cache_mutex)
 
 struct BallCacheEntry {
   std::optional<std::string> enc;
@@ -249,8 +250,10 @@ struct BallCacheEntry {
   std::size_t bytes = 0;
 };
 
-std::unordered_map<BallKey, BallCacheEntry, BallKeyHash> g_ball_cache;
-std::size_t g_ball_cache_bytes = 0;
+std::unordered_map<BallKey, BallCacheEntry, BallKeyHash>
+    g_ball_cache;  // ldlb: guarded_by(g_ball_cache_mutex)
+std::size_t g_ball_cache_bytes = 0;  // ldlb: guarded_by(g_ball_cache_mutex)
+// ldlb: guarded_by(g_ball_cache_mutex)
 std::size_t g_ball_cache_budget = [] {
   if (const char* s = std::getenv("LDLB_BALL_CACHE_BYTES");
       s != nullptr && *s != '\0') {
@@ -267,11 +270,11 @@ std::size_t entry_cost(const std::optional<std::string>& enc) {
 
 // Evicts LRU entries until the cache fits its budget. Caller holds the lock.
 void evict_to_budget() {
-  while (g_ball_cache_bytes > g_ball_cache_budget && !g_ball_lru.empty()) {
-    auto it = g_ball_cache.find(g_ball_lru.back());
-    g_ball_cache_bytes -= it->second.bytes;
-    g_ball_cache.erase(it);
-    g_ball_lru.pop_back();
+  while (g_ball_cache_bytes > g_ball_cache_budget && !g_ball_lru.empty()) {  // ldlb-analyze: allow(locks): caller holds g_ball_cache_mutex
+    auto it = g_ball_cache.find(g_ball_lru.back());  // ldlb-analyze: allow(locks): caller holds g_ball_cache_mutex
+    g_ball_cache_bytes -= it->second.bytes;  // ldlb-analyze: allow(locks): caller holds g_ball_cache_mutex
+    g_ball_cache.erase(it);  // ldlb-analyze: allow(locks): caller holds g_ball_cache_mutex
+    g_ball_lru.pop_back();  // ldlb-analyze: allow(locks): caller holds g_ball_cache_mutex
   }
 }
 
@@ -323,6 +326,8 @@ namespace {
 // ground truth the fast path must reproduce bit-for-bit.
 bool ball_oracle_enabled() {
   static const bool enabled = [] {
+    // ldlb-analyze: allow(determinism): latched once; enables the slow
+    // cross-check path which aborts on disagreement, never changes results.
     const char* s = std::getenv("LDLB_BALL_ORACLE");
     return s != nullptr && *s != '\0' && *s != '0';
   }();

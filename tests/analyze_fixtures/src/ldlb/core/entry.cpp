@@ -1,0 +1,9 @@
+#include "ldlb/core/entry.hpp"
+
+#include "ldlb/graph/helper.hpp"
+
+namespace ldlb {
+
+long long run_adversary_fixture() { return helper_step(); }
+
+}  // namespace ldlb

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace ldlb {
+
+long long run_adversary_fixture();
+
+}  // namespace ldlb

@@ -1,0 +1,26 @@
+#include <mutex>
+
+namespace ldlb {
+
+std::mutex mu_a;
+std::mutex mu_b;
+int counter = 0;  // ldlb: guarded_by(mu_a)
+
+int bump_guarded() {
+  std::lock_guard<std::mutex> lk(mu_a);
+  return ++counter;
+}
+
+int bump_unguarded() { return ++counter; }
+
+void order_ab() {
+  std::lock_guard<std::mutex> a(mu_a);
+  std::lock_guard<std::mutex> b(mu_b);
+}
+
+void order_ba() {
+  std::lock_guard<std::mutex> b(mu_b);
+  std::lock_guard<std::mutex> a(mu_a);
+}
+
+}  // namespace ldlb

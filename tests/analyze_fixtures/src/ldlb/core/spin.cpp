@@ -1,0 +1,37 @@
+#include "ldlb/core/entry.hpp"
+
+namespace ldlb {
+
+int poll_cancel_flag();
+
+int spin_forever(int n) {
+  int acc = 0;
+  while (true) {
+    acc += n;
+  }
+  return acc;
+}
+
+int spin_polled(int n) {
+  int acc = 0;
+  while (acc < n) {
+    if (poll_cancel_flag() != 0) break;
+    ++acc;
+  }
+  return acc;
+}
+
+int check_budget(int acc) {
+  if (poll_cancel_flag() != 0) return 0;
+  return acc;
+}
+
+int spin_delegating(int n) {
+  int acc = 1;
+  while (acc < n) {
+    acc += check_budget(acc);
+  }
+  return acc;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,12 @@
+namespace ldlb {
+
+int fixture_total(int n) {
+  int acc = 0;
+  // ldlb-analyze: allow(cancellation): fixture loop, bounded by the break
+  while (true) {
+    if (++acc == n) break;
+  }
+  return acc;
+}
+
+}  // namespace ldlb

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "ldlb/graph/cyc_b.hpp"
+
+namespace ldlb {
+
+int cyc_a_value();
+
+}  // namespace ldlb

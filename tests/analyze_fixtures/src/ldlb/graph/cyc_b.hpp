@@ -1,0 +1,9 @@
+#pragma once
+
+#include "ldlb/graph/cyc_a.hpp"
+
+namespace ldlb {
+
+int cyc_b_value();
+
+}  // namespace ldlb

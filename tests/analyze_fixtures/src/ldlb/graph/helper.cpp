@@ -1,0 +1,9 @@
+#include "ldlb/graph/helper.hpp"
+
+#include "ldlb/util/tick.hpp"
+
+namespace ldlb {
+
+long long helper_step() { return now_us(); }
+
+}  // namespace ldlb

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace ldlb {
+
+long long helper_step();
+
+}  // namespace ldlb

@@ -1,0 +1,6 @@
+namespace ldlb {
+
+// ldlb-analyze: allow(layering): kept to prove stale detection
+int stale_marker = 0;
+
+}  // namespace ldlb

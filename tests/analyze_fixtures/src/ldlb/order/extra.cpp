@@ -1,0 +1,5 @@
+namespace ldlb {
+
+int order_fixture_value() { return 7; }
+
+}  // namespace ldlb

@@ -1,0 +1,11 @@
+#include "ldlb/util/tick.hpp"
+
+#include <ctime>
+
+namespace ldlb {
+
+long long now_us() {
+  return static_cast<long long>(time(nullptr));
+}
+
+}  // namespace ldlb

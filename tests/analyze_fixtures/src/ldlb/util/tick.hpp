@@ -1,0 +1,9 @@
+#pragma once
+
+#include "ldlb/core/entry.hpp"
+
+namespace ldlb {
+
+long long now_us();
+
+}  // namespace ldlb

@@ -7,6 +7,7 @@
 #include "ldlb/core/adversary.hpp"
 #include "ldlb/core/certificate_io.hpp"
 #include "ldlb/core/sim_ec_oi.hpp"
+#include "ldlb/core/sim_po_oi.hpp"
 #include "ldlb/graph/dot_export.hpp"
 #include "ldlb/graph/edge_coloring.hpp"
 #include "ldlb/graph/generators.hpp"

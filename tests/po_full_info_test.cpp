@@ -7,6 +7,7 @@
 #include "ldlb/core/adversary.hpp"
 #include "ldlb/core/sim_ec_po.hpp"
 #include "ldlb/core/sim_oi_id.hpp"
+#include "ldlb/core/sim_po_oi.hpp"
 #include "ldlb/graph/generators.hpp"
 #include "ldlb/local/simulator.hpp"
 #include "ldlb/matching/checker.hpp"

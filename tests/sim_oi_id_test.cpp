@@ -2,6 +2,7 @@
 // the saturation-indicator extraction, and the Corollary-9 composition
 // ID → OI → PO on loopy PO-graphs.
 #include "ldlb/core/sim_oi_id.hpp"
+#include "ldlb/core/sim_po_oi.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,88 @@
+// ldlb_analyze CLI.
+//
+//   ldlb_analyze [--root <dir>] [--layers <file>] [--json]
+//                [--only <file>...] [--list-passes]
+//
+// Runs the four cross-TU passes (layering, determinism, locks,
+// cancellation) over <root>/src/ldlb. --only filters which files may
+// *anchor* a diagnostic; the analysis itself always runs whole-tree so
+// reachability and layering stay exact under scripts/lint.sh --changed.
+// --json renders the diagnostics as a JSON array instead of file:line
+// text lines.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "analyze_core.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ldlb_analyze [--root <dir>] [--layers <file>] "
+               "[--json] [--only <file>...] [--list-passes]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ldlb::analyze::Options options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage();
+      options.root = argv[i];
+    } else if (arg == "--layers") {
+      if (++i >= argc) return usage();
+      options.layers_file = argv[i];
+    } else if (arg == "--only") {
+      if (++i >= argc) return usage();
+      options.only.push_back(argv[i]);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-passes") {
+      for (const std::string& name : ldlb::analyze::pass_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      // Bare operands are --only shorthand, mirroring ldlb_lint's file list.
+      options.only.push_back(arg);
+    }
+  }
+
+  try {
+    const std::vector<ldlb::analyze::Diagnostic> diagnostics =
+        ldlb::analyze::analyze_tree(options);
+    if (json) {
+      std::fputs(ldlb::analyze::to_json(diagnostics).c_str(), stdout);
+    } else {
+      for (const auto& d : diagnostics) {
+        std::printf("%s\n", ldlb::analyze::format(d).c_str());
+      }
+    }
+    if (!diagnostics.empty()) {
+      std::fprintf(stderr,
+                   "ldlb_analyze: %zu diagnostic(s); see "
+                   "docs/STATIC_ANALYSIS.md (\"Cross-TU analysis\") for pass "
+                   "semantics and suppression syntax\n",
+                   diagnostics.size());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ldlb_analyze: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -5,10 +5,12 @@
 // invariants — durable writes only via util/atomic_file, no hidden
 // nondeterminism in the proof-bearing layers, raw concurrency confined to
 // the audited utilities — must not regress silently. This linter is the
-// static gate in front of the sanitizer/chaos stages: a lightweight C++
-// lexer strips comments, string literals, character literals, and raw
-// strings (preserving line structure), then named pattern rules run over
-// the stripped text and report file:line diagnostics.
+// static gate in front of the sanitizer/chaos stages: the shared
+// tools/srcmodel lexer strips comments, string literals, character
+// literals, and raw strings (preserving line structure), then named
+// pattern rules run over the stripped text and report file:line
+// diagnostics. Cross-file invariants (include layering, call-graph taint,
+// lock discipline) live in the companion analyzer, tools/analyze.
 //
 // Suppressions: a site that legitimately breaks a rule carries
 //
@@ -27,47 +29,23 @@
 #include <string_view>
 #include <vector>
 
+#include "srcmodel.hpp"
+
 namespace ldlb::lint {
 
-struct Diagnostic {
-  std::string path;  // repo-root-relative, forward slashes
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
+// The lexer, diagnostic shape, and suppression grammar are the shared
+// source model; lint adds only its rule table and marker ("ldlb-lint").
+using srcmodel::Annotation;
+using srcmodel::Comment;
+using srcmodel::Diagnostic;
+using srcmodel::Stripped;
+using srcmodel::format;
+using srcmodel::strip_source;
 
-/// "path:line: [rule] message" — the exact format tests assert on.
-[[nodiscard]] std::string format(const Diagnostic& d);
-
-/// One comment found while stripping; `code_before` is true when the line
-/// carries code before the comment starts (trailing-comment position).
-struct Comment {
-  int line = 0;
-  bool code_before = false;
-  std::string text;
-};
-
-/// Source with comments and literal *contents* blanked to spaces. Line
-/// structure is preserved exactly, so pattern hits report real lines.
-struct Stripped {
-  std::string text;
-  std::vector<Comment> comments;
-};
-
-[[nodiscard]] Stripped strip_source(std::string_view source);
-
-/// A parsed `ldlb-lint: allow(<rule>): <reason>` annotation.
-struct Annotation {
-  int line = 0;         // line of the comment itself
-  int target_line = 0;  // line it suppresses (0 when no code line follows)
-  std::string rule;
-  std::string reason;
-  bool used = false;  // set when it suppressed at least one diagnostic
-};
-
-/// Extracts annotations from `stripped.comments`. Malformed annotations
-/// (missing reason) and unknown rule names are reported into `out` as
-/// bad-annotation / unknown-rule diagnostics and dropped.
+/// Extracts `ldlb-lint: allow(<rule>): <reason>` annotations from
+/// `stripped.comments`. Malformed annotations (missing reason) and unknown
+/// rule names are reported into `out` as bad-annotation / unknown-rule
+/// diagnostics and dropped.
 [[nodiscard]] std::vector<Annotation> parse_annotations(
     const Stripped& stripped, const std::string& path,
     std::vector<Diagnostic>& out);

@@ -12,9 +12,7 @@
 
 #include <algorithm>
 #include <cctype>
-#include <fstream>
 #include <regex>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -390,6 +388,13 @@ std::string path_under_ldlb(const std::string& rel_path) {
 
 }  // namespace
 
+std::vector<Annotation> parse_annotations(const Stripped& stripped,
+                                          const std::string& path,
+                                          std::vector<Diagnostic>& out) {
+  return srcmodel::parse_allow_annotations(stripped, path, "ldlb-lint",
+                                           rule_names(), out);
+}
+
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = [] {
     std::vector<std::string> names;
@@ -466,41 +471,16 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
   return diagnostics;
 }
 
-namespace {
-
-std::string read_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot read " + path.string());
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-}  // namespace
-
 std::vector<Diagnostic> lint_tree(const std::filesystem::path& root) {
-  const std::filesystem::path tree = root / "src" / "ldlb";
-  if (!std::filesystem::is_directory(tree)) {
-    throw std::runtime_error("no src/ldlb tree under " + root.string());
-  }
-  std::vector<std::string> rel_paths;
-  for (const auto& entry :
-       std::filesystem::recursive_directory_iterator(tree)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext != ".hpp" && ext != ".cpp") continue;
-    rel_paths.push_back(
-        std::filesystem::relative(entry.path(), root).generic_string());
-  }
-  std::sort(rel_paths.begin(), rel_paths.end());
-  return lint_files(root, rel_paths);
+  return lint_files(root, srcmodel::list_ldlb_sources(root));
 }
 
 std::vector<Diagnostic> lint_files(const std::filesystem::path& root,
                                    const std::vector<std::string>& rel_paths) {
   std::vector<Diagnostic> all;
   for (const std::string& rel : rel_paths) {
-    const std::vector<Diagnostic> diags = lint_file(rel, read_file(root / rel));
+    const std::vector<Diagnostic> diags =
+        lint_file(rel, srcmodel::read_file(root / rel));
     all.insert(all.end(), diags.begin(), diags.end());
   }
   return all;

@@ -1,17 +1,20 @@
-// Comment/string stripping and suppression-annotation parsing for
-// ldlb_lint. The stripper keeps the output exactly as long as the input
-// and never touches newlines, so byte offsets and line numbers in the
-// stripped text match the original file.
+// Comment/string stripping and suppression-annotation parsing shared by
+// ldlb_lint and ldlb_analyze. The stripper keeps the output exactly as
+// long as the input and never touches newlines, so byte offsets and line
+// numbers in the stripped text match the original file.
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <regex>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
-#include "lint_core.hpp"
+#include "srcmodel.hpp"
 
-namespace ldlb::lint {
+namespace ldlb::srcmodel {
 
 namespace {
 
@@ -132,9 +135,10 @@ Stripped strip_source(std::string_view src) {
   return result;
 }
 
-std::vector<Annotation> parse_annotations(const Stripped& stripped,
-                                          const std::string& path,
-                                          std::vector<Diagnostic>& out) {
+std::vector<Annotation> parse_allow_annotations(
+    const Stripped& stripped, const std::string& path,
+    const std::string& marker, const std::vector<std::string>& valid_names,
+    std::vector<Diagnostic>& out) {
   // Line start offsets of the stripped text, for next-code-line targeting.
   std::vector<std::size_t> starts{0};
   for (std::size_t k = 0; k < stripped.text.size(); ++k) {
@@ -152,18 +156,20 @@ std::vector<Annotation> parse_annotations(const Stripped& stripped,
     return false;
   };
 
-  static const std::regex kAllow(
-      R"(ldlb-lint:\s*allow\(([A-Za-z0-9_-]+)\)\s*(:\s*(.*))?)");
-  static const std::regex kMarker(R"(ldlb-lint)");
+  const std::regex allow(marker + R"(:\s*allow\(([A-Za-z0-9_-]+)\)\s*(:\s*(.*))?)");
+  // A word boundary after the marker keeps "ldlb-lint" from also claiming
+  // every "ldlb-lint-something" comment, while still catching a marker the
+  // author misspelled the tail of (missing colon, wrong verb).
+  const std::regex present(marker + R"(\b)");
 
   std::vector<Annotation> annotations;
   for (const Comment& comment : stripped.comments) {
-    if (!std::regex_search(comment.text, kMarker)) continue;
+    if (!std::regex_search(comment.text, present)) continue;
     std::smatch m;
-    if (!std::regex_search(comment.text, m, kAllow)) {
+    if (!std::regex_search(comment.text, m, allow)) {
       out.push_back({path, comment.line, "bad-annotation",
-                     "malformed ldlb-lint annotation; expected "
-                     "'ldlb-lint: allow(<rule>): <reason>'"});
+                     "malformed " + marker + " annotation; expected '" +
+                         marker + ": allow(<rule>): <reason>'"});
       continue;
     }
     std::string rule = m[1].str();
@@ -175,13 +181,13 @@ std::vector<Annotation> parse_annotations(const Stripped& stripped,
     while (!reason.empty() && is_space(reason.back())) reason.pop_back();
     if (reason.empty()) {
       out.push_back({path, comment.line, "bad-annotation",
-                     "ldlb-lint: allow(" + rule +
+                     marker + ": allow(" + rule +
                          ") has no reason; every suppression must say why "
                          "the site is safe"});
       continue;
     }
-    const auto& names = rule_names();
-    if (std::find(names.begin(), names.end(), rule) == names.end()) {
+    if (std::find(valid_names.begin(), valid_names.end(), rule) ==
+        valid_names.end()) {
       out.push_back({path, comment.line, "unknown-rule",
                      "allow(" + rule + ") names an unknown rule"});
       continue;
@@ -213,4 +219,30 @@ std::string format(const Diagnostic& d) {
          d.message;
 }
 
-}  // namespace ldlb::lint
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> list_ldlb_sources(const std::filesystem::path& root) {
+  const std::filesystem::path tree = root / "src" / "ldlb";
+  if (!std::filesystem::is_directory(tree)) {
+    throw std::runtime_error("no src/ldlb tree under " + root.string());
+  }
+  std::vector<std::string> rel_paths;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(tree)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    rel_paths.push_back(
+        std::filesystem::relative(entry.path(), root).generic_string());
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  return rel_paths;
+}
+
+}  // namespace ldlb::srcmodel

@@ -1,0 +1,74 @@
+// Shared source model for the in-tree static tools (ldlb_lint and
+// ldlb_analyze): a line-preserving C++ lexer that strips comments and
+// literals, plus the common `<marker>: allow(<name>): <reason>` suppression
+// annotation grammar with stale-suppression bookkeeping.
+//
+// Both tools compile against this one tokenizer so a lexer fix (raw
+// strings, digit separators, block comments) lands in the linter and the
+// analyzer at once; the tools differ only in their marker string
+// ("ldlb-lint" vs "ldlb-analyze") and in the rule/pass names they accept.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldlb::srcmodel {
+
+struct Diagnostic {
+  std::string path;  // repo-root-relative, forward slashes
+  int line = 0;
+  std::string rule;  // rule name (lint) or pass name (analyze)
+  std::string message;
+};
+
+/// "path:line: [rule] message" — the exact format tests assert on.
+[[nodiscard]] std::string format(const Diagnostic& d);
+
+/// One comment found while stripping; `code_before` is true when the line
+/// carries code before the comment starts (trailing-comment position).
+struct Comment {
+  int line = 0;
+  bool code_before = false;
+  std::string text;
+};
+
+/// Source with comments and literal *contents* blanked to spaces. Line
+/// structure is preserved exactly, so pattern hits report real lines.
+struct Stripped {
+  std::string text;
+  std::vector<Comment> comments;
+};
+
+[[nodiscard]] Stripped strip_source(std::string_view source);
+
+/// A parsed `<marker>: allow(<name>): <reason>` annotation.
+struct Annotation {
+  int line = 0;         // line of the comment itself
+  int target_line = 0;  // line it suppresses (0 when no code line follows)
+  std::string rule;
+  std::string reason;
+  bool used = false;  // set when it suppressed at least one diagnostic
+};
+
+/// Extracts `<marker>: allow(<name>): <reason>` annotations from
+/// `stripped.comments`. Malformed annotations (missing reason) and names
+/// not in `valid_names` are reported into `out` as bad-annotation /
+/// unknown-rule diagnostics and dropped. A trailing annotation targets its
+/// own line; a comment-line annotation targets the next line with code
+/// (blank and comment-only lines are skipped).
+[[nodiscard]] std::vector<Annotation> parse_allow_annotations(
+    const Stripped& stripped, const std::string& path,
+    const std::string& marker, const std::vector<std::string>& valid_names,
+    std::vector<Diagnostic>& out);
+
+/// Reads a file fully; throws std::runtime_error when unreadable.
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+/// Every .hpp/.cpp under <root>/src/ldlb as root-relative forward-slash
+/// paths, sorted. Throws std::runtime_error when the tree is missing.
+[[nodiscard]] std::vector<std::string> list_ldlb_sources(
+    const std::filesystem::path& root);
+
+}  // namespace ldlb::srcmodel
